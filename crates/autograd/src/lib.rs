@@ -1,0 +1,31 @@
+//! Tape-based reverse-mode automatic differentiation over dense `f64` tensors.
+//!
+//! DeepMVI and the deep baselines (BRITS, GP-VAE, vanilla Transformer) are all
+//! gradient-trained; this crate is the from-scratch substrate that trains them.
+//!
+//! Design: a [`graph::Graph`] is a write-once tape of [`graph::VarId`]-indexed nodes.
+//! Every operator records its parents and a boxed backward closure; calling
+//! [`graph::Graph::backward`] walks the tape in reverse and accumulates gradients.
+//! Model parameters live *outside* the tape in a [`params::ParamStore`]; a forward
+//! pass binds them in with [`graph::Graph::param`], and after `backward` the
+//! per-parameter gradients are routed back with [`graph::Graph::param_grads`]. One
+//! graph is built per training sample, which makes data-parallel gradient
+//! accumulation trivial (each worker thread owns its graph; gradients are summed into
+//! the shared store under a lock).
+//!
+//! The operator set is exactly what the reproduced models need — matmul, broadcast
+//! arithmetic, pointwise nonlinearities, reductions, row gather/scatter for
+//! embeddings, row shifting for the left/right-window features of Eq 8–9, and masked
+//! row softmax for availability-aware attention (Eq 9/11).
+//!
+//! Everything is validated against finite differences by [`check::check_gradients`].
+
+pub mod check;
+pub mod graph;
+pub mod nn;
+pub mod params;
+
+pub use check::check_gradients;
+pub use graph::{Graph, VarId};
+pub use nn::{glorot, positional_encoding, randn, Embedding, GruCell, Linear};
+pub use params::{AdamConfig, ParamId, ParamStore};

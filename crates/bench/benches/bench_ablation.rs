@@ -1,0 +1,38 @@
+//! Criterion benchmark for the runtime cost of each DeepMVI module (the time side
+//! of the §5.5 design-choice ablations): full model vs no-transformer vs
+//! no-kernel-regression vs flattened kernel regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::scenarios::Scenario;
+use mvi_eval::{Method, MethodBudget};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let ds = generate_with_shape(DatasetName::JanataHack, &[8, 6], 134, 9);
+    let inst = Scenario::mcar(1.0).apply(&ds, 4);
+    let obs = inst.observed();
+
+    let mut group = c.benchmark_group("deepmvi_module_cost");
+    group.sample_size(10);
+    for method in [
+        Method::DeepMvi,
+        Method::DeepMviNoTt,
+        Method::DeepMviNoKr,
+        Method::DeepMviNoContext,
+        Method::DeepMvi1D,
+    ] {
+        let imputer = method.build(MethodBudget::Quick);
+        group.bench_function(imputer.name(), |b| {
+            b.iter(|| black_box(imputer.impute(black_box(&obs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+);
+criterion_main!(ablation);

@@ -1,0 +1,46 @@
+//! Criterion benchmark over the imputation methods themselves — the wall-clock
+//! side of Fig 10a at a reduced, Criterion-friendly size. The expected shape:
+//! the SVD/CD family fastest, DynaMMO slowest by orders of magnitude, DeepMVI
+//! between them and faster than the per-point vanilla Transformer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::scenarios::Scenario;
+use mvi_eval::{Method, MethodBudget};
+use std::hint::black_box;
+
+fn bench_imputers(c: &mut Criterion) {
+    let ds = generate_with_shape(DatasetName::AirQ, &[6], 250, 11);
+    let inst = Scenario::mcar(1.0).apply(&ds, 5);
+    let obs = inst.observed();
+
+    let mut group = c.benchmark_group("imputers_airq_6x250");
+    group.sample_size(10);
+    for method in [
+        Method::SvdImp,
+        Method::SoftImpute,
+        Method::Svt,
+        Method::CdRec,
+        Method::Trmf,
+        Method::Stmvl,
+        Method::DynaMmo,
+        Method::Brits,
+        Method::GpVae,
+        Method::Mrnn,
+        Method::Transformer,
+        Method::DeepMvi,
+    ] {
+        let imputer = method.build(MethodBudget::Quick);
+        group.bench_function(imputer.name(), |b| {
+            b.iter(|| black_box(imputer.impute(black_box(&obs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = imputers;
+    config = Criterion::default().sample_size(10);
+    targets = bench_imputers
+);
+criterion_main!(imputers);

@@ -1,0 +1,33 @@
+//! Criterion benchmark for DeepMVI's runtime scaling in series length — the
+//! Fig 10b shape (sub-linear growth because training sees a bounded number of
+//! pattern samples regardless of length).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepmvi::DeepMvi;
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::imputer::Imputer;
+use mvi_data::scenarios::Scenario;
+use mvi_eval::MethodBudget;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deepmvi_length_scaling");
+    group.sample_size(10);
+    for &len in &[500usize, 1000, 2000] {
+        let ds = generate_with_shape(DatasetName::Climate, &[10], len, 3);
+        let inst = Scenario::mcar(1.0).apply(&ds, 2);
+        let obs = inst.observed();
+        let imputer = DeepMvi::new(MethodBudget::Quick.deepmvi_config());
+        group.bench_with_input(BenchmarkId::from_parameter(len), &obs, |b, obs| {
+            b.iter(|| black_box(imputer.impute(black_box(obs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = scaling;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+);
+criterion_main!(scaling);

@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks for the numerical substrates: the matmul/SVD/CD
+//! kernels every baseline is built on, and the autodiff attention block at the
+//! heart of DeepMVI's temporal transformer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mvi_autograd::{Graph, Linear, ParamStore};
+use mvi_linalg::{centroid_decomposition, matmul, svd};
+use mvi_tensor::{Mask, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pseudo(m: usize, n: usize, seed: u64) -> Tensor {
+    Tensor::from_fn(&[m, n], |idx| {
+        let h = (idx[0] as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((idx[1] as u64).wrapping_mul(0xD1B54A32D192ED03))
+            .wrapping_add(seed);
+        ((h >> 32) % 1000) as f64 / 500.0 - 1.0
+    })
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let a = pseudo(64, 64, 1);
+    let b = pseudo(64, 64, 2);
+    c.bench_function("linalg/matmul_64x64", |bench| {
+        bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+
+    let tall = pseudo(200, 10, 3);
+    c.bench_function("linalg/svd_200x10", |bench| {
+        bench.iter(|| black_box(svd(black_box(&tall))))
+    });
+
+    c.bench_function("linalg/centroid_decomposition_200x10_k3", |bench| {
+        bench.iter(|| black_box(centroid_decomposition(black_box(&tall), 3)))
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    // One DeepMVI-shaped attention head: 64 windows, key width 64, value width 32.
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let wq = Linear::new_no_bias(&mut store, &mut rng, "q", 64, 64);
+    let wk = Linear::new_no_bias(&mut store, &mut rng, "k", 64, 64);
+    let wv = Linear::new_no_bias(&mut store, &mut rng, "v", 32, 32);
+    let qk_in = pseudo(64, 64, 7);
+    let y = pseudo(64, 32, 8);
+    let mask = Mask::trues(&[64, 64]);
+
+    c.bench_function("autograd/attention_head_fwd_64w", |bench| {
+        bench.iter_batched(
+            Graph::new,
+            |mut g| {
+                let qkv = g.constant(qk_in.clone());
+                let yv = g.constant(y.clone());
+                let q = wq.forward(&mut g, &store, qkv);
+                let k = wk.forward(&mut g, &store, qkv);
+                let v = wv.forward(&mut g, &store, yv);
+                let kt = g.transpose(k);
+                let scores = g.matmul(q, kt);
+                let attn = g.masked_softmax_rows(scores, &mask);
+                black_box(g.matmul(attn, v))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("autograd/attention_head_fwd_bwd_64w", |bench| {
+        bench.iter_batched(
+            Graph::new,
+            |mut g| {
+                let qkv = g.constant(qk_in.clone());
+                let yv = g.constant(y.clone());
+                let q = wq.forward(&mut g, &store, qkv);
+                let k = wk.forward(&mut g, &store, qkv);
+                let v = wv.forward(&mut g, &store, yv);
+                let kt = g.transpose(k);
+                let scores = g.matmul(q, kt);
+                let attn = g.masked_softmax_rows(scores, &mask);
+                let out = g.matmul(attn, v);
+                let s = g.sum(out);
+                black_box(g.backward(s))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets = bench_linalg, bench_attention
+);
+criterion_main!(substrates);

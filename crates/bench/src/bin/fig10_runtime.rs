@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: (a) absolute runtime of each method per dataset and
+//! (b) DeepMVI runtime vs series length.
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::{fig10a_runtime, fig10b_scaling};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let lengths: Vec<usize> = [1000usize, 5000, 10_000, 50_000]
+        .iter()
+        .map(|&l| ((l as f64 * args.exp.scale) as usize).max(256))
+        .collect();
+    args.emit(&[fig10a_runtime(&args.exp), fig10b_scaling(&args.exp, &lengths)]);
+}

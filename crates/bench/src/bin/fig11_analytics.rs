@@ -1,0 +1,10 @@
+//! Regenerates Figure 11: impact on downstream aggregate analytics —
+//! MAE(DropCell) − MAE(method) on dimension-averaged series.
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::fig11_analytics;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.emit(&[fig11_analytics(&args.exp)]);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4: per-timestep imputations (ground truth vs CDRec vs
+//! DynaMMO vs DeepMVI) on Electricity under MCAR and Blackout.
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::fig4_visual;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.emit(&fig4_visual(&args.exp));
+}

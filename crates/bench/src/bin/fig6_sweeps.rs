@@ -1,0 +1,10 @@
+//! Regenerates Figure 6: MAE sweeps (percent incomplete series; Blackout block
+//! size) on AirQ, Climate and Electricity.
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::fig6_sweeps;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.emit(&fig6_sweeps(&args.exp, &args.pct_points(), &args.blackout_sizes()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 7: the module ablation study (no temporal transformer, no
+//! context window, no kernel regression vs full DeepMVI).
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::fig7_ablation;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.emit(&fig7_ablation(&args.exp, &args.pct_points()));
+}

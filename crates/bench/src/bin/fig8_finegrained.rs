@@ -1,0 +1,11 @@
+//! Regenerates Figure 8: the fine-grained local signal's benefit vs missing block
+//! size on Climate.
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::fig8_finegrained;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: Vec<usize> = if args.exp.scale < 0.15 { vec![1, 5, 10] } else { vec![1, 2, 4, 6, 8, 10] };
+    args.emit(&[fig8_finegrained(&args.exp, &sizes)]);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 9: multidimensional kernel regression (DeepMVI) vs the
+//! flattened DeepMVI1D and conventional methods on JanataHack.
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::fig9_multidim;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.emit(&[fig9_multidim(&args.exp, &args.pct_points())]);
+}

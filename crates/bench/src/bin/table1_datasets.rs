@@ -1,0 +1,10 @@
+//! Regenerates Table 1: the dataset inventory with measured repetition and
+//! relatedness proxies.
+
+use mvi_bench::BenchArgs;
+use mvi_eval::experiments::table1_datasets;
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.emit(&[table1_datasets(&args.exp)]);
+}

@@ -1,0 +1,553 @@
+//! The DeepMVI network (§4): parameters and the per-window forward pass.
+
+use crate::config::{DeepMviConfig, KernelMode};
+use mvi_autograd::{positional_encoding, Embedding, Graph, Linear, ParamStore, VarId};
+use mvi_data::blocks::BlockSampler;
+use mvi_data::dataset::ObservedDataset;
+use mvi_tensor::{Mask, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-head attention parameters: queries/keys read the concatenated left+right
+/// window features (width `2p`), values read the window's own feature (width `p`).
+struct HeadParams {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+}
+
+/// Temporal-transformer parameters (Eq 7–14).
+struct TtParams {
+    /// Non-overlapping window convolution `W_f: [w, p]` (Eq 7).
+    wf: Linear,
+    heads: Vec<HeadParams>,
+    /// Decoder feed-forward `W_d1, W_d2` (Eq 13).
+    d1: Linear,
+    d2: Linear,
+    /// Per-position decoder `W_d: [p, w·p]` (Eq 14).
+    dec: Linear,
+}
+
+/// Kernel-regression parameters: one member-embedding table per dimension (§4.2).
+struct KrParams {
+    tables: Vec<Embedding>,
+    gamma: f64,
+}
+
+/// A synthetic missing block applied during training (§3): a time range hidden on
+/// the target series plus, per dimension, the sibling members hidden over the same
+/// range (so the kernel regression trains under the real missing pattern).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SynthMask {
+    pub range: (usize, usize),
+    pub masked_members: Vec<Vec<usize>>,
+}
+
+impl SynthMask {
+    fn covers(&self, t: usize) -> bool {
+        t >= self.range.0 && t < self.range.1
+    }
+}
+
+/// One forward-pass work item: predict `positions` of window `window_j` in series
+/// `s`, optionally under a synthetic training mask.
+pub(crate) struct WindowTask<'a> {
+    pub obs: &'a ObservedDataset,
+    pub s: usize,
+    pub window_j: usize,
+    pub positions: Vec<usize>,
+    pub synth: Option<SynthMask>,
+}
+
+impl WindowTask<'_> {
+    /// Effective availability of the target series at `t`: observed and not hidden
+    /// by the synthetic mask.
+    fn avail(&self, t: usize) -> bool {
+        self.obs.available.series(self.s)[t]
+            && !self.synth.as_ref().is_some_and(|m| m.covers(t))
+    }
+
+    /// Effective availability of a sibling (along `dim`, member `member`, series id
+    /// `sib`) at `t`.
+    fn sibling_avail(&self, dim: usize, member: usize, sib: usize, t: usize) -> bool {
+        if !self.obs.available.series(sib)[t] {
+            return false;
+        }
+        match &self.synth {
+            Some(m) => !(m.covers(t) && m.masked_members[dim].contains(&member)),
+            None => true,
+        }
+    }
+}
+
+/// The DeepMVI model: parameter store plus the forward pass. Construct with
+/// [`DeepMviModel::new`], train with [`DeepMviModel::fit`] and fill missing values
+/// with [`DeepMviModel::impute`] (`fit`/`impute` live in [`crate::train`]).
+pub struct DeepMviModel {
+    pub(crate) cfg: DeepMviConfig,
+    /// Resolved window size `w`.
+    pub(crate) w: usize,
+    pub(crate) t_len: usize,
+    pub(crate) n_windows: usize,
+    pub(crate) series_shape: Vec<usize>,
+    pub(crate) store: ParamStore,
+    tt: Option<TtParams>,
+    kr: Option<KrParams>,
+    out: Linear,
+    pub(crate) sampler: BlockSampler,
+    /// Shared imputation std-dev estimated from validation residuals (§4: the mean
+    /// parameterizes a Gaussian with shared variance). Set by `fit`.
+    pub(crate) shared_std: Option<f64>,
+}
+
+impl DeepMviModel {
+    /// Builds parameters sized for `obs`, resolving the window size from the mean
+    /// observed missing-block length (§4.3).
+    pub fn new(cfg: &DeepMviConfig, obs: &ObservedDataset) -> Self {
+        let sampler = BlockSampler::from_observed(obs);
+        let w = cfg.resolve_window(sampler.mean_t_len());
+        let t_len = obs.t_len();
+        let n_windows = t_len.div_ceil(w);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let p = cfg.p;
+
+        let tt = cfg.use_temporal_transformer.then(|| TtParams {
+            wf: Linear::new(&mut store, &mut rng, "tt.wf", w, p),
+            heads: (0..cfg.n_heads)
+                .map(|h| HeadParams {
+                    wq: Linear::new(&mut store, &mut rng, &format!("tt.h{h}.q"), 2 * p, 2 * p),
+                    wk: Linear::new(&mut store, &mut rng, &format!("tt.h{h}.k"), 2 * p, 2 * p),
+                    wv: Linear::new(&mut store, &mut rng, &format!("tt.h{h}.v"), p, p),
+                })
+                .collect(),
+            d1: Linear::new(&mut store, &mut rng, "tt.d1", cfg.n_heads * p, 2 * p),
+            d2: Linear::new(&mut store, &mut rng, "tt.d2", 2 * p, p),
+            dec: Linear::new(&mut store, &mut rng, "tt.dec", p, w * p),
+        });
+
+        let kr = (cfg.kernel_mode != KernelMode::Off).then(|| {
+            // The flattened ablation doubles the embedding width so the single
+            // table has the same total capacity as the per-dimension tables (§5.5.4).
+            let width = if cfg.kernel_mode == KernelMode::Flattened {
+                2 * cfg.embed_dim
+            } else {
+                cfg.embed_dim
+            };
+            KrParams {
+                tables: obs
+                    .dims
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| {
+                        Embedding::new(&mut store, &mut rng, &format!("kr.dim{i}"), d.len(), width)
+                    })
+                    .collect(),
+                gamma: cfg.kr_gamma,
+            }
+        });
+
+        let feat_dim = cfg.use_temporal_transformer as usize * p
+            + cfg.use_fine_grained as usize
+            + if cfg.kernel_mode == KernelMode::Off { 0 } else { 3 * obs.dims.len() };
+        let out = Linear::new(&mut store, &mut rng, "out", feat_dim.max(1), 1);
+        // Warm-start the output head on the two directly-interpretable estimators —
+        // the fine-grained local mean and each dimension's kernel-weighted sibling
+        // mean U — so early training refines a sensible imputation instead of
+        // spending its budget discovering the linear readout.
+        {
+            let wout = store.value_mut(out.w);
+            let mut offset = cfg.use_temporal_transformer as usize * p;
+            if cfg.use_fine_grained {
+                wout.data_mut()[offset] = 0.5;
+                offset += 1;
+            }
+            if cfg.kernel_mode != KernelMode::Off {
+                for dim in 0..obs.dims.len() {
+                    wout.data_mut()[offset + 3 * dim] = 0.4; // the U component
+                }
+            }
+        }
+
+        Self {
+            cfg: cfg.clone(),
+            w,
+            t_len,
+            n_windows,
+            series_shape: obs.series_shape(),
+            store,
+            tt,
+            kr,
+            out,
+            sampler,
+            shared_std: None,
+        }
+    }
+
+    /// Exports the trained weights for persistence (serde-serializable). Rebuild a
+    /// model with the *same configuration and dataset shape* and restore with
+    /// [`DeepMviModel::import_params`].
+    pub fn export_params(&self) -> mvi_autograd::params::StoreSnapshot {
+        self.store.export()
+    }
+
+    /// Restores weights exported by [`DeepMviModel::export_params`].
+    ///
+    /// # Errors
+    /// Propagates any name/shape mismatch from the parameter store.
+    pub fn import_params(
+        &mut self,
+        snap: &mvi_autograd::params::StoreSnapshot,
+    ) -> Result<(), String> {
+        self.store.import(snap)
+    }
+
+    /// The shared Gaussian std-dev of the imputation distribution (§4), estimated
+    /// from validation residuals during [`DeepMviModel::fit`]. `None` before
+    /// training.
+    pub fn shared_std(&self) -> Option<f64> {
+        self.shared_std
+    }
+
+    /// Number of trainable scalars (useful for reports).
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Kernel similarity `K(a, b) = exp(-γ‖E[a] − E[b]‖²)` between two members of
+    /// dimension `dim` under the current embeddings (Eq 17) — the model's learned
+    /// notion of relatedness, useful for inspection and tests.
+    pub fn kernel_similarity(&self, dim: usize, a: usize, b: usize) -> f64 {
+        let Some(kr) = &self.kr else { return 0.0 };
+        let table = self.store.value(kr.tables[dim].table);
+        let d2: f64 = table
+            .row(a)
+            .iter()
+            .zip(table.row(b))
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum();
+        (-kr.gamma * d2).exp()
+    }
+
+    /// Resolved window size `w`.
+    pub fn window(&self) -> usize {
+        self.w
+    }
+
+    /// Forward pass for one window task against an explicit parameter store view
+    /// (shared read-only across worker threads). Returns one `[1]`-shaped
+    /// prediction node per requested position.
+    pub(crate) fn forward_positions(
+        &self,
+        store: &ParamStore,
+        g: &mut Graph,
+        task: &WindowTask<'_>,
+    ) -> Vec<VarId> {
+        let p = self.cfg.p;
+        let w = self.w;
+        let j0 = task.window_j;
+
+        // Context range: `ctx_windows` windows centred on the target.
+        let ctx = self.cfg.ctx_windows.min(self.n_windows).max(1);
+        let half = ctx / 2;
+        let j_start = j0.saturating_sub(half).min(self.n_windows - ctx);
+        let jc = j0 - j_start; // target window's row inside the context
+
+        // Per-position hidden vectors from the temporal transformer.
+        let tt_rows: Option<VarId> = self.tt.as_ref().map(|tt| {
+            let series_vals = task.obs.values.series(task.s);
+            let mut xw = Tensor::zeros(&[ctx, w]);
+            let mut kmask_cols = vec![true; ctx];
+            for j in 0..ctx {
+                let wj = j_start + j;
+                for o in 0..w {
+                    let t = wj * w + o;
+                    if t < self.t_len && task.avail(t) {
+                        xw.set_m(j, o, series_vals[t]);
+                    } else {
+                        kmask_cols[j] = false; // Eq 9: any missing value voids the key
+                    }
+                }
+            }
+            let mask = {
+                let mut m = Mask::falses(&[ctx, ctx]);
+                for row in 0..ctx {
+                    for (col, &ok) in kmask_cols.iter().enumerate() {
+                        if ok {
+                            m.set(&[row, col], true);
+                        }
+                    }
+                }
+                m
+            };
+
+            let xv = g.constant(xw);
+            let y = tt.wf.forward(g, store, xv); // Eq 7: [ctx, p]
+            let yprev = g.shift_rows(y, 1);
+            let ynext = g.shift_rows(y, -1);
+            let neighbours = g.concat_cols(&[yprev, ynext]); // [ctx, 2p]
+            let pe = {
+                let abs_positions: Vec<usize> = (j_start..j_start + ctx).collect();
+                g.constant(positional_encoding(&abs_positions, 2 * p))
+            };
+            // Fig 7's "No Context Window" ablation: keys/queries see only the
+            // positional encoding, exactly dropping the contextual information.
+            let qk_in = if self.cfg.use_context_window {
+                g.add(neighbours, pe)
+            } else {
+                pe
+            };
+
+            let scale = 1.0 / ((2 * p) as f64).sqrt();
+            let mut head_outs = Vec::with_capacity(tt.heads.len());
+            for head in &tt.heads {
+                let q = head.wq.forward(g, store, qk_in); // Eq 8
+                let k = head.wk.forward(g, store, qk_in); // Eq 9 (masking via softmax)
+                let v = head.wv.forward(g, store, y); // Eq 10
+                let kt = g.transpose(k);
+                let scores_raw = g.matmul(q, kt);
+                let scores = g.scale(scores_raw, scale);
+                let attn = g.masked_softmax_rows(scores, &mask); // Eq 11
+                head_outs.push(g.matmul(attn, v));
+            }
+            let h = g.concat_cols(&head_outs); // Eq 12: [ctx, n_heads·p]
+            let h = g.relu(h);
+            let h = tt.d1.forward(g, store, h);
+            let h = g.relu(h);
+            let h = tt.d2.forward(g, store, h);
+            let hff = g.relu(h); // Eq 13
+            let dec = tt.dec.forward(g, store, hff);
+            let dec = g.relu(dec); // Eq 14: [ctx, w·p]
+            let target_row = g.row(dec, jc); // [w·p]
+            g.reshape(target_row, &[w, p])
+        });
+
+        // Assemble per-position predictions.
+        let mut preds = Vec::with_capacity(task.positions.len());
+        for &t in &task.positions {
+            debug_assert_eq!(t / w, j0, "position {t} not inside window {j0}");
+            let mut parts: Vec<VarId> = Vec::with_capacity(3);
+            if let Some(rows) = tt_rows {
+                parts.push(g.row(rows, t - j0 * w));
+            }
+            // Fine-grained local signal (Eq 15 / §4.1.1): masked mean over the
+            // immediate ±w neighbourhood of t. (A window-local mean would be
+            // identically zero whenever the missing block covers the whole window,
+            // which is the common case for block misses.)
+            if self.cfg.use_fine_grained {
+                let series_vals = task.obs.values.series(task.s);
+                let lo = t.saturating_sub(w);
+                let hi = (t + w + 1).min(self.t_len);
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for tt in lo..hi {
+                    if task.avail(tt) {
+                        sum += series_vals[tt];
+                        count += 1;
+                    }
+                }
+                let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+                parts.push(g.scalar(mean));
+            }
+            if let Some(kr) = &self.kr {
+                parts.push(self.kernel_regression(store, g, kr, task, t));
+            }
+            let feat = if parts.len() == 1 { parts[0] } else { g.concat1d(&parts) };
+            preds.push(self.out.forward_vec(g, store, feat)); // Eq 6
+        }
+        preds
+    }
+
+    /// The kernel-regression features `[U, V, W]` per dimension at time `t`
+    /// (Eq 17–21), concatenated into a `[3n]` vector.
+    fn kernel_regression(
+        &self,
+        store: &ParamStore,
+        g: &mut Graph,
+        kr: &KrParams,
+        task: &WindowTask<'_>,
+        t: usize,
+    ) -> VarId {
+        let k_index = mvi_tensor::shape::unflatten(&self.series_shape, task.s);
+        let mut parts = Vec::with_capacity(3 * self.series_shape.len());
+        for (dim, &extent) in self.series_shape.iter().enumerate() {
+            // Available siblings along this dimension with their values at t.
+            let mut members: Vec<usize> = Vec::new();
+            let mut values: Vec<f64> = Vec::new();
+            let mut kk = k_index.clone();
+            for m in 0..extent {
+                if m == k_index[dim] {
+                    continue;
+                }
+                kk[dim] = m;
+                let sib = mvi_tensor::shape::flat_index(&self.series_shape, &kk);
+                if task.sibling_avail(dim, m, sib, t) {
+                    members.push(m);
+                    values.push(task.obs.values.series(sib)[t]);
+                }
+            }
+            kk[dim] = k_index[dim];
+
+            if members.is_empty() {
+                // No cross-series signal at t (e.g. Blackout): zero features.
+                let z = g.scalar(0.0);
+                parts.extend([z, z, z]);
+                continue;
+            }
+
+            // §4.2 "top L" pre-selection for large dimensions, by current kernel
+            // similarity (computed outside the graph; selection is not differentiated).
+            if members.len() > self.cfg.max_siblings {
+                let table = store.value(kr.tables[dim].table);
+                let own = table.row(k_index[dim]).to_vec();
+                let mut order: Vec<usize> = (0..members.len()).collect();
+                let dist = |m: usize| -> f64 {
+                    table.row(m).iter().zip(&own).map(|(&a, &b)| (a - b) * (a - b)).sum()
+                };
+                order.sort_by(|&a, &b| {
+                    dist(members[a]).partial_cmp(&dist(members[b])).unwrap()
+                });
+                order.truncate(self.cfg.max_siblings);
+                members = order.iter().map(|&i| members[i]).collect();
+                values = order.iter().map(|&i| values[i]).collect();
+            }
+
+            // Kernel weights K(k_i, k'_i) = exp(-γ‖E[k_i] − E[k'_i]‖²) (Eq 17).
+            let own_e = kr.tables[dim].lookup(g, store, &[k_index[dim]]);
+            let own_vec = {
+                let width = g.shape(own_e)[1];
+                g.reshape(own_e, &[width])
+            };
+            let sib_e = kr.tables[dim].lookup(g, store, &members);
+            let diff = g.sub_rowvec(sib_e, own_vec);
+            let sq = g.square(diff);
+            let dists = g.sum_axis1(sq);
+            let scaled = g.scale(dists, -kr.gamma);
+            let sim = g.exp(scaled);
+
+            // U: kernel-weighted mean of sibling values (Eq 18).
+            let vals = g.constant_slice(&values);
+            let num = g.dot(sim, vals);
+            let wsum = g.sum(sim); // Eq 19
+            let den = g.add_scalar(wsum, 1e-9);
+            let u = g.div(num, den);
+            // V: variance of the sibling values (Eq 20) — data-only, no gradient.
+            let var = {
+                let n = values.len() as f64;
+                let mean = values.iter().sum::<f64>() / n;
+                values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
+            };
+            let v = g.scalar(var);
+            parts.extend([u, v, wsum]); // Eq 21
+        }
+        g.concat1d(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvi_data::dataset::{Dataset, DimSpec};
+    use mvi_data::scenarios::Scenario;
+    use mvi_tensor::Tensor;
+
+    fn small_obs() -> ObservedDataset {
+        let ds = Dataset::new(
+            "toy",
+            vec![DimSpec::indexed("series", "s", 4)],
+            Tensor::from_fn(&[4, 120], |idx| ((idx[1] as f64) / 9.0 + idx[0] as f64).sin()),
+        );
+        Scenario::mcar(1.0).apply(&ds, 3).observed()
+    }
+
+    #[test]
+    fn model_builds_with_paper_defaults() {
+        let obs = small_obs();
+        let model = DeepMviModel::new(&DeepMviConfig::default(), &obs);
+        assert_eq!(model.window(), 10);
+        assert!(model.num_parameters() > 1000);
+    }
+
+    #[test]
+    fn forward_produces_one_prediction_per_position() {
+        let obs = small_obs();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let task = WindowTask {
+            obs: &obs,
+            s: 1,
+            window_j: 4,
+            positions: vec![40, 43, 47],
+            synth: None,
+        };
+        let mut g = Graph::new();
+        let preds = model.forward_positions(&model.store, &mut g, &task);
+        assert_eq!(preds.len(), 3);
+        for p in preds {
+            assert_eq!(g.shape(p), &[1]);
+            assert!(g.value(p).all_finite());
+        }
+    }
+
+    #[test]
+    fn synthetic_mask_changes_the_forward_inputs() {
+        let obs = small_obs();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let base = WindowTask { obs: &obs, s: 0, window_j: 3, positions: vec![32], synth: None };
+        let masked = WindowTask {
+            obs: &obs,
+            s: 0,
+            window_j: 3,
+            positions: vec![32],
+            synth: Some(SynthMask { range: (30, 40), masked_members: vec![vec![]] }),
+        };
+        let mut g1 = Graph::new();
+        let p1 = model.forward_positions(&model.store, &mut g1, &base)[0];
+        let mut g2 = Graph::new();
+        let p2 = model.forward_positions(&model.store, &mut g2, &masked)[0];
+        // Hiding the target window must change the prediction inputs (the fine
+        // grained mean and attention mask change).
+        assert_ne!(g1.value(p1).at(0), g2.value(p2).at(0));
+    }
+
+    #[test]
+    fn ablations_shrink_the_feature_vector() {
+        let obs = small_obs();
+        let full = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let no_tt = DeepMviModel::new(
+            &DeepMviConfig { use_temporal_transformer: false, ..DeepMviConfig::tiny() },
+            &obs,
+        );
+        let no_kr = DeepMviModel::new(
+            &DeepMviConfig { kernel_mode: KernelMode::Off, ..DeepMviConfig::tiny() },
+            &obs,
+        );
+        assert!(no_tt.num_parameters() < full.num_parameters());
+        assert!(no_kr.num_parameters() < full.num_parameters());
+    }
+
+    #[test]
+    fn gradients_flow_to_embeddings_and_transformer() {
+        let obs = small_obs();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let task = WindowTask {
+            obs: &obs,
+            s: 2,
+            window_j: 5,
+            positions: vec![52],
+            synth: Some(SynthMask { range: (50, 60), masked_members: vec![vec![1]] }),
+        };
+        let mut g = Graph::new();
+        let pred = model.forward_positions(&model.store, &mut g, &task)[0];
+        let loss = g.mse(pred, &Tensor::scalar(0.7));
+        let grads = g.backward(loss);
+        let pgrads = g.param_grads(&grads);
+        // Every module must receive some gradient signal.
+        let touched: std::collections::HashSet<String> =
+            pgrads.iter().map(|(pid, _)| model.store.name(*pid).to_string()).collect();
+        assert!(touched.iter().any(|n| n.starts_with("tt.")), "no transformer grads");
+        assert!(touched.iter().any(|n| n.starts_with("kr.")), "no embedding grads");
+        assert!(touched.iter().any(|n| n.starts_with("out")), "no output grads");
+        let total: f64 = pgrads.iter().map(|(_, g)| g.max_abs()).sum();
+        assert!(total > 0.0, "all gradients vanished");
+    }
+}

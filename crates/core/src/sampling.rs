@@ -1,0 +1,165 @@
+//! Training-instance sampling (§3): synthetic missing blocks placed around
+//! observed indices, with shapes drawn from the dataset's own missing-block
+//! distribution so that training inputs are identically distributed to the real
+//! imputation queries.
+
+use crate::model::{DeepMviModel, SynthMask};
+use mvi_data::dataset::ObservedDataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An owned training instance: one target window with a synthetic missing block
+/// and the ground-truth values at the loss positions.
+#[derive(Clone, Debug)]
+pub(crate) struct TrainInstance {
+    pub s: usize,
+    pub window_j: usize,
+    pub positions: Vec<usize>,
+    pub targets: Vec<f64>,
+    pub synth: SynthMask,
+}
+
+/// Samples one training instance, or `None` if no usable observed index was found
+/// (pathologically sparse data).
+pub(crate) fn sample_instance(
+    model: &DeepMviModel,
+    obs: &ObservedDataset,
+    rng: &mut StdRng,
+) -> Option<TrainInstance> {
+    let n = obs.n_series();
+    let t_len = obs.t_len();
+    for _attempt in 0..64 {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..t_len);
+        if !obs.available.series(s)[t] {
+            continue;
+        }
+        // Shape from the empirical block distribution (§3), clamped so the series
+        // keeps context on at least one side.
+        let shape = model.sampler.sample(rng);
+        let len = shape.t_len.clamp(1, (t_len / 2).max(1));
+        let lo = (t + 1).saturating_sub(len);
+        let hi = t.min(t_len - len);
+        if lo > hi {
+            continue;
+        }
+        let start = rng.gen_range(lo..=hi);
+        let range = (start, start + len);
+
+        // Sibling members hidden over the same range, per dimension (the cuboid's
+        // extent along each K_i).
+        let series_shape = obs.series_shape();
+        let k = obs.series_multi_index(s);
+        let masked_members: Vec<Vec<usize>> = series_shape
+            .iter()
+            .enumerate()
+            .map(|(dim, &extent)| {
+                let want = shape.dim_counts.get(dim).copied().unwrap_or(1).clamp(1, extent);
+                let mut others: Vec<usize> = (0..extent).filter(|&m| m != k[dim]).collect();
+                others.shuffle(rng);
+                others.truncate(want - 1);
+                others
+            })
+            .collect();
+
+        // Loss positions: originally-observed entries of the target window hidden
+        // by the synthetic block.
+        let w = model.w;
+        let window_j = t / w;
+        let positions: Vec<usize> = (window_j * w..(window_j + 1) * w)
+            .filter(|&tp| {
+                tp < t_len && tp >= range.0 && tp < range.1 && obs.available.series(s)[tp]
+            })
+            .collect();
+        if positions.is_empty() {
+            continue;
+        }
+        let targets: Vec<f64> = positions.iter().map(|&tp| obs.values.series(s)[tp]).collect();
+        return Some(TrainInstance {
+            s,
+            window_j,
+            positions,
+            targets,
+            synth: SynthMask { range, masked_members },
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeepMviConfig;
+    use mvi_data::dataset::{Dataset, DimSpec};
+    use mvi_data::generators::{generate_with_shape, DatasetName};
+    use mvi_data::scenarios::Scenario;
+    use mvi_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn obs_1d() -> ObservedDataset {
+        let ds = generate_with_shape(DatasetName::AirQ, &[5], 300, 2);
+        Scenario::mcar(1.0).apply(&ds, 4).observed()
+    }
+
+    #[test]
+    fn instances_cover_the_sampled_index_and_are_observed() {
+        let obs = obs_1d();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let inst = sample_instance(&model, &obs, &mut rng).expect("sampling failed");
+            assert!(!inst.positions.is_empty());
+            for (&tp, &target) in inst.positions.iter().zip(&inst.targets) {
+                assert!(obs.available.series(inst.s)[tp], "loss position not observed");
+                assert!(tp >= inst.synth.range.0 && tp < inst.synth.range.1);
+                assert_eq!(tp / model.window(), inst.window_j);
+                assert_eq!(target, obs.values.series(inst.s)[tp]);
+            }
+            assert!(inst.synth.range.1 <= obs.t_len());
+        }
+    }
+
+    #[test]
+    fn block_lengths_follow_the_observed_distribution() {
+        // MCAR blocks have constant length 10 => sampled synthetic ranges must be
+        // multiples of 10 (grid-merged runs allowed), clamped to T/2.
+        let obs = obs_1d();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let inst = sample_instance(&model, &obs, &mut rng).unwrap();
+            let len = inst.synth.range.1 - inst.synth.range.0;
+            assert!(len % 10 == 0 || len == obs.t_len() / 2, "len {len}");
+        }
+    }
+
+    #[test]
+    fn multidim_blackout_masks_all_siblings() {
+        let dims = vec![DimSpec::indexed("a", "a", 3), DimSpec::indexed("b", "b", 4)];
+        let values = Tensor::from_fn(&[3, 4, 200], |idx| (idx[2] as f64 / 7.0).sin());
+        let ds = Dataset::new("t", dims, values);
+        let inst = Scenario::Blackout { block_len: 20 }.apply(&ds, 5);
+        let obs = inst.observed();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ti = sample_instance(&model, &obs, &mut rng).unwrap();
+        // Blackout blocks span every member along both dimensions, so the sampled
+        // synthetic block must mask all siblings: 2 others along dim0, 3 along dim1.
+        assert_eq!(ti.synth.masked_members[0].len(), 2);
+        assert_eq!(ti.synth.masked_members[1].len(), 3);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let obs = obs_1d();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = sample_instance(&model, &obs, &mut r1).unwrap();
+        let b = sample_instance(&model, &obs, &mut r2).unwrap();
+        assert_eq!(a.s, b.s);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.synth.range, b.synth.range);
+    }
+}

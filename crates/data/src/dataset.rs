@@ -1,0 +1,275 @@
+//! The multidimensional time-series dataset model of §2.1.
+
+use mvi_tensor::{shape, Mask, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// One non-time dimension `K_i`: a name plus its discrete member set.
+///
+/// The paper allows members to be categorical strings or real-valued vectors; the
+/// kernel-regression module only ever consumes members through a learned embedding
+/// indexed by member *position*, so string labels suffice here.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimSpec {
+    /// Dimension name (e.g. `"store"`, `"item"`).
+    pub name: String,
+    /// Member labels; `members.len()` is the extent `|K_i|`.
+    pub members: Vec<String>,
+}
+
+impl DimSpec {
+    /// Builds a dimension with `n` auto-named members (`prefix0`, `prefix1`, ...).
+    pub fn indexed(name: &str, prefix: &str, n: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            members: (0..n).map(|i| format!("{prefix}{i}")).collect(),
+        }
+    }
+
+    /// Extent of this dimension.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for degenerate dimensions with no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// A complete (ground-truth) multidimensional time-series dataset.
+///
+/// Values have shape `(K_1, ..., K_n, T)`; time is the last axis so every series is
+/// contiguous. A "series" is one combination `k = (k_1, ..., k_n)` of members.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name (matches Table 1, e.g. `"Climate"`).
+    pub name: String,
+    /// The `n` non-time dimensions.
+    pub dims: Vec<DimSpec>,
+    /// Ground-truth tensor, shape `(|K_1|, ..., |K_n|, T)`.
+    pub values: Tensor,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating the tensor shape against the dimensions.
+    pub fn new(name: impl Into<String>, dims: Vec<DimSpec>, values: Tensor) -> Self {
+        let expected: Vec<usize> = dims.iter().map(DimSpec::len).collect();
+        let (series_shape, _) = shape::split_time(values.shape());
+        assert_eq!(series_shape, &expected[..], "tensor shape does not match dims");
+        Self { name: name.into(), dims, values }
+    }
+
+    /// Number of series (`Π |K_i|`).
+    pub fn n_series(&self) -> usize {
+        self.values.n_series()
+    }
+
+    /// Series length `T`.
+    pub fn t_len(&self) -> usize {
+        self.values.t_len()
+    }
+
+    /// Shape of the non-time axes.
+    pub fn series_shape(&self) -> Vec<usize> {
+        self.dims.iter().map(DimSpec::len).collect()
+    }
+
+    /// Multi-index `k` of series `s` (row-major over the non-time axes).
+    pub fn series_multi_index(&self, s: usize) -> Vec<usize> {
+        shape::unflatten(&self.series_shape(), s)
+    }
+
+    /// Series id for the multi-index `k`.
+    pub fn series_id(&self, k: &[usize]) -> usize {
+        shape::flat_index(&self.series_shape(), k)
+    }
+
+    /// Sibling series of `s` along dimension `dim`: all series whose multi-index
+    /// differs from `s` *only* at `dim` (Eq 16). Does not include `s` itself.
+    pub fn siblings(&self, s: usize, dim: usize) -> Vec<usize> {
+        let mut k = self.series_multi_index(s);
+        let own = k[dim];
+        let extent = self.dims[dim].len();
+        let mut out = Vec::with_capacity(extent - 1);
+        for m in 0..extent {
+            if m == own {
+                continue;
+            }
+            k[dim] = m;
+            out.push(self.series_id(&k));
+        }
+        out
+    }
+
+    /// Hides the entries of `missing` to form an evaluation instance.
+    pub fn with_missing(self, missing: Mask) -> Instance {
+        assert_eq!(missing.shape(), self.values.shape(), "missing mask shape mismatch");
+        Instance { truth: self, missing }
+    }
+}
+
+/// What an imputation algorithm sees: values with missing entries zeroed, plus the
+/// availability mask `A` (true = observed).
+#[derive(Clone, Debug)]
+pub struct ObservedDataset {
+    /// Dataset name.
+    pub name: String,
+    /// The non-time dimensions (needed by multidimensional methods).
+    pub dims: Vec<DimSpec>,
+    /// Values with missing entries set to `0.0`.
+    pub values: Tensor,
+    /// Availability mask `A`: `true` where the value is observed.
+    pub available: Mask,
+}
+
+impl ObservedDataset {
+    /// Number of series.
+    pub fn n_series(&self) -> usize {
+        self.values.n_series()
+    }
+
+    /// Series length `T`.
+    pub fn t_len(&self) -> usize {
+        self.values.t_len()
+    }
+
+    /// Shape of the non-time axes.
+    pub fn series_shape(&self) -> Vec<usize> {
+        self.dims.iter().map(DimSpec::len).collect()
+    }
+
+    /// Multi-index of series `s`.
+    pub fn series_multi_index(&self, s: usize) -> Vec<usize> {
+        shape::unflatten(&self.series_shape(), s)
+    }
+
+    /// Sibling series of `s` along `dim` (Eq 16), excluding `s`.
+    pub fn siblings(&self, s: usize, dim: usize) -> Vec<usize> {
+        let shape = self.series_shape();
+        let mut k = shape::unflatten(&shape, s);
+        let own = k[dim];
+        let mut out = Vec::with_capacity(shape[dim] - 1);
+        for m in 0..shape[dim] {
+            if m == own {
+                continue;
+            }
+            k[dim] = m;
+            out.push(shape::flat_index(&shape, &k));
+        }
+        out
+    }
+
+    /// Flattens an `n`-dimensional observed dataset into a 1-dimensional one (all
+    /// series under a single synthetic dimension). Used by methods without a
+    /// multidimensional model and by the DeepMVI1D ablation of §5.5.4.
+    pub fn flattened(&self) -> ObservedDataset {
+        ObservedDataset {
+            name: format!("{}-flat", self.name),
+            dims: vec![DimSpec::indexed("series", "s", self.n_series())],
+            values: self
+                .values
+                .clone()
+                .reshape(&[self.n_series(), self.t_len()]),
+            available: {
+                let m = self.available.clone();
+                Mask::from_vec(vec![self.n_series(), self.t_len()], m.data().to_vec())
+            },
+        }
+    }
+}
+
+/// A ground-truth dataset plus the mask of entries hidden from the algorithms.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Complete dataset (the evaluation oracle).
+    pub truth: Dataset,
+    /// Missing mask `M`: `true` where the value is hidden.
+    pub missing: Mask,
+}
+
+impl Instance {
+    /// The algorithm-facing view: values zeroed at missing entries, `A = ¬M`.
+    pub fn observed(&self) -> ObservedDataset {
+        let available = self.missing.complement();
+        let mut values = self.truth.values.clone();
+        for (v, &m) in values.data_mut().iter_mut().zip(self.missing.data()) {
+            if m {
+                *v = 0.0;
+            }
+        }
+        ObservedDataset {
+            name: self.truth.name.clone(),
+            dims: self.truth.dims.clone(),
+            values,
+            available,
+        }
+    }
+
+    /// Fraction of entries hidden.
+    pub fn missing_fraction(&self) -> f64 {
+        self.missing.fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let dims = vec![DimSpec::indexed("store", "st", 2), DimSpec::indexed("item", "it", 3)];
+        let values = Tensor::from_fn(&[2, 3, 4], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64);
+        Dataset::new("toy", dims, values)
+    }
+
+    #[test]
+    fn series_indexing_roundtrip() {
+        let ds = toy();
+        assert_eq!(ds.n_series(), 6);
+        for s in 0..6 {
+            let k = ds.series_multi_index(s);
+            assert_eq!(ds.series_id(&k), s);
+        }
+    }
+
+    #[test]
+    fn siblings_differ_in_exactly_one_dim() {
+        let ds = toy();
+        let s = ds.series_id(&[1, 2]);
+        // Along the store dimension: only (0,2).
+        assert_eq!(ds.siblings(s, 0), vec![ds.series_id(&[0, 2])]);
+        // Along the item dimension: (1,0) and (1,1).
+        assert_eq!(ds.siblings(s, 1), vec![ds.series_id(&[1, 0]), ds.series_id(&[1, 1])]);
+    }
+
+    #[test]
+    fn observed_zeroes_missing_and_complements_mask() {
+        let ds = toy();
+        let mut missing = Mask::falses(&[2, 3, 4]);
+        missing.set(&[0, 0, 1], true);
+        let inst = ds.with_missing(missing);
+        let obs = inst.observed();
+        assert_eq!(obs.values.get(&[0, 0, 1]), 0.0);
+        assert!(!obs.available.get(&[0, 0, 1]));
+        assert!(obs.available.get(&[0, 0, 0]));
+        assert_eq!(obs.values.get(&[1, 2, 3]), 123.0);
+    }
+
+    #[test]
+    fn flattened_preserves_layout() {
+        let ds = toy();
+        let inst = ds.with_missing(Mask::falses(&[2, 3, 4]));
+        let obs = inst.observed();
+        let flat = obs.flattened();
+        assert_eq!(flat.dims.len(), 1);
+        assert_eq!(flat.n_series(), 6);
+        // Series 4 of the flat view equals series (1,1) of the original.
+        assert_eq!(flat.values.series(4), obs.values.series(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dims")]
+    fn dataset_shape_validated() {
+        let dims = vec![DimSpec::indexed("series", "s", 3)];
+        let _ = Dataset::new("bad", dims, Tensor::zeros(&[2, 5]));
+    }
+}

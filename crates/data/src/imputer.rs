@@ -1,0 +1,160 @@
+//! The uniform interface every imputation method in the workspace implements, plus
+//! two trivial reference imputers used as sanity floors in tests and analytics.
+
+use crate::dataset::ObservedDataset;
+use mvi_tensor::Tensor;
+
+/// A missing-value imputation algorithm.
+///
+/// `impute` receives the observed view (values zeroed at missing entries plus the
+/// availability mask) and must return a complete tensor of the same shape. Observed
+/// entries may be returned unchanged or denoised; evaluation only reads the missing
+/// positions (Eq 1).
+pub trait Imputer {
+    /// Display name used in report tables (matches the paper's method names).
+    fn name(&self) -> String;
+
+    /// Fills in every missing entry of `obs`.
+    fn impute(&self, obs: &ObservedDataset) -> Tensor;
+}
+
+/// Imputes each series' observed mean — the weakest sensible reference.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanImputer;
+
+impl Imputer for MeanImputer {
+    fn name(&self) -> String {
+        "MeanImpute".to_string()
+    }
+
+    fn impute(&self, obs: &ObservedDataset) -> Tensor {
+        let mut out = obs.values.clone();
+        let t = obs.t_len();
+        for s in 0..obs.n_series() {
+            let avail = obs.available.series(s);
+            let vals = &obs.values.series(s).to_vec();
+            let (mut sum, mut count) = (0.0, 0usize);
+            for (v, &a) in vals.iter().zip(avail) {
+                if a {
+                    sum += v;
+                    count += 1;
+                }
+            }
+            let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+            let series = out.series_mut(s);
+            for tt in 0..t {
+                if !avail[tt] {
+                    series[tt] = mean;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-series linear interpolation with flat extrapolation at the edges — the
+/// initialization CDRec and the SVD family use, exposed as a standalone method.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearInterpImputer;
+
+/// Linearly interpolates the missing entries of one series in place.
+///
+/// Interior gaps interpolate between the flanking observed values; leading/trailing
+/// gaps copy the nearest observed value; fully-missing series become zero.
+pub fn interpolate_series(values: &mut [f64], available: &[bool]) {
+    let t = values.len();
+    let obs: Vec<usize> = (0..t).filter(|&i| available[i]).collect();
+    if obs.is_empty() {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    // Leading gap.
+    for i in 0..obs[0] {
+        values[i] = values[obs[0]];
+    }
+    // Trailing gap.
+    for i in (obs[obs.len() - 1] + 1)..t {
+        values[i] = values[obs[obs.len() - 1]];
+    }
+    // Interior gaps.
+    for w in obs.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi > lo + 1 {
+            let (vlo, vhi) = (values[lo], values[hi]);
+            let span = (hi - lo) as f64;
+            for i in (lo + 1)..hi {
+                let alpha = (i - lo) as f64 / span;
+                values[i] = vlo + alpha * (vhi - vlo);
+            }
+        }
+    }
+}
+
+impl Imputer for LinearInterpImputer {
+    fn name(&self) -> String {
+        "LinearInterp".to_string()
+    }
+
+    fn impute(&self, obs: &ObservedDataset) -> Tensor {
+        let mut out = obs.values.clone();
+        for s in 0..obs.n_series() {
+            let avail = obs.available.series(s).to_vec();
+            interpolate_series(out.series_mut(s), &avail);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DimSpec};
+    use mvi_tensor::Mask;
+
+    fn instance_1d(vals: &[f64], missing_at: &[usize]) -> ObservedDataset {
+        let t = vals.len();
+        let ds = Dataset::new(
+            "t",
+            vec![DimSpec::indexed("series", "s", 1)],
+            Tensor::from_vec(vec![1, t], vals.to_vec()),
+        );
+        let mut missing = Mask::falses(&[1, t]);
+        for &i in missing_at {
+            missing.set(&[0, i], true);
+        }
+        ds.with_missing(missing).observed()
+    }
+
+    #[test]
+    fn mean_imputer_uses_observed_mean() {
+        let obs = instance_1d(&[1.0, 2.0, 99.0, 3.0], &[2]);
+        let out = MeanImputer.impute(&obs);
+        assert!((out.get(&[0, 2]) - 2.0).abs() < 1e-12);
+        assert_eq!(out.get(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn linear_interp_fills_interior_gap() {
+        let obs = instance_1d(&[0.0, 99.0, 99.0, 3.0], &[1, 2]);
+        let out = LinearInterpImputer.impute(&obs);
+        assert!((out.get(&[0, 1]) - 1.0).abs() < 1e-12);
+        assert!((out.get(&[0, 2]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_interp_extrapolates_flat() {
+        let obs = instance_1d(&[99.0, 5.0, 7.0, 99.0], &[0, 3]);
+        let out = LinearInterpImputer.impute(&obs);
+        assert_eq!(out.get(&[0, 0]), 5.0);
+        assert_eq!(out.get(&[0, 3]), 7.0);
+    }
+
+    #[test]
+    fn interpolate_handles_fully_missing_series() {
+        let mut vals = vec![1.0, 2.0, 3.0];
+        interpolate_series(&mut vals, &[false, false, false]);
+        assert_eq!(vals, vec![0.0, 0.0, 0.0]);
+    }
+}

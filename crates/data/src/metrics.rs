@@ -1,0 +1,175 @@
+//! Imputation error metrics (Eq 1) and the downstream-analytics statistic of §5.7.
+
+use mvi_tensor::{Mask, Tensor};
+
+/// Mean absolute error over the entries where `missing` is `true`.
+///
+/// This is the paper's headline metric. Returns 0 when nothing is missing.
+pub fn mae(truth: &Tensor, imputed: &Tensor, missing: &Mask) -> f64 {
+    assert_eq!(truth.shape(), imputed.shape(), "mae shape mismatch");
+    assert_eq!(truth.shape(), missing.shape(), "mae mask mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for ((&t, &p), &m) in truth.data().iter().zip(imputed.data()).zip(missing.data()) {
+        if m {
+            total += (t - p).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Root mean squared error over the entries where `missing` is `true`.
+pub fn rmse(truth: &Tensor, imputed: &Tensor, missing: &Mask) -> f64 {
+    assert_eq!(truth.shape(), imputed.shape(), "rmse shape mismatch");
+    assert_eq!(truth.shape(), missing.shape(), "rmse mask mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for ((&t, &p), &m) in truth.data().iter().zip(imputed.data()).zip(missing.data()) {
+        if m {
+            total += (t - p) * (t - p);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (total / count as f64).sqrt()
+    }
+}
+
+/// MAE over *all* entries (used for aggregate-series comparisons where no mask
+/// applies).
+pub fn mae_all(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mae_all shape mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.data().iter().zip(b.data()).map(|(&x, &y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// The aggregate-analytics statistic of §5.7: the mean over the *first* dimension,
+/// producing an `(n-1)`-dimensional aggregated series (a single series for 1-D
+/// datasets).
+///
+/// With `keep = None` every entry participates (use for imputed outputs and ground
+/// truth). With `keep = Some(mask)` only entries where the mask is `true`
+/// participate — this is the **DropCell** estimator that simply drops missing cells
+/// from the average; positions where every entry is dropped fall back to `0.0`
+/// (the global mean of z-scored data).
+pub fn aggregate_first_dim(values: &Tensor, keep: Option<&Mask>) -> Tensor {
+    let shape = values.shape();
+    assert!(shape.len() >= 2, "need at least one non-time dimension plus time");
+    let k1 = shape[0];
+    let rest: usize = shape[1..].iter().product();
+    let mut out = vec![0.0f64; rest];
+    let mut counts = vec![0usize; rest];
+    for i in 0..k1 {
+        let base = i * rest;
+        for j in 0..rest {
+            let ok = keep.map_or(true, |m| m.at(base + j));
+            if ok {
+                out[j] += values.at(base + j);
+                counts[j] += 1;
+            }
+        }
+    }
+    for (o, &c) in out.iter_mut().zip(&counts) {
+        if c > 0 {
+            *o /= c as f64;
+        } else {
+            *o = 0.0;
+        }
+    }
+    Tensor::from_vec(shape[1..].to_vec(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mae_counts_only_missing() {
+        let truth = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let pred = Tensor::from_slice(&[1.0, 0.0, 3.0, 6.0]);
+        let mut missing = Mask::falses(&[4]);
+        missing.set(&[1], true);
+        missing.set(&[3], true);
+        assert!((mae(&truth, &pred, &missing) - 2.0).abs() < 1e-12);
+        assert!((rmse(&truth, &pred, &missing) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_imputation_has_zero_error() {
+        let truth = Tensor::from_slice(&[5.0, -1.0]);
+        let missing = Mask::trues(&[2]);
+        assert_eq!(mae(&truth, &truth, &missing), 0.0);
+        assert_eq!(rmse(&truth, &truth, &missing), 0.0);
+    }
+
+    #[test]
+    fn empty_mask_yields_zero() {
+        let truth = Tensor::from_slice(&[5.0]);
+        let pred = Tensor::from_slice(&[0.0]);
+        assert_eq!(mae(&truth, &pred, &Mask::falses(&[1])), 0.0);
+    }
+
+    #[test]
+    fn aggregate_first_dim_means_over_k1() {
+        // 2 x 3 matrix: aggregate is columnwise mean.
+        let v = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 3.0, 4.0, 5.0]);
+        let agg = aggregate_first_dim(&v, None);
+        assert_eq!(agg.shape(), &[3]);
+        assert_eq!(agg.data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dropcell_ignores_masked_entries() {
+        let v = Tensor::from_vec(vec![2, 2], vec![1.0, 10.0, 3.0, 20.0]);
+        let mut keep = Mask::trues(&[2, 2]);
+        keep.set(&[0, 1], false); // drop the 10.0
+        let agg = aggregate_first_dim(&v, Some(&keep));
+        assert_eq!(agg.data(), &[2.0, 20.0]);
+        // Fully-dropped column falls back to 0.
+        keep.set(&[1, 1], false);
+        let agg = aggregate_first_dim(&v, Some(&keep));
+        assert_eq!(agg.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn aggregate_on_3d_keeps_inner_shape() {
+        let v = Tensor::from_fn(&[2, 3, 4], |idx| idx[0] as f64);
+        let agg = aggregate_first_dim(&v, None);
+        assert_eq!(agg.shape(), &[3, 4]);
+        assert!(agg.data().iter().all(|&x| (x - 0.5).abs() < 1e-12));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rmse_dominates_mae(
+            vals in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0, any::<bool>()), 1..50)
+        ) {
+            let truth = Tensor::from_slice(&vals.iter().map(|v| v.0).collect::<Vec<_>>());
+            let pred = Tensor::from_slice(&vals.iter().map(|v| v.1).collect::<Vec<_>>());
+            let missing = Mask::from_vec(vec![vals.len()], vals.iter().map(|v| v.2).collect());
+            prop_assert!(rmse(&truth, &pred, &missing) + 1e-12 >= mae(&truth, &pred, &missing));
+        }
+
+        #[test]
+        fn prop_mae_is_translation_invariant(
+            vals in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..30), c in -3.0f64..3.0
+        ) {
+            let truth = Tensor::from_slice(&vals.iter().map(|v| v.0).collect::<Vec<_>>());
+            let pred = Tensor::from_slice(&vals.iter().map(|v| v.1).collect::<Vec<_>>());
+            let t2 = truth.map(|x| x + c);
+            let p2 = pred.map(|x| x + c);
+            let m = Mask::trues(&[vals.len()]);
+            prop_assert!((mae(&truth, &pred, &m) - mae(&t2, &p2, &m)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The five missing-value scenarios of §5.1.2.
+//!
+//! All scenarios produce a missing mask `M` over the dataset tensor. Block
+//! placements are seeded so every method sees the identical instance.
+
+use crate::dataset::{Dataset, Instance};
+use mvi_tensor::Mask;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A missing-value scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Missing Completely At Random: a fraction `pct_series` of the series each lose
+    /// `missing_rate` of their data in randomly placed, non-overlapping blocks of
+    /// constant size `block_len` (paper default: 10% in blocks of 10).
+    Mcar {
+        /// Fraction of series that are incomplete, in `(0, 1]`.
+        pct_series: f64,
+        /// Constant block length.
+        block_len: usize,
+        /// Fraction of each incomplete series that goes missing.
+        missing_rate: f64,
+    },
+    /// Missing Disjoint: series `i` loses exactly `[i·T/N, (i+1)·T/N)` so that
+    /// missing ranges never overlap across series.
+    MissDisj,
+    /// Missing Overlap: like MissDisj but with blocks of size `2T/N` (the last series
+    /// keeps `T/N`), so consecutive series overlap in their missing ranges.
+    MissOver,
+    /// Blackout: every series loses the same range `[t0, t0 + block_len)` with `t0`
+    /// fixed at 5% of the series length.
+    Blackout {
+        /// Length of the blacked-out range.
+        block_len: usize,
+    },
+    /// The point-missing variant of §5.5.3: like MCAR with 100% of series incomplete
+    /// and 10% missing, but with a configurable (small) block length down to single
+    /// points.
+    MissPoint {
+        /// Block length (1 = isolated points).
+        block_len: usize,
+        /// Fraction of each series that goes missing.
+        missing_rate: f64,
+    },
+}
+
+impl Scenario {
+    /// Paper-default MCAR: `x`% of series incomplete, blocks of 10, 10% missing.
+    pub fn mcar(pct_series: f64) -> Self {
+        Scenario::Mcar { pct_series, block_len: 10, missing_rate: 0.1 }
+    }
+
+    /// Short label used in report tables.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::Mcar { pct_series, .. } => format!("MCAR({:.0}%)", pct_series * 100.0),
+            Scenario::MissDisj => "MissDisj".to_string(),
+            Scenario::MissOver => "MissOver".to_string(),
+            Scenario::Blackout { block_len } => format!("Blackout({block_len})"),
+            Scenario::MissPoint { block_len, .. } => format!("MissPoint({block_len})"),
+        }
+    }
+
+    /// Applies the scenario to a dataset, producing a reproducible instance.
+    pub fn apply(&self, dataset: &Dataset, seed: u64) -> Instance {
+        let n = dataset.n_series();
+        let t = dataset.t_len();
+        let mut missing = Mask::falses(dataset.values.shape());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D_F00D);
+        match *self {
+            Scenario::Mcar { pct_series, block_len, missing_rate } => {
+                let n_incomplete = ((pct_series * n as f64).round() as usize).clamp(1, n);
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(&mut rng);
+                for &s in order.iter().take(n_incomplete) {
+                    place_random_blocks(&mut missing, s, t, block_len, missing_rate, &mut rng);
+                }
+            }
+            Scenario::MissDisj => {
+                let block = (t / n).max(1);
+                for s in 0..n {
+                    let start = (s * block).min(t);
+                    let end = ((s + 1) * block).min(t);
+                    missing.set_range(s, start, end, true);
+                }
+            }
+            Scenario::MissOver => {
+                let block = (t / n).max(1);
+                for s in 0..n {
+                    let start = (s * block).min(t);
+                    let len = if s + 1 == n { block } else { 2 * block };
+                    let end = (start + len).min(t);
+                    missing.set_range(s, start, end, true);
+                }
+            }
+            Scenario::Blackout { block_len } => {
+                let start = ((t as f64) * 0.05) as usize;
+                let end = (start + block_len).min(t);
+                for s in 0..n {
+                    missing.set_range(s, start, end, true);
+                }
+            }
+            Scenario::MissPoint { block_len, missing_rate } => {
+                for s in 0..n {
+                    place_random_blocks(&mut missing, s, t, block_len, missing_rate, &mut rng);
+                }
+            }
+        }
+        dataset.clone().with_missing(missing)
+    }
+}
+
+/// Places non-overlapping missing blocks of length `block_len` covering
+/// `missing_rate` of series `s`, by sampling starts on a shuffled grid.
+fn place_random_blocks(
+    missing: &mut Mask,
+    s: usize,
+    t: usize,
+    block_len: usize,
+    missing_rate: f64,
+    rng: &mut StdRng,
+) {
+    let block_len = block_len.clamp(1, t);
+    let target = ((missing_rate * t as f64).round() as usize).max(block_len);
+    let n_blocks = (target / block_len).max(1);
+    // Candidate starts on a grid of stride block_len guarantee disjointness; a random
+    // per-series offset avoids aligning blocks across series.
+    let offset = rng.gen_range(0..block_len);
+    let mut starts: Vec<usize> = (0..)
+        .map(|i| offset + i * block_len)
+        .take_while(|&st| st + block_len <= t)
+        .collect();
+    starts.shuffle(rng);
+    for &st in starts.iter().take(n_blocks) {
+        missing.set_range(s, st, st + block_len, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DimSpec;
+    use mvi_tensor::Tensor;
+    use proptest::prelude::*;
+
+    fn toy(n: usize, t: usize) -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![DimSpec::indexed("series", "s", n)],
+            Tensor::from_fn(&[n, t], |idx| (idx[0] + idx[1]) as f64),
+        )
+    }
+
+    #[test]
+    fn mcar_hits_requested_rate() {
+        let ds = toy(10, 1000);
+        let inst = Scenario::mcar(1.0).apply(&ds, 7);
+        for s in 0..10 {
+            let frac = inst.missing.runs(s).iter().map(|&(_, l)| l).sum::<usize>() as f64 / 1000.0;
+            assert!((frac - 0.1).abs() < 0.02, "series {s}: {frac}");
+            // All blocks have the constant length 10.
+            for (_, len) in inst.missing.runs(s) {
+                assert_eq!(len % 10, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mcar_pct_series_limits_incomplete_series() {
+        let ds = toy(10, 500);
+        let inst = Scenario::mcar(0.3).apply(&ds, 3);
+        let incomplete = (0..10).filter(|&s| !inst.missing.runs(s).is_empty()).count();
+        assert_eq!(incomplete, 3);
+    }
+
+    #[test]
+    fn missdisj_blocks_are_disjoint_and_cover() {
+        let ds = toy(5, 100);
+        let inst = Scenario::MissDisj.apply(&ds, 1);
+        let mut covered = vec![false; 100];
+        for s in 0..5 {
+            let runs = inst.missing.runs(s);
+            assert_eq!(runs, vec![(s * 20, 20)]);
+            for tt in runs[0].0..runs[0].0 + runs[0].1 {
+                assert!(!covered[tt], "overlap at {tt}");
+                covered[tt] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn missover_overlaps_neighbours() {
+        let ds = toy(5, 100);
+        let inst = Scenario::MissOver.apply(&ds, 1);
+        assert_eq!(inst.missing.runs(0), vec![(0, 40)]);
+        assert_eq!(inst.missing.runs(1), vec![(20, 40)]);
+        assert_eq!(inst.missing.runs(4), vec![(80, 20)]);
+    }
+
+    #[test]
+    fn blackout_hides_same_range_everywhere() {
+        let ds = toy(4, 200);
+        let inst = Scenario::Blackout { block_len: 50 }.apply(&ds, 9);
+        for s in 0..4 {
+            assert_eq!(inst.missing.runs(s), vec![(10, 50)]);
+        }
+    }
+
+    #[test]
+    fn misspoint_uses_small_blocks() {
+        let ds = toy(6, 400);
+        let inst = Scenario::MissPoint { block_len: 1, missing_rate: 0.1 }.apply(&ds, 5);
+        for s in 0..6 {
+            for (_, len) in inst.missing.runs(s) {
+                // Grid placement keeps single points, though adjacent grid cells can
+                // merge into short runs.
+                assert!(len <= 4, "unexpected long run {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_scenarios_are_reproducible() {
+        let ds = toy(8, 300);
+        let a = Scenario::mcar(0.5).apply(&ds, 42);
+        let b = Scenario::mcar(0.5).apply(&ds, 42);
+        assert_eq!(a.missing, b.missing);
+        let c = Scenario::mcar(0.5).apply(&ds, 43);
+        assert_ne!(a.missing, c.missing);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_no_series_fully_missing_under_mcar(
+            n in 2usize..8, t in 100usize..400, seed in 0u64..50
+        ) {
+            let ds = toy(n, t);
+            let inst = Scenario::mcar(1.0).apply(&ds, seed);
+            for s in 0..n {
+                let miss: usize = inst.missing.runs(s).iter().map(|&(_, l)| l).sum();
+                prop_assert!(miss < t / 2, "series {} lost {}/{}", s, miss, t);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Downstream aggregate analytics (§5.7): how imputation quality propagates into
+//! the top-level statistic analysts actually read.
+
+use mvi_data::dataset::Instance;
+use mvi_data::imputer::Imputer;
+use mvi_data::metrics::{aggregate_first_dim, mae_all};
+use mvi_tensor::Tensor;
+
+/// Aggregate-analytics comparison for one instance.
+#[derive(Clone, Debug)]
+pub struct AnalyticsResult {
+    /// MAE between the aggregate computed on imputed data and on true data.
+    pub method_agg_mae: f64,
+    /// MAE of the DropCell estimator (missing cells dropped from the average).
+    pub dropcell_agg_mae: f64,
+}
+
+impl AnalyticsResult {
+    /// Fig 11's y-axis: `MAE(DropCell) − MAE(method)`. Positive means the method's
+    /// imputation improves the downstream aggregate over just dropping cells.
+    pub fn gain_over_dropcell(&self) -> f64 {
+        self.dropcell_agg_mae - self.method_agg_mae
+    }
+}
+
+/// Computes the §5.7 statistic: mean over the first dimension, compared against the
+/// same aggregate on ground truth, for (a) the method's imputation and (b) DropCell.
+pub fn aggregate_comparison(instance: &Instance, imputed: &Tensor) -> AnalyticsResult {
+    let truth_agg = aggregate_first_dim(&instance.truth.values, None);
+    let method_agg = aggregate_first_dim(imputed, None);
+    let dropcell_agg =
+        aggregate_first_dim(&instance.truth.values, Some(&instance.missing.complement()));
+    AnalyticsResult {
+        method_agg_mae: mae_all(&truth_agg, &method_agg),
+        dropcell_agg_mae: mae_all(&truth_agg, &dropcell_agg),
+    }
+}
+
+/// Convenience: run an imputer and compare its downstream aggregate.
+pub fn evaluate_analytics(imputer: &dyn Imputer, instance: &Instance) -> AnalyticsResult {
+    let imputed = imputer.impute(&instance.observed());
+    aggregate_comparison(instance, &imputed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvi_data::dataset::{Dataset, DimSpec};
+    use mvi_data::generators::{generate_with_shape, DatasetName};
+    use mvi_data::imputer::MeanImputer;
+    use mvi_data::scenarios::Scenario;
+    use mvi_tensor::Mask;
+
+    #[test]
+    fn perfect_imputation_beats_dropcell() {
+        let ds = generate_with_shape(DatasetName::Climate, &[6], 300, 2);
+        let inst = Scenario::mcar(1.0).apply(&ds, 4);
+        // Oracle: impute with ground truth.
+        let r = aggregate_comparison(&inst, &inst.truth.values);
+        assert_eq!(r.method_agg_mae, 0.0);
+        assert!(r.dropcell_agg_mae > 0.0);
+        assert!(r.gain_over_dropcell() > 0.0);
+    }
+
+    #[test]
+    fn dropcell_is_exact_when_nothing_is_missing() {
+        let ds = generate_with_shape(DatasetName::AirQ, &[4], 150, 3);
+        let inst = ds.clone().with_missing(Mask::falses(ds.values.shape()));
+        let r = aggregate_comparison(&inst, &inst.truth.values);
+        assert_eq!(r.dropcell_agg_mae, 0.0);
+        assert_eq!(r.method_agg_mae, 0.0);
+    }
+
+    #[test]
+    fn bad_imputation_can_be_worse_than_dropcell() {
+        // A constant, wildly wrong imputation must lose to DropCell — the paper's
+        // motivating observation (§1, §5.7).
+        let ds = generate_with_shape(DatasetName::Climate, &[6], 300, 5);
+        let inst = Scenario::mcar(1.0).apply(&ds, 7);
+        let mut bad = inst.truth.values.clone();
+        for (v, &m) in bad.data_mut().iter_mut().zip(inst.missing.data()) {
+            if m {
+                *v = 25.0;
+            }
+        }
+        let r = aggregate_comparison(&inst, &bad);
+        assert!(r.gain_over_dropcell() < 0.0);
+    }
+
+    #[test]
+    fn multidim_aggregate_has_reduced_shape() {
+        let dims = vec![DimSpec::indexed("store", "st", 3), DimSpec::indexed("item", "it", 4)];
+        let values = mvi_tensor::Tensor::from_fn(&[3, 4, 50], |idx| (idx[0] + idx[1]) as f64);
+        let ds = Dataset::new("md", dims, values);
+        let inst = Scenario::mcar(1.0).apply(&ds, 1);
+        let r = evaluate_analytics(&MeanImputer, &inst);
+        assert!(r.method_agg_mae.is_finite());
+        assert!(r.dropcell_agg_mae.is_finite());
+    }
+}

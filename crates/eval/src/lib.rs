@@ -1,0 +1,18 @@
+//! Experiment harness: uniform method registry, scenario runners, per-figure
+//! experiment drivers (§5), downstream-analytics evaluation (§5.7) and plain-text /
+//! CSV reporting.
+//!
+//! Every table and figure of the paper's evaluation section has a driver in
+//! [`experiments`]; the binaries in `crates/bench` are thin wrappers that print the
+//! resulting [`report::Table`]s. The same drivers run at reduced scale inside the
+//! integration test suite, so the reproduction pipeline itself is under test.
+
+pub mod analytics;
+pub mod experiments;
+pub mod harness;
+pub mod methods;
+pub mod report;
+
+pub use harness::{run_method, RunResult};
+pub use methods::{Method, MethodBudget};
+pub use report::Table;

@@ -1,0 +1,240 @@
+//! Uniform registry of every imputation method in the workspace.
+
+use deepmvi::{DeepMvi, DeepMviConfig, KernelMode};
+use mvi_baselines::{CdRec, DynaMmo, SoftImpute, Stmvl, SvdImp, Svt, Trmf};
+use mvi_data::imputer::{Imputer, LinearInterpImputer, MeanImputer};
+use mvi_neural::{Brits, GpVae, Mrnn, VanillaTransformer};
+use serde::{Deserialize, Serialize};
+
+/// Training/size budget for the learned methods.
+///
+/// `Paper` uses each method's published defaults; `Quick` shrinks network sizes and
+/// training budgets so a full figure regenerates in minutes on a laptop while
+/// preserving the qualitative ordering (the benchmark binaries default to `Quick`
+/// and take `--full` for the paper budget).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodBudget {
+    /// Published default hyper-parameters.
+    Paper,
+    /// Reduced budgets for fast regeneration.
+    Quick,
+}
+
+impl MethodBudget {
+    /// DeepMVI configuration under this budget.
+    pub fn deepmvi_config(&self) -> DeepMviConfig {
+        match self {
+            MethodBudget::Paper => DeepMviConfig::default(),
+            MethodBudget::Quick => DeepMviConfig {
+                p: 16,
+                n_heads: 2,
+                ctx_windows: 32,
+                max_steps: 350,
+                batch_size: 12,
+                val_instances: 32,
+                eval_every: 35,
+                lr: 4e-3,
+                ..DeepMviConfig::default()
+            },
+        }
+    }
+}
+
+/// Every method the paper evaluates, plus the reference imputers and the DeepMVI
+/// ablations of §5.5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// CDRec [11] — iterative centroid decomposition.
+    CdRec,
+    /// DynaMMO [14] — Kalman/EM over series groups.
+    DynaMmo,
+    /// TRMF [28] — AR-regularized matrix factorization.
+    Trmf,
+    /// SVDImp [24] — iterative truncated SVD.
+    SvdImp,
+    /// SoftImpute [19] — soft-thresholded SVD.
+    SoftImpute,
+    /// SVT [2] — singular value thresholding.
+    Svt,
+    /// STMVL — four-view spatio-temporal CF.
+    Stmvl,
+    /// BRITS [4] — bidirectional recurrent imputation.
+    Brits,
+    /// GP-VAE [8] — latent-path variational autoencoder (simplified).
+    GpVae,
+    /// MRNN [27] — multi-directional recurrent imputation (§2.4).
+    Mrnn,
+    /// Vanilla Transformer [25] with per-point tokens.
+    Transformer,
+    /// DeepMVI — the paper's method.
+    DeepMvi,
+    /// DeepMVI with the multidimensional index flattened (Fig 9).
+    DeepMvi1D,
+    /// DeepMVI without the temporal transformer (Fig 7).
+    DeepMviNoTt,
+    /// DeepMVI without contextual window keys (Fig 7).
+    DeepMviNoContext,
+    /// DeepMVI without kernel regression (Fig 7).
+    DeepMviNoKr,
+    /// DeepMVI without the fine-grained local signal (Fig 8).
+    DeepMviNoFg,
+    /// Per-series observed mean (reference floor).
+    MeanImpute,
+    /// Per-series linear interpolation (reference floor).
+    LinearInterp,
+}
+
+impl Method {
+    /// The conventional methods shown in Fig 5 / Fig 6.
+    pub fn conventional_figure_set() -> Vec<Method> {
+        vec![Method::CdRec, Method::DynaMmo, Method::Trmf, Method::SvdImp, Method::DeepMvi]
+    }
+
+    /// All seven conventional baselines (§5.1.3 plus the abstract's count).
+    pub fn all_conventional() -> Vec<Method> {
+        vec![
+            Method::SvdImp,
+            Method::SoftImpute,
+            Method::Svt,
+            Method::CdRec,
+            Method::Trmf,
+            Method::Stmvl,
+            Method::DynaMmo,
+        ]
+    }
+
+    /// The deep methods of Table 2.
+    pub fn deep_table_set() -> Vec<Method> {
+        vec![Method::Brits, Method::GpVae, Method::Transformer, Method::DeepMvi]
+    }
+
+    /// Instantiates the imputer under a budget.
+    pub fn build(&self, budget: MethodBudget) -> Box<dyn Imputer> {
+        let quick = budget == MethodBudget::Quick;
+        match self {
+            Method::CdRec => Box::new(CdRec::default()),
+            Method::DynaMmo => Box::new(if quick {
+                DynaMmo { em_iters: 5, ..Default::default() }
+            } else {
+                DynaMmo::default()
+            }),
+            Method::Trmf => Box::new(if quick {
+                Trmf { iters: 5, ..Default::default() }
+            } else {
+                Trmf::default()
+            }),
+            Method::SvdImp => Box::new(SvdImp::default()),
+            Method::SoftImpute => Box::new(SoftImpute::default()),
+            Method::Svt => Box::new(Svt::default()),
+            Method::Stmvl => Box::new(Stmvl::default()),
+            Method::Brits => Box::new(if quick {
+                Brits { hidden: 24, train_samples: 80, ..Default::default() }
+            } else {
+                Brits::default()
+            }),
+            Method::GpVae => Box::new(if quick {
+                GpVae { train_samples: 80, ..Default::default() }
+            } else {
+                GpVae::default()
+            }),
+            Method::Mrnn => Box::new(if quick {
+                Mrnn { train_samples: 60, ..Default::default() }
+            } else {
+                Mrnn::default()
+            }),
+            Method::Transformer => Box::new(if quick {
+                VanillaTransformer { d_model: 16, context: 96, train_samples: 120, ..Default::default() }
+            } else {
+                VanillaTransformer::default()
+            }),
+            Method::DeepMvi => Box::new(DeepMvi::new(budget.deepmvi_config())),
+            Method::DeepMvi1D => Box::new(DeepMvi::new(DeepMviConfig {
+                kernel_mode: KernelMode::Flattened,
+                ..budget.deepmvi_config()
+            })),
+            Method::DeepMviNoTt => Box::new(DeepMvi::new(DeepMviConfig {
+                use_temporal_transformer: false,
+                ..budget.deepmvi_config()
+            })),
+            Method::DeepMviNoContext => Box::new(DeepMvi::new(DeepMviConfig {
+                use_context_window: false,
+                ..budget.deepmvi_config()
+            })),
+            Method::DeepMviNoKr => Box::new(DeepMvi::new(DeepMviConfig {
+                kernel_mode: KernelMode::Off,
+                ..budget.deepmvi_config()
+            })),
+            Method::DeepMviNoFg => Box::new(DeepMvi::new(DeepMviConfig {
+                use_fine_grained: false,
+                ..budget.deepmvi_config()
+            })),
+            Method::MeanImpute => Box::new(MeanImputer),
+            Method::LinearInterp => Box::new(LinearInterpImputer),
+        }
+    }
+
+    /// Display label (matches the paper's figures).
+    pub fn label(&self, budget: MethodBudget) -> String {
+        self.build(budget).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_count_matches_abstract() {
+        // "seven conventional and three deep learning methods"
+        assert_eq!(Method::all_conventional().len(), 7);
+        assert_eq!(Method::deep_table_set().len(), 4); // 3 baselines + DeepMVI
+    }
+
+    #[test]
+    fn every_method_builds_under_both_budgets() {
+        let all = [
+            Method::CdRec,
+            Method::DynaMmo,
+            Method::Trmf,
+            Method::SvdImp,
+            Method::SoftImpute,
+            Method::Svt,
+            Method::Stmvl,
+            Method::Brits,
+            Method::GpVae,
+            Method::Mrnn,
+            Method::Transformer,
+            Method::DeepMvi,
+            Method::DeepMvi1D,
+            Method::DeepMviNoTt,
+            Method::DeepMviNoContext,
+            Method::DeepMviNoKr,
+            Method::DeepMviNoFg,
+            Method::MeanImpute,
+            Method::LinearInterp,
+        ];
+        for m in all {
+            for b in [MethodBudget::Paper, MethodBudget::Quick] {
+                let imp = m.build(b);
+                assert!(!imp.name().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_names_are_distinct() {
+        let names: Vec<String> = [
+            Method::DeepMvi,
+            Method::DeepMvi1D,
+            Method::DeepMviNoTt,
+            Method::DeepMviNoContext,
+            Method::DeepMviNoKr,
+            Method::DeepMviNoFg,
+        ]
+        .iter()
+        .map(|m| m.label(MethodBudget::Quick))
+        .collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "{names:?}");
+    }
+}

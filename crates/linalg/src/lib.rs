@@ -1,0 +1,27 @@
+//! Dense linear-algebra kernels for the imputation baselines.
+//!
+//! Everything operates on rank-2 [`mvi_tensor::Tensor`]s ("matrices"). No external
+//! BLAS/LAPACK: the decompositions the baselines need are implemented here from
+//! scratch and validated by property-based tests against their defining identities.
+//!
+//! * [`ops`] — matmul (plain / transposed variants), matvec, transpose, identity,
+//!   vector helpers.
+//! * [`qr`] — Householder QR.
+//! * [`svd`] — one-sided Jacobi singular value decomposition (used by SVDImp [24],
+//!   SoftImpute [19] and SVT [2]).
+//! * [`solve`] — Cholesky and partially-pivoted LU solves (used by TRMF's ridge
+//!   regressions and DynaMMO's Kalman/EM updates).
+//! * [`cd`] — the centroid decomposition with the greedy sign-vector search used by
+//!   CDRec [11].
+
+pub mod cd;
+pub mod ops;
+pub mod qr;
+pub mod solve;
+pub mod svd;
+
+pub use cd::centroid_decomposition;
+pub use ops::{identity, matmul, matmul_nt, matmul_tn, matvec, transpose};
+pub use qr::qr;
+pub use solve::{cholesky, lu_solve, solve_spd};
+pub use svd::{svd, Svd};

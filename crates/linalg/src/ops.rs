@@ -1,0 +1,234 @@
+//! Basic dense matrix/vector operations.
+//!
+//! The matmul kernels use the cache-friendly `ikj` loop order; per the workspace
+//! performance guide this is within a small factor of a tuned BLAS for the modest
+//! matrix sizes the baselines need (series-count × rank, rank × rank).
+
+use mvi_tensor::Tensor;
+
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]`.
+///
+/// # Panics
+/// Panics on rank or inner-dimension mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` without materializing `Aᵀ`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aki * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` without materializing `Bᵀ`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let dot: f64 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            c.set_m(i, j, dot);
+        }
+    }
+    c
+}
+
+/// `y = A · x` for `A: [m,n]`, `x: [n]`.
+pub fn matvec(a: &Tensor, x: &[f64]) -> Vec<f64> {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(n, x.len(), "matvec dims: {n} vs {}", x.len());
+    (0..m)
+        .map(|i| a.row(i).iter().zip(x).map(|(&aij, &xj)| aij * xj).sum())
+        .collect()
+}
+
+/// `y = Aᵀ · x` for `A: [m,n]`, `x: [m]`.
+pub fn matvec_t(a: &Tensor, x: &[f64]) -> Vec<f64> {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(m, x.len(), "matvec_t dims: {m} vs {}", x.len());
+    let mut y = vec![0.0; n];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        for (yj, &aij) in y.iter_mut().zip(a.row(i)) {
+            *yj += aij * xi;
+        }
+    }
+    y
+}
+
+/// Transpose of a rank-2 tensor.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    let mut t = Tensor::zeros(&[n, m]);
+    for i in 0..m {
+        for (j, &v) in a.row(i).iter().enumerate() {
+            t.set_m(j, i, v);
+        }
+    }
+    t
+}
+
+/// The `n × n` identity matrix.
+pub fn identity(n: usize) -> Tensor {
+    let mut i = Tensor::zeros(&[n, n]);
+    for d in 0..n {
+        i.set_m(d, d, 1.0);
+    }
+    i
+}
+
+/// Euclidean dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Outer-product update `A -= alpha * u vᵀ` for `A: [m,n]`, `u: [m]`, `v: [n]`.
+pub fn rank1_update(a: &mut Tensor, alpha: f64, u: &[f64], v: &[f64]) {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(m, u.len());
+    assert_eq!(n, v.len());
+    for (i, &ui) in u.iter().enumerate() {
+        let coeff = alpha * ui;
+        if coeff == 0.0 {
+            continue;
+        }
+        for (av, &vj) in a.row_mut(i).iter_mut().zip(v) {
+            *av += coeff * vj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t2(rows: usize, cols: usize, vals: &[f64]) -> Tensor {
+        Tensor::from_vec(vec![rows, cols], vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t2(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(matmul(&a, &identity(3)), a);
+        assert_eq!(matmul(&identity(3), &a), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t2(2, 3, &[1.0, -1.0, 2.0, 0.5, 3.0, -2.0]);
+        let x = [2.0, 1.0, -1.0];
+        let y = matvec(&a, &x);
+        assert_eq!(y, vec![-1.0, 6.0]);
+        // Aᵀy computed directly must match matvec on the materialized transpose.
+        let yt = matvec_t(&a, &y);
+        let yt_ref = matvec(&transpose(&a), &y);
+        assert_eq!(yt, yt_ref);
+    }
+
+    #[test]
+    fn rank1_update_subtracts_outer_product() {
+        let mut a = identity(2);
+        rank1_update(&mut a, -1.0, &[1.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(a.m(0, 0), 0.0);
+        assert_eq!(a.m(1, 1), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transposed_variants_agree(
+            m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..50
+        ) {
+            let a = Tensor::from_fn(&[m, k], |idx| ((idx[0] * 3 + idx[1] * 7 + seed as usize) % 11) as f64 - 5.0);
+            let b = Tensor::from_fn(&[k, n], |idx| ((idx[0] * 5 + idx[1] * 2 + seed as usize) % 13) as f64 - 6.0);
+            let c = matmul(&a, &b);
+            let c_tn = matmul_tn(&transpose(&a), &b);
+            let c_nt = matmul_nt(&a, &transpose(&b));
+            for (x, y) in c.data().iter().zip(c_tn.data()) {
+                prop_assert!((x - y).abs() < 1e-10);
+            }
+            for (x, y) in c.data().iter().zip(c_nt.data()) {
+                prop_assert!((x - y).abs() < 1e-10);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_involution(m in 1usize..8, n in 1usize..8) {
+            let a = Tensor::from_fn(&[m, n], |idx| (idx[0] * n + idx[1]) as f64);
+            prop_assert_eq!(transpose(&transpose(&a)), a);
+        }
+
+        #[test]
+        fn prop_matmul_associative(
+            m in 1usize..4, k in 1usize..4, l in 1usize..4, n in 1usize..4
+        ) {
+            let a = Tensor::from_fn(&[m, k], |idx| (1 + idx[0] + 2 * idx[1]) as f64);
+            let b = Tensor::from_fn(&[k, l], |idx| (1.0 + idx[0] as f64 - idx[1] as f64));
+            let c = Tensor::from_fn(&[l, n], |idx| (idx[0] * 2 + idx[1]) as f64);
+            let left = matmul(&matmul(&a, &b), &c);
+            let right = matmul(&a, &matmul(&b, &c));
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Householder QR decomposition.
+
+use crate::ops::identity;
+use mvi_tensor::Tensor;
+
+/// Thin QR decomposition `A = Q · R` of an `m × n` matrix with `m ≥ n`.
+///
+/// Returns `(Q: [m,n], R: [n,n])` with orthonormal `Q` columns and upper-triangular
+/// `R`. Uses Householder reflections accumulated into `Q`.
+///
+/// # Panics
+/// Panics if `m < n`.
+pub fn qr(a: &Tensor) -> (Tensor, Tensor) {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "thin QR needs m >= n, got {m} x {n}");
+    let mut r = a.clone();
+    // Q starts as the m×m identity restricted later to the first n columns; we keep it
+    // m×m during accumulation for simplicity (m is small in all our uses).
+    let mut q = identity(m);
+
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut v = vec![0.0; m - k];
+        for i in k..m {
+            v[i - k] = r.m(i, k);
+        }
+        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if alpha == 0.0 {
+            continue; // column already zero below (and at) the diagonal
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 < f64::EPSILON {
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R (rows k..m) and accumulate into Q.
+        for j in k..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * r.m(i, j)).sum();
+            let coeff = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let val = r.m(i, j) - coeff * v[i - k];
+                r.set_m(i, j, val);
+            }
+        }
+        for j in 0..m {
+            let dot: f64 = (k..m).map(|i| v[i - k] * q.m(j, i)).sum();
+            let coeff = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let val = q.m(j, i) - coeff * v[i - k];
+                q.set_m(j, i, val);
+            }
+        }
+    }
+
+    // Thin factors: first n columns of Q, first n rows of R (zeroing round-off below
+    // the diagonal).
+    let mut q_thin = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            q_thin.set_m(i, j, q.m(i, j));
+        }
+    }
+    let mut r_thin = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in i..n {
+            r_thin.set_m(i, j, r.m(i, j));
+        }
+    }
+    (q_thin, r_thin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matmul_tn};
+    use proptest::prelude::*;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_small_matrix() {
+        let a = Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let (q, r) = qr(&a);
+        assert_close(&matmul(&q, &r), &a, 1e-10);
+    }
+
+    #[test]
+    fn qr_q_is_orthonormal() {
+        let a = Tensor::from_fn(&[5, 3], |idx| ((idx[0] * 7 + idx[1] * 3) % 5) as f64 + 1.0);
+        let (q, _) = qr(&a);
+        let qtq = matmul_tn(&q, &q);
+        assert_close(&qtq, &crate::ops::identity(3), 1e-10);
+    }
+
+    #[test]
+    fn qr_handles_rank_deficiency() {
+        // Second column is a multiple of the first.
+        let a = Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]);
+        let (q, r) = qr(&a);
+        assert_close(&matmul(&q, &r), &a, 1e-10);
+        assert!(r.m(1, 1).abs() < 1e-10, "rank-deficient R should have zero diagonal");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_qr_identity_holds(m in 2usize..8, n in 1usize..5, seed in 0u64..100) {
+            prop_assume!(m >= n);
+            let a = Tensor::from_fn(&[m, n], |idx| {
+                let h = idx[0].wrapping_mul(2654435761).wrapping_add(idx[1].wrapping_mul(97))
+                    .wrapping_add(seed as usize);
+                ((h % 1000) as f64 / 100.0) - 5.0
+            });
+            let (q, r) = qr(&a);
+            let qr_prod = matmul(&q, &r);
+            for (x, y) in qr_prod.data().iter().zip(a.data()) {
+                prop_assert!((x - y).abs() < 1e-8, "{} vs {}", x, y);
+            }
+            // R upper triangular.
+            for i in 0..n {
+                for j in 0..i {
+                    prop_assert!(r.m(i, j).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Direct solvers: Cholesky for SPD systems, partially-pivoted LU for general ones.
+//!
+//! These back the ridge regressions of TRMF, the view combiner of STMVL and the
+//! Kalman-filter/EM updates of DynaMMO, all of which solve small (`rank`- or
+//! `hidden-dim`-sized) systems thousands of times.
+
+use mvi_tensor::Tensor;
+
+/// Cholesky factorization `A = L · Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor, or `None` if the matrix is not numerically
+/// positive-definite (a non-positive pivot was encountered).
+pub fn cholesky(a: &Tensor) -> Option<Tensor> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky needs a square matrix");
+    let mut l = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.m(i, j);
+            for k in 0..j {
+                sum -= l.m(i, k) * l.m(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.set_m(i, j, sum.sqrt());
+            } else {
+                l.set_m(i, j, sum / l.m(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// Adds a tiny diagonal jitter and retries once if the factorization fails, which is
+/// the standard remedy for the nearly-singular normal equations that arise in ALS
+/// with degenerate factors. Returns `None` if even the jittered system fails.
+pub fn solve_spd(a: &Tensor, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(b.len(), n, "solve_spd rhs length mismatch");
+    let l = match cholesky(a) {
+        Some(l) => l,
+        None => {
+            let mut aj = a.clone();
+            let jitter = 1e-8 * (1.0 + a.max_abs());
+            for i in 0..n {
+                let v = aj.m(i, i) + jitter;
+                aj.set_m(i, i, v);
+            }
+            cholesky(&aj)?
+        }
+    };
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.m(i, k) * y[k];
+        }
+        y[i] = sum / l.m(i, i);
+    }
+    // Backward solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l.m(k, i) * x[k];
+        }
+        x[i] = sum / l.m(i, i);
+    }
+    Some(x)
+}
+
+/// Solves `A x = b` for a general square matrix via LU with partial pivoting.
+///
+/// Returns `None` for (numerically) singular systems.
+pub fn lu_solve(a: &Tensor, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lu_solve needs a square matrix");
+    assert_eq!(b.len(), n, "lu_solve rhs length mismatch");
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // Partial pivot.
+        let mut pivot = k;
+        let mut best = lu.m(k, k).abs();
+        for i in (k + 1)..n {
+            let v = lu.m(i, k).abs();
+            if v > best {
+                best = v;
+                pivot = i;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if pivot != k {
+            for j in 0..n {
+                let tmp = lu.m(k, j);
+                lu.set_m(k, j, lu.m(pivot, j));
+                lu.set_m(pivot, j, tmp);
+            }
+            perm.swap(k, pivot);
+            x.swap(k, pivot);
+        }
+        let pivval = lu.m(k, k);
+        for i in (k + 1)..n {
+            let factor = lu.m(i, k) / pivval;
+            lu.set_m(i, k, factor);
+            for j in (k + 1)..n {
+                let v = lu.m(i, j) - factor * lu.m(k, j);
+                lu.set_m(i, j, v);
+            }
+            x[i] -= factor * x[k];
+        }
+    }
+    // Back substitution on U.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in (i + 1)..n {
+            sum -= lu.m(i, j) * x[j];
+        }
+        x[i] = sum / lu.m(i, i);
+    }
+    Some(x)
+}
+
+/// Inverse of a general square matrix via column-by-column LU solves.
+///
+/// Only used on small matrices (Kalman innovation covariances); returns `None` when
+/// singular.
+pub fn inverse(a: &Tensor) -> Option<Tensor> {
+    let n = a.rows();
+    let mut inv = Tensor::zeros(&[n, n]);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        let col = lu_solve(a, &e)?;
+        e[j] = 0.0;
+        for i in 0..n {
+            inv.set_m(i, j, col[i]);
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{identity, matmul, matmul_tn, matvec, transpose};
+    use proptest::prelude::*;
+
+    fn spd(n: usize, seed: u64) -> Tensor {
+        // B Bᵀ + n·I is SPD.
+        let b = Tensor::from_fn(&[n, n], |idx| {
+            let h = (idx[0] as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(idx[1] as u64 + seed);
+            ((h >> 30) % 100) as f64 / 25.0 - 2.0
+        });
+        let mut a = matmul(&b, &transpose(&b));
+        for i in 0..n {
+            let v = a.m(i, i) + n as f64;
+            a.set_m(i, i, v);
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(4, 1);
+        let l = cholesky(&a).expect("SPD");
+        let llt = matmul(&l, &transpose(&l));
+        for (x, y) in llt.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let a = spd(5, 3);
+        let x_true = [1.0, -2.0, 0.5, 3.0, -1.0];
+        let b = matvec(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lu_solve_nonsymmetric() {
+        let a = Tensor::from_vec(vec![3, 3], vec![0.0, 2.0, 1.0, 1.0, 0.0, 0.0, 3.0, 1.0, 2.0]);
+        let x_true = [2.0, -1.0, 4.0];
+        let b = matvec(&a, &x_true);
+        let x = lu_solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_solve_detects_singular() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(lu_solve(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd(4, 9);
+        let inv = inverse(&a).unwrap();
+        let prod = matmul(&inv, &a);
+        for (x, y) in prod.data().iter().zip(identity(4).data()) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_solvers_agree_on_spd(n in 1usize..7, seed in 0u64..50) {
+            let a = spd(n, seed);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let x1 = solve_spd(&a, &b).unwrap();
+            let x2 = lu_solve(&a, &b).unwrap();
+            for (p, q) in x1.iter().zip(&x2) {
+                prop_assert!((p - q).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn prop_cholesky_gram_is_spd(n in 1usize..7, seed in 0u64..50) {
+            let g = spd(n, seed);
+            let l = cholesky(&g);
+            prop_assert!(l.is_some());
+            let l = l.unwrap();
+            let llt = matmul_tn(&transpose(&l), &transpose(&l));
+            for (x, y) in llt.data().iter().zip(g.data()) {
+                prop_assert!((x - y).abs() < 1e-8);
+            }
+        }
+    }
+}

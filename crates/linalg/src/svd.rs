@@ -1,0 +1,292 @@
+//! Singular value decomposition via the one-sided Jacobi method.
+//!
+//! One-sided Jacobi orthogonalizes the columns of a working copy `G` of `A` with
+//! plane rotations accumulated into `V`; at convergence the column norms of `G` are
+//! the singular values and the normalized columns are `U`. It is simple, numerically
+//! robust, and fast enough for the `series × rank`-scale matrices the imputation
+//! baselines decompose (the long time axis only ever appears as the *row* count,
+//! where the method scales linearly).
+
+use crate::ops::transpose;
+use mvi_tensor::Tensor;
+
+/// A thin singular value decomposition `A = U · diag(S) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `[m, r]` with `r = min(m, n)`.
+    pub u: Tensor,
+    /// Singular values in non-increasing order, length `r`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `[n, r]`.
+    pub v: Tensor,
+}
+
+impl Svd {
+    /// Reconstructs `U · diag(S') · Vᵀ` where `S'` keeps only the first `rank`
+    /// singular values (the classical truncated-SVD low-rank approximation).
+    pub fn reconstruct(&self, rank: usize) -> Tensor {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let r = rank.min(self.s.len());
+        let mut out = Tensor::zeros(&[m, n]);
+        for k in 0..r {
+            let sk = self.s[k];
+            if sk == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let uik = self.u.m(i, k) * sk;
+                if uik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let val = out.m(i, j) + uik * self.v.m(j, k);
+                    out.set_m(i, j, val);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs with each singular value passed through `f` (soft-thresholding
+    /// for SoftImpute/SVT).
+    pub fn reconstruct_with(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        let shrunk: Vec<f64> = self.s.iter().map(|&s| f(s)).collect();
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Tensor::zeros(&[m, n]);
+        for (k, &sk) in shrunk.iter().enumerate() {
+            if sk == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let uik = self.u.m(i, k) * sk;
+                if uik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let val = out.m(i, j) + uik * self.v.m(j, k);
+                    out.set_m(i, j, val);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes the thin SVD of an arbitrary dense matrix.
+///
+/// Internally transposes so the Jacobi sweeps always run over `min(m, n)` columns.
+pub fn svd(a: &Tensor) -> Svd {
+    let (m, n) = (a.rows(), a.cols());
+    if m < n {
+        // A = U S Vᵀ  ⇔  Aᵀ = V S Uᵀ.
+        let t = svd(&transpose(a));
+        return Svd { u: t.v, s: t.s, v: t.u };
+    }
+    jacobi_tall(a)
+}
+
+/// One-sided Jacobi on a tall (or square) matrix, `m ≥ n`.
+fn jacobi_tall(a: &Tensor) -> Svd {
+    let (m, n) = (a.rows(), a.cols());
+    // Column-major working copy of A for cache-friendly column rotations.
+    let mut g: Vec<Vec<f64>> = (0..n).map(|j| (0..m).map(|i| a.m(i, j)).collect()).collect();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let mut col = vec![0.0; n];
+            col[j] = 1.0;
+            col
+        })
+        .collect();
+
+    let eps = 1e-12;
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let alpha: f64 = g[p].iter().map(|x| x * x).sum();
+                let beta: f64 = g[q].iter().map(|x| x * x).sum();
+                let gamma: f64 = g[p].iter().zip(&g[q]).map(|(&x, &y)| x * y).sum();
+                let denom = (alpha * beta).sqrt();
+                if denom <= 0.0 {
+                    continue;
+                }
+                let ortho = gamma.abs() / denom;
+                off = off.max(ortho);
+                if ortho <= eps {
+                    continue;
+                }
+                // Jacobi rotation annihilating the (p,q) off-diagonal of GᵀG.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate(&mut g, p, q, c, s);
+                rotate(&mut v, p, q, c, s);
+            }
+        }
+        if off <= eps {
+            break;
+        }
+    }
+
+    // Singular values = column norms; sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = g.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut u = Tensor::zeros(&[m, n]);
+    let mut vt = Tensor::zeros(&[n, n]);
+    let mut s = Vec::with_capacity(n);
+    for (rank, &j) in order.iter().enumerate() {
+        let sigma = norms[j];
+        s.push(sigma);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u.set_m(i, rank, g[j][i] / sigma);
+            }
+        }
+        for i in 0..n {
+            vt.set_m(i, rank, v[j][i]);
+        }
+    }
+    Svd { u, s, v: vt }
+}
+
+/// Applies the plane rotation `(cols[p], cols[q]) <- (c·p - s·q, s·p + c·q)`.
+fn rotate(cols: &mut [Vec<f64>], p: usize, q: usize, c: f64, s: f64) {
+    // Split borrows of the two columns.
+    let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+    let (head, tail) = cols.split_at_mut(hi);
+    let (cp, cq) = if p < q { (&mut head[lo], &mut tail[0]) } else { (&mut tail[0], &mut head[lo]) };
+    for (x, y) in cp.iter_mut().zip(cq.iter_mut()) {
+        let xp = c * *x - s * *y;
+        let yq = s * *x + c * *y;
+        *x = xp;
+        *y = yq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matmul_tn};
+    use proptest::prelude::*;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    fn pseudo_random(m: usize, n: usize, seed: u64) -> Tensor {
+        Tensor::from_fn(&[m, n], |idx| {
+            let h = (idx[0] as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(idx[1] as u64)
+                .wrapping_mul(1442695040888963407)
+                .wrapping_add(seed);
+            ((h >> 33) % 2000) as f64 / 100.0 - 10.0
+        })
+    }
+
+    #[test]
+    fn svd_reconstructs_exactly_at_full_rank() {
+        let a = pseudo_random(6, 4, 3);
+        let d = svd(&a);
+        assert_close(&d.reconstruct(4), &a, 1e-8);
+    }
+
+    #[test]
+    fn svd_wide_matrix() {
+        let a = pseudo_random(3, 7, 11);
+        let d = svd(&a);
+        assert_eq!(d.u.shape(), &[3, 3]);
+        assert_eq!(d.v.shape(), &[7, 3]);
+        assert_close(&d.reconstruct(3), &a, 1e-8);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = pseudo_random(8, 5, 7);
+        let d = svd(&a);
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(d.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_have_orthonormal_columns() {
+        let a = pseudo_random(6, 4, 21);
+        let d = svd(&a);
+        assert_close(&matmul_tn(&d.u, &d.u), &crate::ops::identity(4), 1e-9);
+        assert_close(&matmul_tn(&d.v, &d.v), &crate::ops::identity(4), 1e-9);
+    }
+
+    #[test]
+    fn rank_one_matrix_has_one_singular_value() {
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0];
+        let a = Tensor::from_fn(&[3, 2], |idx| u[idx[0]] * v[idx[1]]);
+        let d = svd(&a);
+        assert!(d.s[0] > 1.0);
+        assert!(d.s[1].abs() < 1e-9);
+        assert_close(&d.reconstruct(1), &a, 1e-9);
+    }
+
+    #[test]
+    fn truncation_matches_best_low_rank_error() {
+        // Eckart–Young: truncated reconstruction error equals the dropped σ's.
+        let a = pseudo_random(6, 6, 5);
+        let d = svd(&a);
+        let approx = d.reconstruct(3);
+        let diff = Tensor::from_fn(&[6, 6], |idx| a.get(idx) - approx.get(idx));
+        let err = diff.frobenius_norm();
+        let expected: f64 = d.s[3..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((err - expected).abs() < 1e-6, "{err} vs {expected}");
+    }
+
+    #[test]
+    fn reconstruct_with_soft_threshold_shrinks() {
+        let a = pseudo_random(5, 5, 9);
+        let d = svd(&a);
+        let tau = d.s[0] * 0.5;
+        let shrunk = d.reconstruct_with(|s| (s - tau).max(0.0));
+        // Shrunk matrix has strictly smaller Frobenius norm than original.
+        assert!(shrunk.frobenius_norm() < a.frobenius_norm());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_svd_identity(m in 1usize..8, n in 1usize..8, seed in 0u64..100) {
+            let a = pseudo_random(m, n, seed);
+            let d = svd(&a);
+            let r = m.min(n);
+            let rec = d.reconstruct(r);
+            for (x, y) in rec.data().iter().zip(a.data()) {
+                prop_assert!((x - y).abs() < 1e-6, "{} vs {}", x, y);
+            }
+            // Frobenius norm preserved by the spectrum.
+            let norm_s: f64 = d.s.iter().map(|s| s * s).sum::<f64>().sqrt();
+            prop_assert!((norm_s - a.frobenius_norm()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_product_svd_consistency(m in 2usize..6, seed in 0u64..30) {
+            // A = B·Bᵀ is PSD: singular values equal eigenvalues, U ≈ V (up to sign).
+            let b = pseudo_random(m, m, seed);
+            let a = matmul(&b, &crate::ops::transpose(&b));
+            let d = svd(&a);
+            for k in 0..m {
+                // |u_k · v_k| = 1 for distinct eigenvalues; allow slack for clusters.
+                let dotuv: f64 = (0..m).map(|i| d.u.m(i, k) * d.v.m(i, k)).sum();
+                prop_assert!(dotuv.abs() > 0.9, "column {} dot {}", k, dotuv);
+            }
+        }
+    }
+}

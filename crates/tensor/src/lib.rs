@@ -1,0 +1,23 @@
+//! Dense n-dimensional tensors and boolean masks for multidimensional time series.
+//!
+//! The paper models a dataset as an (n+1)-dimensional real tensor `X` with shape
+//! `(K_1, ..., K_n, T)` where the last axis is a regularly spaced time index, together
+//! with availability/missing indicator tensors `A` and `M` of the same shape (§2.1).
+//! This crate provides exactly those building blocks:
+//!
+//! * [`Tensor`] — a row-major dense `f64` tensor. Because time is the innermost axis,
+//!   every individual time series is a contiguous slice, which every downstream
+//!   algorithm (window convolutions, Kalman filters, matrix decompositions) exploits.
+//! * [`Mask`] — a same-shaped boolean tensor used for both the availability tensor `A`
+//!   and the missing tensor `M`.
+//! * [`shape`] — flat-index arithmetic shared by both.
+//!
+//! The crate is dependency-free (serde only, for experiment reports) and forms the
+//! bottom of the workspace dependency graph.
+
+pub mod mask;
+pub mod shape;
+pub mod tensor;
+
+pub use mask::Mask;
+pub use tensor::Tensor;

@@ -1,0 +1,276 @@
+//! Boolean tensors for the availability (`A`) and missing (`M`) indicators of §2.1.
+
+use crate::shape;
+use serde::{Deserialize, Serialize};
+
+/// A dense boolean tensor with the same row-major layout as [`crate::Tensor`].
+///
+/// By convention the workspace uses `true` in an *availability* mask to mean "value is
+/// observed" and `true` in a *missing* mask to mean "value is hidden"; the two are
+/// complements ([`Mask::complement`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mask {
+    shape: Vec<usize>,
+    data: Vec<bool>,
+}
+
+impl Mask {
+    /// Mask of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: bool) -> Self {
+        Self { shape: shape.to_vec(), data: vec![value; shape::num_elements(shape)] }
+    }
+
+    /// All-`true` mask (everything available / everything missing).
+    pub fn trues(shape: &[usize]) -> Self {
+        Self::full(shape, true)
+    }
+
+    /// All-`false` mask.
+    pub fn falses(shape: &[usize]) -> Self {
+        Self::full(shape, false)
+    }
+
+    /// Mask from a shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<bool>) -> Self {
+        assert_eq!(shape::num_elements(&shape), data.len(), "mask shape/data mismatch");
+        Self { shape, data }
+    }
+
+    /// The mask shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the mask holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer.
+    #[inline]
+    pub fn data(&self) -> &[bool] {
+        &self.data
+    }
+
+    /// Entry at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> bool {
+        self.data[shape::flat_index(&self.shape, idx)]
+    }
+
+    /// Sets the entry at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: bool) {
+        let flat = shape::flat_index(&self.shape, idx);
+        self.data[flat] = value;
+    }
+
+    /// Entry at a flat offset.
+    #[inline]
+    pub fn at(&self, flat: usize) -> bool {
+        self.data[flat]
+    }
+
+    /// Sets the entry at a flat offset.
+    #[inline]
+    pub fn set_at(&mut self, flat: usize, value: bool) {
+        self.data[flat] = value;
+    }
+
+    /// Number of `true` entries.
+    pub fn count(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of `true` entries (0 for empty masks).
+    pub fn fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.count() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// True when every entry is `true`.
+    pub fn all(&self) -> bool {
+        self.data.iter().all(|&b| b)
+    }
+
+    /// True when at least one entry is `true`.
+    pub fn any(&self) -> bool {
+        self.data.iter().any(|&b| b)
+    }
+
+    /// Logical negation: turns an availability mask into a missing mask and back.
+    pub fn complement(&self) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&b| !b).collect() }
+    }
+
+    /// Elementwise AND with another same-shaped mask.
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.shape, other.shape, "mask and() shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a && b).collect();
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// Elementwise OR with another same-shaped mask.
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.shape, other.shape, "mask or() shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a || b).collect();
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// Flat offsets of all `true` entries, in row-major order.
+    pub fn true_indices(&self) -> Vec<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if b { Some(i) } else { None })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Time-series access (time = last axis), mirroring Tensor.
+    // ------------------------------------------------------------------
+
+    /// Number of series (product of the non-time axes).
+    pub fn n_series(&self) -> usize {
+        let (series_shape, _) = shape::split_time(&self.shape);
+        shape::num_elements(series_shape)
+    }
+
+    /// Length of the time axis.
+    pub fn t_len(&self) -> usize {
+        let (_, t) = shape::split_time(&self.shape);
+        t
+    }
+
+    /// The `s`-th series of the mask as a contiguous slice.
+    #[inline]
+    pub fn series(&self, s: usize) -> &[bool] {
+        let t = self.t_len();
+        &self.data[s * t..(s + 1) * t]
+    }
+
+    /// Sets `[start, end)` of series `s` to `value`.
+    pub fn set_range(&mut self, s: usize, start: usize, end: usize, value: bool) {
+        let t = self.t_len();
+        assert!(start <= end && end <= t, "range {start}..{end} out of series length {t}");
+        for x in &mut self.data[s * t + start..s * t + end] {
+            *x = value;
+        }
+    }
+
+    /// Maximal runs of `true` entries in series `s`, as `(start, len)` pairs.
+    ///
+    /// Used both to enumerate missing blocks for imputation and to build the empirical
+    /// block-shape distribution for the synthetic-training-mask sampler (§3).
+    pub fn runs(&self, s: usize) -> Vec<(usize, usize)> {
+        let series = self.series(s);
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (t, &b) in series.iter().enumerate() {
+            match (b, start) {
+                (true, None) => start = Some(t),
+                (false, Some(st)) => {
+                    runs.push((st, t - st));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(st) = start {
+            runs.push((st, series.len() - st));
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn count_and_fraction() {
+        let mut m = Mask::falses(&[2, 5]);
+        m.set(&[0, 1], true);
+        m.set(&[1, 4], true);
+        assert_eq!(m.count(), 2);
+        assert!((m.fraction() - 0.2).abs() < 1e-12);
+        assert!(m.any());
+        assert!(!m.all());
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        let mut m = Mask::falses(&[3, 3]);
+        m.set(&[1, 1], true);
+        assert_eq!(m.complement().complement(), m);
+        assert_eq!(m.complement().count(), 8);
+    }
+
+    #[test]
+    fn and_or() {
+        let mut a = Mask::falses(&[4]);
+        let mut b = Mask::falses(&[4]);
+        a.set(&[0], true);
+        a.set(&[1], true);
+        b.set(&[1], true);
+        b.set(&[2], true);
+        assert_eq!(a.and(&b).true_indices(), vec![1]);
+        assert_eq!(a.or(&b).true_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn runs_detects_blocks() {
+        let mut m = Mask::falses(&[1, 10]);
+        m.set_range(0, 2, 5, true);
+        m.set_range(0, 8, 10, true);
+        assert_eq!(m.runs(0), vec![(2, 3), (8, 2)]);
+        assert_eq!(Mask::trues(&[1, 4]).runs(0), vec![(0, 4)]);
+        assert_eq!(Mask::falses(&[1, 4]).runs(0), vec![]);
+    }
+
+    #[test]
+    fn set_range_touches_only_target_series() {
+        let mut m = Mask::falses(&[3, 6]);
+        m.set_range(1, 0, 6, true);
+        assert_eq!(m.series(0).iter().filter(|&&b| b).count(), 0);
+        assert_eq!(m.series(1).iter().filter(|&&b| b).count(), 6);
+        assert_eq!(m.series(2).iter().filter(|&&b| b).count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_runs_reconstruct_mask(bits in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let m = Mask::from_vec(vec![1, bits.len()], bits.clone());
+            let mut rebuilt = vec![false; bits.len()];
+            for (start, len) in m.runs(0) {
+                for x in &mut rebuilt[start..start + len] {
+                    *x = true;
+                }
+            }
+            prop_assert_eq!(rebuilt, bits);
+        }
+
+        #[test]
+        fn prop_complement_partitions(bits in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let m = Mask::from_vec(vec![bits.len()], bits);
+            prop_assert_eq!(m.count() + m.complement().count(), m.len());
+            prop_assert!(!m.and(&m.complement()).any());
+            prop_assert!(m.or(&m.complement()).all());
+        }
+    }
+}

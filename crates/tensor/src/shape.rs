@@ -1,0 +1,121 @@
+//! Flat-index arithmetic for row-major shapes.
+//!
+//! Shapes are plain `&[usize]` slices; an empty shape denotes a scalar. All helpers
+//! here are pure functions so that [`crate::Tensor`] and [`crate::Mask`] can share
+//! them without a common base type.
+
+/// Number of elements a shape describes (product of extents; 1 for a scalar).
+#[inline]
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for `shape`: `strides[i]` is the flat distance between two
+/// elements that differ by one along axis `i`.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// Flat (row-major) offset of the multi-index `idx` inside `shape`.
+///
+/// # Panics
+/// Panics if `idx.len() != shape.len()` or any coordinate is out of bounds.
+#[inline]
+pub fn flat_index(shape: &[usize], idx: &[usize]) -> usize {
+    assert_eq!(
+        idx.len(),
+        shape.len(),
+        "index rank {} does not match shape rank {}",
+        idx.len(),
+        shape.len()
+    );
+    let mut flat = 0usize;
+    for (axis, (&i, &extent)) in idx.iter().zip(shape.iter()).enumerate() {
+        assert!(i < extent, "index {i} out of bounds for axis {axis} (extent {extent})");
+        flat = flat * extent + i;
+    }
+    flat
+}
+
+/// Inverse of [`flat_index`]: the multi-index corresponding to a flat offset.
+pub fn unflatten(shape: &[usize], mut flat: usize) -> Vec<usize> {
+    let mut idx = vec![0usize; shape.len()];
+    for axis in (0..shape.len()).rev() {
+        let extent = shape[axis];
+        idx[axis] = flat % extent;
+        flat /= extent;
+    }
+    debug_assert_eq!(flat, 0, "flat offset exceeded shape volume");
+    idx
+}
+
+/// Iterator over all multi-indices of `shape` in row-major order.
+pub fn indices(shape: &[usize]) -> impl Iterator<Item = Vec<usize>> + '_ {
+    let total = num_elements(shape);
+    (0..total).map(move |flat| unflatten(shape, flat))
+}
+
+/// Splits the shape of a time-series tensor `(K_1,...,K_n,T)` into the series shape
+/// `(K_1,...,K_n)` and the series length `T`.
+///
+/// # Panics
+/// Panics on scalar shapes (a time-series tensor has at least the time axis).
+pub fn split_time(shape: &[usize]) -> (&[usize], usize) {
+    assert!(!shape.is_empty(), "a time-series tensor needs at least one axis");
+    let (series, time) = shape.split_at(shape.len() - 1);
+    (series, time[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[7]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let shape = [3usize, 4, 5];
+        for flat in 0..num_elements(&shape) {
+            let idx = unflatten(&shape, flat);
+            assert_eq!(flat_index(&shape, &idx), flat);
+        }
+    }
+
+    #[test]
+    fn indices_cover_volume_in_order() {
+        let shape = [2usize, 3];
+        let all: Vec<Vec<usize>> = indices(&shape).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![0, 1]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn split_time_separates_series_axes() {
+        let (series, t) = split_time(&[76, 28, 134]);
+        assert_eq!(series, &[76, 28]);
+        assert_eq!(t, 134);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_bounds_checked() {
+        flat_index(&[2, 2], &[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn flat_index_rank_checked() {
+        flat_index(&[2, 2], &[0]);
+    }
+}

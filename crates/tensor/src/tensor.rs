@@ -1,0 +1,392 @@
+//! The dense row-major `f64` tensor used throughout the workspace.
+
+use crate::shape;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, heap-allocated `f64` tensor.
+///
+/// The time axis of a dataset tensor is always the *last* axis, so a single series
+/// `X_{k,•}` is the contiguous slice returned by [`Tensor::series`]. Matrices used by
+/// the linear-algebra crate are rank-2 tensors `[rows, cols]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the shape volume.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Self {
+        assert_eq!(
+            shape::num_elements(&shape),
+            data.len(),
+            "shape {:?} needs {} elements, got {}",
+            shape,
+            shape::num_elements(&shape),
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![0.0; shape::num_elements(shape)] }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f64) -> Self {
+        Self { shape: shape.to_vec(), data: vec![value; shape::num_elements(shape)] }
+    }
+
+    /// Tensor whose element at multi-index `idx` is `f(&idx)`.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut data = Vec::with_capacity(shape::num_elements(shape));
+        for idx in shape::indices(shape) {
+            data.push(f(&idx));
+        }
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Rank-1 tensor wrapping a vector.
+    pub fn from_slice(v: &[f64]) -> Self {
+        Self { shape: vec![v.len()], data: v.to_vec() }
+    }
+
+    /// Scalar (rank-1, single element) tensor — the canonical loss/score shape.
+    pub fn scalar(v: f64) -> Self {
+        Self { shape: vec![1], data: vec![v] }
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements (some axis has extent zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[shape::flat_index(&self.shape, idx)]
+    }
+
+    /// Sets the element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: f64) {
+        let flat = shape::flat_index(&self.shape, idx);
+        self.data[flat] = value;
+    }
+
+    /// Element at a flat row-major offset.
+    #[inline]
+    pub fn at(&self, flat: usize) -> f64 {
+        self.data[flat]
+    }
+
+    /// Reinterprets the tensor under a new shape with the same volume.
+    ///
+    /// # Panics
+    /// Panics if the volumes differ.
+    pub fn reshape(mut self, new_shape: &[usize]) -> Self {
+        assert_eq!(
+            shape::num_elements(new_shape),
+            self.data.len(),
+            "reshape {:?} -> {:?} changes volume",
+            self.shape,
+            new_shape
+        );
+        self.shape = new_shape.to_vec();
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Time-series access (time = last axis)
+    // ------------------------------------------------------------------
+
+    /// Number of series: the product of all axes except the last (time) axis.
+    pub fn n_series(&self) -> usize {
+        let (series_shape, _) = shape::split_time(&self.shape);
+        shape::num_elements(series_shape)
+    }
+
+    /// Length of the time axis.
+    pub fn t_len(&self) -> usize {
+        let (_, t) = shape::split_time(&self.shape);
+        t
+    }
+
+    /// The `s`-th series as a contiguous slice of length [`Tensor::t_len`].
+    ///
+    /// Series are numbered in row-major order over the non-time axes, i.e. series `s`
+    /// corresponds to the multi-index `shape::unflatten(series_shape, s)`.
+    #[inline]
+    pub fn series(&self, s: usize) -> &[f64] {
+        let t = self.t_len();
+        &self.data[s * t..(s + 1) * t]
+    }
+
+    /// Mutable access to the `s`-th series.
+    #[inline]
+    pub fn series_mut(&mut self, s: usize) -> &mut [f64] {
+        let t = self.t_len();
+        &mut self.data[s * t..(s + 1) * t]
+    }
+
+    // ------------------------------------------------------------------
+    // Rank-2 (matrix) access
+    // ------------------------------------------------------------------
+
+    /// Rows of a rank-2 tensor.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.ndim(), 2, "rows() needs a rank-2 tensor, got {:?}", self.shape);
+        self.shape[0]
+    }
+
+    /// Columns of a rank-2 tensor.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.ndim(), 2, "cols() needs a rank-2 tensor, got {:?}", self.shape);
+        self.shape[1]
+    }
+
+    /// Row `r` of a rank-2 tensor as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let c = self.cols();
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Matrix element `(r, c)` of a rank-2 tensor.
+    #[inline]
+    pub fn m(&self, r: usize, c: usize) -> f64 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Sets matrix element `(r, c)` of a rank-2 tensor.
+    #[inline]
+    pub fn set_m(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c] = v;
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic (allocating and in-place variants)
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// `self += other` elementwise.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` elementwise (axpy).
+    pub fn axpy(&mut self, alpha: f64, other: &Self) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= c` elementwise.
+    pub fn scale_inplace(&mut self, c: f64) {
+        for x in &mut self.data {
+            *x *= c;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm (Euclidean norm of the flattened tensor).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// True when every element is finite (no NaN / ±inf).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 10 + idx[1]) as f64);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[1, 2]), 12.0);
+        assert_eq!(t.m(1, 1), 11.0);
+        assert_eq!(t.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn series_layout_is_contiguous() {
+        // Shape (2 stores, 3 items, 4 time steps): series 4 = store 1, item 1.
+        let t = Tensor::from_fn(&[2, 3, 4], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64);
+        assert_eq!(t.n_series(), 6);
+        assert_eq!(t.t_len(), 4);
+        assert_eq!(t.series(4), &[110.0, 111.0, 112.0, 113.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]).reshape(&[2, 2]);
+        assert_eq!(t.m(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes volume")]
+    fn reshape_volume_checked() {
+        let _ = Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[3.0, -4.0]);
+        assert_eq!(t.sum(), -1.0);
+        assert_eq!(t.mean(), -0.5);
+        assert!((t.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(t.max_abs(), 4.0);
+        assert!(t.all_finite());
+        assert!(!Tensor::from_slice(&[f64::NAN]).all_finite());
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale_inplace(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_flat_and_multi_index_agree(
+            d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5, seed in 0u64..1000
+        ) {
+            let shape = [d0, d1, d2];
+            let t = Tensor::from_fn(&shape, |idx| {
+                (idx[0] as f64) + 7.0 * idx[1] as f64 + 31.0 * idx[2] as f64 + seed as f64
+            });
+            for (flat, idx) in crate::shape::indices(&shape).enumerate() {
+                prop_assert_eq!(t.at(flat), t.get(&idx));
+            }
+        }
+
+        #[test]
+        fn prop_zip_map_add_commutes(v in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+            let a = Tensor::from_slice(&v);
+            let b = a.map(|x| x * 2.0);
+            let ab = a.zip_map(&b, |x, y| x + y);
+            let ba = b.zip_map(&a, |x, y| x + y);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn prop_series_roundtrip(n in 1usize..6, t_len in 1usize..20) {
+            let t = Tensor::from_fn(&[n, t_len], |idx| (idx[0] * t_len + idx[1]) as f64);
+            for s in 0..n {
+                let series = t.series(s);
+                prop_assert_eq!(series.len(), t_len);
+                for (j, &v) in series.iter().enumerate() {
+                    prop_assert_eq!(v, (s * t_len + j) as f64);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Multidimensional imputation on a retail (store × SKU × week) tensor — the
+//! JanataHack workload of §5.5.4 / Fig 9.
+//!
+//! ```sh
+//! cargo run --release --example retail_multidim
+//! ```
+//!
+//! Shows why the per-dimension kernel regression matters: the same SKU across
+//! stores is highly correlated, so DeepMVI's sibling structure finds the signal,
+//! while flattening the index (DeepMVI1D) or using a matrix method (CDRec) mixes
+//! unrelated series and picks up spurious correlations.
+
+use deepmvi::{DeepMvi, DeepMviConfig, KernelMode};
+use mvi_baselines::CdRec;
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::imputer::Imputer;
+use mvi_data::metrics::mae;
+use mvi_data::scenarios::Scenario;
+
+fn main() {
+    // 12 stores × 8 SKUs × 134 weeks of demand.
+    let dataset = generate_with_shape(DatasetName::JanataHack, &[12, 8], 134, 21);
+    println!(
+        "dataset: {} stores x {} SKUs x {} weeks",
+        dataset.dims[0].len(),
+        dataset.dims[1].len(),
+        dataset.t_len()
+    );
+    let instance = Scenario::mcar(1.0).apply(&dataset, 9);
+    let observed = instance.observed();
+
+    let base = DeepMviConfig { max_steps: 250, p: 16, n_heads: 2, ctx_windows: 14, ..Default::default() };
+    let methods: Vec<(&str, Box<dyn Imputer>)> = vec![
+        ("DeepMVI (multidim KR)", Box::new(DeepMvi::new(base.clone()))),
+        (
+            "DeepMVI1D (flattened)",
+            Box::new(DeepMvi::new(DeepMviConfig { kernel_mode: KernelMode::Flattened, ..base.clone() })),
+        ),
+        (
+            "DeepMVI (no KR)",
+            Box::new(DeepMvi::new(DeepMviConfig { kernel_mode: KernelMode::Off, ..base })),
+        ),
+        ("CDRec", Box::new(CdRec::default())),
+    ];
+
+    println!("\n{:<24} {:>8}", "method", "MAE");
+    for (name, imputer) in methods {
+        let imputed = imputer.impute(&observed);
+        let err = mae(&dataset.values, &imputed, &instance.missing);
+        println!("{name:<24} {err:>8.4}");
+    }
+    println!(
+        "\nExpected shape (Fig 9): multidim KR < flattened < no KR, and DeepMVI \
+         beating the matrix baseline on this high-relatedness tensor."
+    );
+}

@@ -1,0 +1,71 @@
+//! Smoke-level runs of the experiment drivers themselves: the exact pipeline the
+//! benchmark binaries execute, at miniature scale, so a broken experiment is a
+//! failing test rather than a silent bad table.
+
+use deepmvi_suite::eval::experiments::{
+    fig10b_scaling, fig11_analytics, fig4_visual, fig8_finegrained, table1_datasets, ExpConfig,
+};
+use deepmvi_suite::eval::Table;
+
+fn assert_numeric_table(t: &Table, label_cols: usize) {
+    assert!(!t.rows.is_empty(), "{}: no rows", t.title);
+    for (r, row) in t.rows.iter().enumerate() {
+        assert_eq!(row.len(), t.headers.len(), "{}: ragged row {r}", t.title);
+        for c in label_cols..row.len() {
+            let v: f64 = row[c].parse().unwrap_or_else(|_| {
+                panic!("{}: cell [{r},{c}] = {:?} not numeric", t.title, row[c])
+            });
+            assert!(v.is_finite(), "{}: cell [{r},{c}] not finite", t.title);
+        }
+    }
+}
+
+#[test]
+fn table1_driver_produces_the_inventory() {
+    let t = table1_datasets(&ExpConfig::smoke());
+    assert_eq!(t.rows.len(), 10);
+    assert_numeric_table(&t, 1);
+    // The two multidimensional datasets report dims = 2.
+    let dims_col = t.col("dims").unwrap();
+    let multidim = t.rows.iter().filter(|r| r[dims_col] == "2").count();
+    assert_eq!(multidim, 2);
+}
+
+#[test]
+fn fig4_driver_tracks_missing_blocks() {
+    let tables = fig4_visual(&ExpConfig::smoke());
+    assert_eq!(tables.len(), 2, "MCAR and Blackout panels");
+    for t in &tables {
+        assert_numeric_table(t, 0);
+        assert_eq!(t.headers, vec!["t", "truth", "CDRec", "DynaMMO", "DeepMVI"]);
+    }
+    // The Blackout panel covers one contiguous range.
+    let blackout = &tables[1];
+    let first: usize = blackout.rows[0][0].parse().unwrap();
+    let last: usize = blackout.rows[blackout.rows.len() - 1][0].parse().unwrap();
+    assert_eq!(last - first + 1, blackout.rows.len(), "blackout rows not contiguous");
+}
+
+#[test]
+fn fig8_driver_reports_each_block_size() {
+    let t = fig8_finegrained(&ExpConfig::smoke(), &[1, 4]);
+    assert_eq!(t.rows.len(), 2);
+    assert_numeric_table(&t, 0);
+}
+
+#[test]
+fn fig10b_driver_shows_trainable_runtimes() {
+    let t = fig10b_scaling(&ExpConfig::smoke(), &[256, 512]);
+    assert_numeric_table(&t, 0);
+    let secs_col = t.col("seconds").unwrap();
+    for r in 0..t.rows.len() {
+        assert!(t.value(r, secs_col).unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn fig11_driver_produces_gain_columns() {
+    let t = fig11_analytics(&ExpConfig::smoke());
+    assert_eq!(t.rows.len(), 4, "Climate, Electricity, JanataHack, M5");
+    assert_numeric_table(&t, 1);
+}

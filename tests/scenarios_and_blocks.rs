@@ -1,0 +1,103 @@
+//! Cross-crate invariants tying the scenario generators (mvi-data) to the
+//! synthetic-training-block machinery DeepMVI builds on them (§3): the sampled
+//! training shapes must be identically distributed to the real missing pattern.
+
+use deepmvi_suite::data::blocks::BlockSampler;
+use deepmvi_suite::data::generators::{generate_with_shape, DatasetName};
+use deepmvi_suite::data::scenarios::Scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sampler_shape_distribution_tracks_each_scenario() {
+    let ds = generate_with_shape(DatasetName::Gas, &[8], 400, 2);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // MCAR: blocks of 10, each typically alone at its time slice.
+    let mcar = Scenario::mcar(1.0).apply(&ds, 3);
+    let s = BlockSampler::from_observed(&mcar.observed());
+    let mut multi_series = 0;
+    for _ in 0..100 {
+        let b = s.sample(&mut rng);
+        assert_eq!(b.t_len % 10, 0);
+        if b.dim_counts[0] > 2 {
+            multi_series += 1;
+        }
+    }
+    assert!(multi_series < 30, "MCAR blocks should rarely align across many series");
+
+    // Blackout: every sampled block spans all series.
+    let blackout = Scenario::Blackout { block_len: 25 }.apply(&ds, 3);
+    let s = BlockSampler::from_observed(&blackout.observed());
+    for _ in 0..20 {
+        let b = s.sample(&mut rng);
+        assert_eq!(b.t_len, 25);
+        assert_eq!(b.dim_counts[0], 8);
+    }
+
+    // MissDisj: exactly one series per block.
+    let disj = Scenario::MissDisj.apply(&ds, 3);
+    let s = BlockSampler::from_observed(&disj.observed());
+    for _ in 0..20 {
+        let b = s.sample(&mut rng);
+        assert_eq!(b.dim_counts[0], 1, "MissDisj blocks never overlap across series");
+    }
+
+    // MissOver: consecutive series overlap, so blocks see 2 members missing.
+    let over = Scenario::MissOver.apply(&ds, 3);
+    let s = BlockSampler::from_observed(&over.observed());
+    let mut overlapping = 0;
+    for _ in 0..50 {
+        if s.sample(&mut rng).dim_counts[0] >= 2 {
+            overlapping += 1;
+        }
+    }
+    assert!(overlapping > 25, "MissOver should mostly sample overlapping shapes");
+}
+
+#[test]
+fn multidim_scenarios_respect_tensor_layout() {
+    let ds = generate_with_shape(DatasetName::JanataHack, &[6, 5], 130, 7);
+    for scenario in [Scenario::mcar(0.5), Scenario::MissDisj, Scenario::Blackout { block_len: 10 }] {
+        let inst = scenario.apply(&ds, 11);
+        assert_eq!(inst.missing.shape(), ds.values.shape());
+        // Fraction sanity: nothing fully missing, something missing.
+        let frac = inst.missing_fraction();
+        assert!(frac > 0.0 && frac < 0.6, "{scenario:?}: {frac}");
+        let obs = inst.observed();
+        // Sibling enumeration agrees between Dataset and ObservedDataset.
+        for s in [0usize, 7, 13] {
+            for dim in 0..2 {
+                assert_eq!(ds.siblings(s, dim), obs.siblings(s, dim));
+            }
+        }
+    }
+}
+
+#[test]
+fn observed_view_is_consistent_with_mask() {
+    for name in [DatasetName::Climate, DatasetName::M5] {
+        let ds = generate_with_shape(
+            name,
+            &ds_dims(name),
+            200,
+            9,
+        );
+        let inst = Scenario::mcar(1.0).apply(&ds, 13);
+        let obs = inst.observed();
+        for i in 0..obs.values.len() {
+            if obs.available.at(i) {
+                assert_eq!(obs.values.at(i), ds.values.at(i));
+            } else {
+                assert_eq!(obs.values.at(i), 0.0);
+            }
+        }
+    }
+}
+
+fn ds_dims(name: DatasetName) -> Vec<usize> {
+    match name.paper_shape().0.len() {
+        1 => vec![5],
+        _ => vec![4, 6],
+    }
+}
