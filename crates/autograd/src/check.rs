@@ -228,7 +228,8 @@ mod tests {
     #[test]
     fn grad_check_shift_concat_row_ops() {
         let mut store = ParamStore::new();
-        let w = store.add("w", Tensor::from_vec(vec![4, 2], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]));
+        let w = store
+            .add("w", Tensor::from_vec(vec![4, 2], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]));
         check_gradients(
             &mut store,
             &mut |store, g| {

@@ -100,21 +100,13 @@ impl Graph {
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.nodes[a].value.zip_map(&self.nodes[b].value, |x, y| x + y);
-        self.push(
-            v,
-            vec![a, b],
-            Some(Box::new(|g, _| vec![g.clone(), g.clone()])),
-        )
+        self.push(v, vec![a, b], Some(Box::new(|g, _| vec![g.clone(), g.clone()])))
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.nodes[a].value.zip_map(&self.nodes[b].value, |x, y| x - y);
-        self.push(
-            v,
-            vec![a, b],
-            Some(Box::new(|g, _| vec![g.clone(), g.map(|x| -x)])),
-        )
+        self.push(v, vec![a, b], Some(Box::new(|g, _| vec![g.clone(), g.map(|x| -x)])))
     }
 
     /// Elementwise `a * b` (same shape).
@@ -237,9 +229,7 @@ impl Graph {
         self.push(
             v,
             vec![a, b],
-            Some(Box::new(|g, p| {
-                vec![la::matmul_nt(g, p[1]), la::matmul_tn(p[0], g)]
-            })),
+            Some(Box::new(|g, p| vec![la::matmul_nt(g, p[1]), la::matmul_tn(p[0], g)])),
         )
     }
 
@@ -273,9 +263,7 @@ impl Graph {
         self.push(
             v,
             vec![a],
-            Some(Box::new(|g, p| {
-                vec![g.zip_map(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })]
-            })),
+            Some(Box::new(|g, p| vec![g.zip_map(p[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })])),
         )
     }
 
@@ -286,9 +274,7 @@ impl Graph {
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |g, _| {
-                vec![g.zip_map(&saved, |gi, si| gi * si * (1.0 - si))]
-            })),
+            Some(Box::new(move |g, _| vec![g.zip_map(&saved, |gi, si| gi * si * (1.0 - si))])),
         )
     }
 
@@ -299,9 +285,7 @@ impl Graph {
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |g, _| {
-                vec![g.zip_map(&saved, |gi, ti| gi * (1.0 - ti * ti))]
-            })),
+            Some(Box::new(move |g, _| vec![g.zip_map(&saved, |gi, ti| gi * (1.0 - ti * ti))])),
         )
     }
 
@@ -309,11 +293,7 @@ impl Graph {
     pub fn exp(&mut self, a: VarId) -> VarId {
         let v = self.nodes[a].value.map(f64::exp);
         let saved = v.clone();
-        self.push(
-            v,
-            vec![a],
-            Some(Box::new(move |g, _| vec![g.zip_map(&saved, |gi, ei| gi * ei)])),
-        )
+        self.push(v, vec![a], Some(Box::new(move |g, _| vec![g.zip_map(&saved, |gi, ei| gi * ei)])))
     }
 
     /// `ln(x + eps)` — epsilon keeps the log finite at zero.
@@ -322,20 +302,14 @@ impl Graph {
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |g, p| {
-                vec![g.zip_map(p[0], |gi, xi| gi / (xi + eps))]
-            })),
+            Some(Box::new(move |g, p| vec![g.zip_map(p[0], |gi, xi| gi / (xi + eps))])),
         )
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: VarId) -> VarId {
         let v = self.nodes[a].value.map(|x| x * x);
-        self.push(
-            v,
-            vec![a],
-            Some(Box::new(|g, p| vec![g.zip_map(p[0], |gi, xi| 2.0 * gi * xi)])),
-        )
+        self.push(v, vec![a], Some(Box::new(|g, p| vec![g.zip_map(p[0], |gi, xi| 2.0 * gi * xi)])))
     }
 
     /// `sqrt(x + eps)`.
@@ -345,9 +319,7 @@ impl Graph {
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |g, _| {
-                vec![g.zip_map(&saved, |gi, si| gi / (2.0 * si))]
-            })),
+            Some(Box::new(move |g, _| vec![g.zip_map(&saved, |gi, si| gi / (2.0 * si))])),
         )
     }
 
@@ -452,7 +424,8 @@ impl Graph {
             out,
             parts.to_vec(),
             Some(Box::new(move |g, _| {
-                let mut outs: Vec<Tensor> = widths.iter().map(|&w| Tensor::zeros(&[m, w])).collect();
+                let mut outs: Vec<Tensor> =
+                    widths.iter().map(|&w| Tensor::zeros(&[m, w])).collect();
                 for i in 0..m {
                     let grow = g.row(i);
                     let mut off = 0;
@@ -556,11 +529,7 @@ impl Graph {
     pub fn reshape(&mut self, a: VarId, new_shape: &[usize]) -> VarId {
         let old_shape = self.nodes[a].value.shape().to_vec();
         let v = self.nodes[a].value.clone().reshape(new_shape);
-        self.push(
-            v,
-            vec![a],
-            Some(Box::new(move |g, _| vec![g.clone().reshape(&old_shape)])),
-        )
+        self.push(v, vec![a], Some(Box::new(move |g, _| vec![g.clone().reshape(&old_shape)])))
     }
 
     // ==================================================================
@@ -643,11 +612,16 @@ impl Graph {
             let node = &self.nodes[id];
             let Some(backward) = node.backward.as_ref() else { continue };
             let Some(g) = grads[id].take() else { continue };
-            let parent_vals: Vec<&Tensor> = node.parents.iter().map(|&p| &self.nodes[p].value).collect();
+            let parent_vals: Vec<&Tensor> =
+                node.parents.iter().map(|&p| &self.nodes[p].value).collect();
             let pgrads = backward(&g, &parent_vals);
             debug_assert_eq!(pgrads.len(), node.parents.len());
             for (&p, pg) in node.parents.iter().zip(pgrads) {
-                debug_assert_eq!(pg.shape(), self.nodes[p].value.shape(), "gradient shape mismatch");
+                debug_assert_eq!(
+                    pg.shape(),
+                    self.nodes[p].value.shape(),
+                    "gradient shape mismatch"
+                );
                 match &mut grads[p] {
                     Some(acc) => acc.add_assign(&pg),
                     slot => *slot = Some(pg),

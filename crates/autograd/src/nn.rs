@@ -114,10 +114,8 @@ impl Embedding {
         dim: usize,
     ) -> Self {
         let std = 1.0 / (dim as f64).sqrt();
-        let table = store.add(
-            format!("{name}.table"),
-            Tensor::from_fn(&[vocab, dim], |_| randn(rng) * std),
-        );
+        let table = store
+            .add(format!("{name}.table"), Tensor::from_fn(&[vocab, dim], |_| randn(rng) * std));
         Self { table }
     }
 

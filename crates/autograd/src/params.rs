@@ -208,7 +208,10 @@ impl ParamStore {
         }
         for (e, (name, value)) in self.entries.iter().zip(&snap.params) {
             if &e.name != name {
-                return Err(format!("parameter name mismatch: store '{}' vs snapshot '{name}'", e.name));
+                return Err(format!(
+                    "parameter name mismatch: store '{}' vs snapshot '{name}'",
+                    e.name
+                ));
             }
             if e.value.shape() != value.shape() {
                 return Err(format!(

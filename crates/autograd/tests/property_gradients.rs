@@ -39,7 +39,7 @@ proptest! {
             },
             1e-6,
             1e-4,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 
     #[test]
@@ -71,7 +71,7 @@ proptest! {
             },
             1e-6,
             1e-4,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 
     #[test]
@@ -103,7 +103,7 @@ proptest! {
             },
             1e-6,
             1e-4,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 
     #[test]
@@ -125,7 +125,7 @@ proptest! {
             },
             1e-6,
             1e-4,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 }
 

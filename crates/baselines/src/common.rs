@@ -42,7 +42,7 @@ impl MatrixTask {
     /// the dataset's tensor shape.
     pub fn finish(&self, obs: &ObservedDataset, filled: &Tensor) -> Tensor {
         let mut out = obs.values.clone();
-        for (i, (o, &a)) in out.data_mut().iter_mut().zip(self.available.data()).enumerate().map(|(i, p)| (i, p)) {
+        for (i, (o, &a)) in out.data_mut().iter_mut().zip(self.available.data()).enumerate() {
             if !a {
                 *o = filled.at(i);
             }
@@ -55,7 +55,12 @@ impl MatrixTask {
 /// entries are restored from `observed`), returning the normalized Frobenius
 /// distance between the old and new missing entries — the convergence criterion the
 /// CDRec/SVDImp iterations use.
-pub fn refresh_missing(work: &mut Tensor, estimate: &Tensor, observed: &Tensor, available: &Mask) -> f64 {
+pub fn refresh_missing(
+    work: &mut Tensor,
+    estimate: &Tensor,
+    observed: &Tensor,
+    available: &Mask,
+) -> f64 {
     let mut diff2 = 0.0;
     let mut norm2 = 0.0;
     for i in 0..work.len() {

@@ -284,11 +284,8 @@ fn e_step(
     for tt in (0..t_len - 1).rev() {
         let p_pred_next_inv = inverse(&regularized(&p_pred_all[tt + 1], 1e-9))?;
         let j = matmul(&matmul_nt(&p_filt[tt], a), &p_pred_next_inv);
-        let dz: Vec<f64> = z_smooth[tt + 1]
-            .iter()
-            .zip(&z_pred_all[tt + 1])
-            .map(|(&s, &p)| s - p)
-            .collect();
+        let dz: Vec<f64> =
+            z_smooth[tt + 1].iter().zip(&z_pred_all[tt + 1]).map(|(&s, &p)| s - p).collect();
         let corr = matvec(&j, &dz);
         for (zi, &ci) in z_smooth[tt].iter_mut().zip(&corr) {
             *zi += ci;

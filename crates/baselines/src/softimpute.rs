@@ -40,7 +40,8 @@ impl Imputer for SoftImpute {
         let mut lambda = None;
         for _ in 0..self.max_iters {
             let dec = svd(&work);
-            let lam = *lambda.get_or_insert(self.lambda_frac * dec.s.first().copied().unwrap_or(0.0));
+            let lam =
+                *lambda.get_or_insert(self.lambda_frac * dec.s.first().copied().unwrap_or(0.0));
             let estimate = dec.reconstruct_with(|s| (s - lam).max(0.0));
             let delta = refresh_missing(&mut work, &estimate, &task.init, &task.available);
             if delta < self.tol {

@@ -66,9 +66,8 @@ impl<'a> Views<'a> {
         let top = (0..m)
             .map(|i| {
                 let mut order: Vec<usize> = (0..m).filter(|&j| j != i).collect();
-                order.sort_by(|&a, &b| {
-                    corr.m(i, b).abs().partial_cmp(&corr.m(i, a).abs()).unwrap()
-                });
+                order
+                    .sort_by(|&a, &b| corr.m(i, b).abs().partial_cmp(&corr.m(i, a).abs()).unwrap());
                 order.truncate(cfg.top_k);
                 order
             })
@@ -163,10 +162,7 @@ impl<'a> Views<'a> {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
             for j in 0..m {
-                if j != i
-                    && self.task.available.series(j)[t]
-                    && self.task.available.series(j)[tt]
-                {
+                if j != i && self.task.available.series(j)[t] && self.task.available.series(j)[tt] {
                     xs.push(self.task.init.m(j, t));
                     ys.push(self.task.init.m(j, tt));
                 }

@@ -300,7 +300,7 @@ mod tests {
         });
         let lag = detect_seasonal_lag(&init);
         assert!(
-            lag % period == 0 || (lag as i64 - period as i64).abs() <= 2,
+            lag.is_multiple_of(period) || (lag as i64 - period as i64).abs() <= 2,
             "detected {lag}, planted {period}"
         );
     }
@@ -335,7 +335,14 @@ mod tests {
         let ds = Dataset::new("ar", vec![DimSpec::indexed("series", "s", 5)], values);
         let inst = Scenario::mcar(1.0).apply(&ds, 8);
         // Light regularization: the generative model matches TRMF exactly.
-        let cfg = Trmf { rank: Some(1), lambda_f: 0.05, lambda_x: 0.1, iters: 20, sweeps: 3, ..Default::default() };
+        let cfg = Trmf {
+            rank: Some(1),
+            lambda_f: 0.05,
+            lambda_x: 0.1,
+            iters: 20,
+            sweeps: 3,
+            ..Default::default()
+        };
         let out = cfg.impute(&inst.observed());
         let err = mae(&ds.values, &out, &inst.missing);
         assert!(err < 0.15, "MAE {err} on exact factor model");

@@ -28,9 +28,7 @@ fn bench_linalg(c: &mut Criterion) {
     });
 
     let tall = pseudo(200, 10, 3);
-    c.bench_function("linalg/svd_200x10", |bench| {
-        bench.iter(|| black_box(svd(black_box(&tall))))
-    });
+    c.bench_function("linalg/svd_200x10", |bench| bench.iter(|| black_box(svd(black_box(&tall)))));
 
     c.bench_function("linalg/centroid_decomposition_200x10_k3", |bench| {
         bench.iter(|| black_box(centroid_decomposition(black_box(&tall), 3)))

@@ -6,6 +6,7 @@ use mvi_eval::experiments::fig8_finegrained;
 
 fn main() {
     let args = BenchArgs::parse();
-    let sizes: Vec<usize> = if args.exp.scale < 0.15 { vec![1, 5, 10] } else { vec![1, 2, 4, 6, 8, 10] };
+    let sizes: Vec<usize> =
+        if args.exp.scale < 0.15 { vec![1, 5, 10] } else { vec![1, 2, 4, 6, 8, 10] };
     args.emit(&[fig8_finegrained(&args.exp, &sizes)]);
 }

@@ -20,7 +20,8 @@ fn main() {
     eprintln!("[6/9] Figure 7 (ablations)...");
     tables.extend(exp::fig7_ablation(&args.exp, &args.pct_points()));
     eprintln!("[7/9] Figures 8 & 9...");
-    let sizes: Vec<usize> = if args.exp.scale < 0.15 { vec![1, 5, 10] } else { vec![1, 2, 4, 6, 8, 10] };
+    let sizes: Vec<usize> =
+        if args.exp.scale < 0.15 { vec![1, 5, 10] } else { vec![1, 2, 4, 6, 8, 10] };
     tables.push(exp::fig8_finegrained(&args.exp, &sizes));
     tables.push(exp::fig9_multidim(&args.exp, &args.pct_points()));
     eprintln!("[8/9] Figure 10 (runtime)...");

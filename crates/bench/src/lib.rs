@@ -5,7 +5,9 @@
 //! * `--scale=F`   dataset scale factor (default 0.25; `--full` sets 1.0 — the
 //!   paper shapes — and switches the learned methods to their paper budgets),
 //! * `--seed=N`    base seed (default 7),
-//! * `--csv=DIR`   additionally write each table as a CSV file under `DIR`.
+//! * `--csv=DIR`   additionally write each table as a CSV file under `DIR`,
+//! * `--threads=N` cap worker threads for the parallel kernels and the trainer
+//!   (default: the machine's available parallelism).
 //!
 //! Run them all with `cargo run -p mvi-bench --release --bin <name>`; see
 //! `EXPERIMENTS.md` for the mapping from paper artifact to binary.
@@ -39,6 +41,12 @@ impl BenchArgs {
                 exp.seed = v.parse().unwrap_or_else(|_| usage(&arg));
             } else if let Some(v) = arg.strip_prefix("--csv=") {
                 csv_dir = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                let n: usize = v.parse().unwrap_or_else(|_| usage(&arg));
+                if n == 0 {
+                    usage(&arg);
+                }
+                mvi_parallel::configure_threads(n);
             } else {
                 usage(&arg);
             }
@@ -93,7 +101,7 @@ impl BenchArgs {
 
 fn usage(arg: &str) -> ! {
     eprintln!("unrecognized argument: {arg}");
-    eprintln!("usage: <bin> [--scale=F] [--seed=N] [--full] [--csv=DIR]");
+    eprintln!("usage: <bin> [--scale=F] [--seed=N] [--full] [--csv=DIR] [--threads=N]");
     std::process::exit(2);
 }
 

@@ -43,7 +43,9 @@ pub struct DeepMviConfig {
     pub eval_every: usize,
     /// Early-stopping patience, in evaluations without improvement.
     pub patience: usize,
-    /// Worker threads for data-parallel gradient accumulation.
+    /// Worker threads for data-parallel gradient accumulation. The default is
+    /// the machine's available parallelism (capped by `mvi_parallel`'s global
+    /// thread budget, e.g. the bench binaries' `--threads=N` flag).
     pub threads: usize,
     /// RNG seed (parameter init, sampling).
     pub seed: u64,
@@ -76,7 +78,7 @@ impl Default for DeepMviConfig {
             val_instances: 64,
             eval_every: 40,
             patience: 6,
-            threads: 2,
+            threads: mvi_parallel::available_threads(),
             seed: 17,
             use_temporal_transformer: true,
             use_context_window: true,

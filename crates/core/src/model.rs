@@ -63,8 +63,7 @@ impl WindowTask<'_> {
     /// Effective availability of the target series at `t`: observed and not hidden
     /// by the synthetic mask.
     fn avail(&self, t: usize) -> bool {
-        self.obs.available.series(self.s)[t]
-            && !self.synth.as_ref().is_some_and(|m| m.covers(t))
+        self.obs.available.series(self.s)[t] && !self.synth.as_ref().is_some_and(|m| m.covers(t))
     }
 
     /// Effective availability of a sibling (along `dim`, member `member`, series id
@@ -220,12 +219,7 @@ impl DeepMviModel {
     pub fn kernel_similarity(&self, dim: usize, a: usize, b: usize) -> f64 {
         let Some(kr) = &self.kr else { return 0.0 };
         let table = self.store.value(kr.tables[dim].table);
-        let d2: f64 = table
-            .row(a)
-            .iter()
-            .zip(table.row(b))
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum();
+        let d2: f64 = table.row(a).iter().zip(table.row(b)).map(|(&x, &y)| (x - y) * (x - y)).sum();
         (-kr.gamma * d2).exp()
     }
 
@@ -292,11 +286,7 @@ impl DeepMviModel {
             };
             // Fig 7's "No Context Window" ablation: keys/queries see only the
             // positional encoding, exactly dropping the contextual information.
-            let qk_in = if self.cfg.use_context_window {
-                g.add(neighbours, pe)
-            } else {
-                pe
-            };
+            let qk_in = if self.cfg.use_context_window { g.add(neighbours, pe) } else { pe };
 
             let scale = 1.0 / ((2 * p) as f64).sqrt();
             let mut head_outs = Vec::with_capacity(tt.heads.len());
@@ -404,9 +394,7 @@ impl DeepMviModel {
                 let dist = |m: usize| -> f64 {
                     table.row(m).iter().zip(&own).map(|(&a, &b)| (a - b) * (a - b)).sum()
                 };
-                order.sort_by(|&a, &b| {
-                    dist(members[a]).partial_cmp(&dist(members[b])).unwrap()
-                });
+                order.sort_by(|&a, &b| dist(members[a]).partial_cmp(&dist(members[b])).unwrap());
                 order.truncate(self.cfg.max_siblings);
                 members = order.iter().map(|&i| members[i]).collect();
                 values = order.iter().map(|&i| values[i]).collect();
@@ -472,13 +460,8 @@ mod tests {
     fn forward_produces_one_prediction_per_position() {
         let obs = small_obs();
         let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
-        let task = WindowTask {
-            obs: &obs,
-            s: 1,
-            window_j: 4,
-            positions: vec![40, 43, 47],
-            synth: None,
-        };
+        let task =
+            WindowTask { obs: &obs, s: 1, window_j: 4, positions: vec![40, 43, 47], synth: None };
         let mut g = Graph::new();
         let preds = model.forward_positions(&model.store, &mut g, &task);
         assert_eq!(preds.len(), 3);

@@ -130,7 +130,7 @@ mod tests {
         for _ in 0..40 {
             let inst = sample_instance(&model, &obs, &mut rng).unwrap();
             let len = inst.synth.range.1 - inst.synth.range.0;
-            assert!(len % 10 == 0 || len == obs.t_len() / 2, "len {len}");
+            assert!(len.is_multiple_of(10) || len == obs.t_len() / 2, "len {len}");
         }
     }
 

@@ -39,9 +39,8 @@ impl DeepMviModel {
         let mut steps_run = 0usize;
 
         for step in 0..cfg.max_steps {
-            let batch: Vec<TrainInstance> = (0..cfg.batch_size)
-                .filter_map(|_| sample_instance(self, obs, &mut rng))
-                .collect();
+            let batch: Vec<TrainInstance> =
+                (0..cfg.batch_size).filter_map(|_| sample_instance(self, obs, &mut rng)).collect();
             if batch.is_empty() {
                 break;
             }
@@ -76,8 +75,8 @@ impl DeepMviModel {
     }
 
     /// Summed parameter gradients over a batch, data-parallel across
-    /// `cfg.threads` workers (each worker owns its tape; the shared store is read
-    /// only).
+    /// `cfg.threads` workers via the shared `mvi_parallel` pool (each worker owns
+    /// its tape; the shared store is read only).
     fn batch_gradients(
         &self,
         obs: &ObservedDataset,
@@ -87,21 +86,12 @@ impl DeepMviModel {
         if threads <= 1 {
             return batch.iter().flat_map(|inst| self.instance_gradients(obs, inst)).collect();
         }
-        let chunk = batch.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = batch
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move |_| {
-                        part.iter()
-                            .flat_map(|inst| self.instance_gradients(obs, inst))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        mvi_parallel::map_chunks(batch, threads, |part| {
+            part.iter().flat_map(|inst| self.instance_gradients(obs, inst)).collect::<Vec<_>>()
         })
-        .expect("crossbeam scope failed")
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     fn instance_gradients(
@@ -163,9 +153,8 @@ impl DeepMviModel {
                 let first_w = start / w;
                 let last_w = (end - 1) / w;
                 for wj in first_w..=last_w {
-                    let positions: Vec<usize> = (wj * w..(wj + 1) * w)
-                        .filter(|&t| t >= start && t < end)
-                        .collect();
+                    let positions: Vec<usize> =
+                        (wj * w..(wj + 1) * w).filter(|&t| t >= start && t < end).collect();
                     if positions.is_empty() {
                         continue;
                     }
@@ -236,7 +225,8 @@ mod tests {
         let ds = generate_with_shape(DatasetName::Gas, &[5], 200, 3);
         let inst = Scenario::MissDisj.apply(&ds, 4);
         let obs = inst.observed();
-        let out = DeepMvi::new(DeepMviConfig { max_steps: 20, ..DeepMviConfig::tiny() }).impute(&obs);
+        let out =
+            DeepMvi::new(DeepMviConfig { max_steps: 20, ..DeepMviConfig::tiny() }).impute(&obs);
         assert!(out.all_finite());
         assert_eq!(out.shape(), ds.values.shape());
         for i in 0..out.len() {
@@ -268,7 +258,8 @@ mod tests {
         let ds = generate_with_shape(DatasetName::Electricity, &[5], 300, 9);
         let inst = Scenario::Blackout { block_len: 40 }.apply(&ds, 2);
         let obs = inst.observed();
-        let out = DeepMvi::new(DeepMviConfig { max_steps: 30, ..DeepMviConfig::tiny() }).impute(&obs);
+        let out =
+            DeepMvi::new(DeepMviConfig { max_steps: 30, ..DeepMviConfig::tiny() }).impute(&obs);
         assert!(out.all_finite());
         let err = mae(&ds.values, &out, &inst.missing);
         assert!(err < 3.0, "MAE {err} wildly off on z-scored data");

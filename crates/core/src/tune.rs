@@ -81,8 +81,7 @@ mod tests {
         let obs = inst.observed();
         let base = DeepMviConfig { max_steps: 25, ..DeepMviConfig::tiny() };
         // An untrained-ish candidate (1 step) must rank below a trained one.
-        let candidates =
-            vec![DeepMviConfig { max_steps: 1, ..base.clone() }, base.clone()];
+        let candidates = vec![DeepMviConfig { max_steps: 1, ..base.clone() }, base.clone()];
         let report = grid_search(&obs, &candidates);
         assert_eq!(report.candidates.len(), 2);
         assert!(report.candidates[0].val_mse <= report.candidates[1].val_mse);
@@ -94,8 +93,7 @@ mod tests {
         let base = DeepMviConfig::tiny();
         let grid = default_grid(&base);
         assert_eq!(grid.len(), 4);
-        let windows: std::collections::HashSet<_> =
-            grid.iter().map(|c| c.window).collect();
+        let windows: std::collections::HashSet<_> = grid.iter().map(|c| c.window).collect();
         assert_eq!(windows.len(), 2);
     }
 

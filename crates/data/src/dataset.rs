@@ -19,10 +19,7 @@ pub struct DimSpec {
 impl DimSpec {
     /// Builds a dimension with `n` auto-named members (`prefix0`, `prefix1`, ...).
     pub fn indexed(name: &str, prefix: &str, n: usize) -> Self {
-        Self {
-            name: name.to_string(),
-            members: (0..n).map(|i| format!("{prefix}{i}")).collect(),
-        }
+        Self { name: name.to_string(), members: (0..n).map(|i| format!("{prefix}{i}")).collect() }
     }
 
     /// Extent of this dimension.
@@ -166,10 +163,7 @@ impl ObservedDataset {
         ObservedDataset {
             name: format!("{}-flat", self.name),
             dims: vec![DimSpec::indexed("series", "s", self.n_series())],
-            values: self
-                .values
-                .clone()
-                .reshape(&[self.n_series(), self.t_len()]),
+            values: self.values.clone().reshape(&[self.n_series(), self.t_len()]),
             available: {
                 let m = self.available.clone();
                 Mask::from_vec(vec![self.n_series(), self.t_len()], m.data().to_vec())
@@ -217,7 +211,8 @@ mod tests {
 
     fn toy() -> Dataset {
         let dims = vec![DimSpec::indexed("store", "st", 2), DimSpec::indexed("item", "it", 3)];
-        let values = Tensor::from_fn(&[2, 3, 4], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64);
+        let values =
+            Tensor::from_fn(&[2, 3, 4], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64);
         Dataset::new("toy", dims, values)
     }
 

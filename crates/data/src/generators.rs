@@ -154,9 +154,7 @@ fn smooth_factor(rng: &mut StdRng, t: usize, rho: f64, sigma: f64) -> Vec<f64> {
 
 /// Sparse spikes: each step fires with probability `rate`, magnitude `±mag·N(0,1)`.
 fn spikes(rng: &mut StdRng, t: usize, rate: f64, mag: f64) -> Vec<f64> {
-    (0..t)
-        .map(|_| if rng.gen::<f64>() < rate { mag * randn(rng) } else { 0.0 })
-        .collect()
+    (0..t).map(|_| if rng.gen::<f64>() < rate { mag * randn(rng) } else { 0.0 }).collect()
 }
 
 /// A piecewise-constant jump process with roughly `n_jumps` level shifts.
@@ -178,7 +176,6 @@ fn season(tt: usize, period: f64, phase: f64, amp: f64) -> f64 {
     let x = TAU * tt as f64 / period + phase;
     amp * (x.sin() + 0.35 * (2.0 * x + 0.7).sin())
 }
-
 
 /// Scales a paper-shape seasonal period so the number of cycles per series stays
 /// constant when a generator runs at reduced length (`t` vs the paper's
@@ -224,13 +221,16 @@ fn finish_1d(name: &str, n: usize, t: usize, mut gen: impl FnMut(usize, usize) -
 fn airq(n: usize, t: usize, rng: &mut StdRng) -> Dataset {
     let f1 = smooth_factor(rng, t, 0.97, 0.25);
     let f2 = smooth_factor(rng, t, 0.90, 0.35);
-    let loadings: Vec<(f64, f64)> = (0..n).map(|_| (0.8 + 0.4 * rng.gen::<f64>(), 0.6 * randn(rng))).collect();
+    let loadings: Vec<(f64, f64)> =
+        (0..n).map(|_| (0.8 + 0.4 * rng.gen::<f64>(), 0.6 * randn(rng))).collect();
     let phases: Vec<f64> = (0..n).map(|_| 0.3 * randn(rng)).collect();
     let jumps_per_series: Vec<Vec<f64>> = (0..n).map(|_| jumps(rng, t, 3, 1.2)).collect();
-    let noise: Vec<Vec<f64>> = (0..n).map(|_| (0..t).map(|_| 0.25 * randn(rng)).collect()).collect();
+    let noise: Vec<Vec<f64>> =
+        (0..n).map(|_| (0..t).map(|_| 0.25 * randn(rng)).collect()).collect();
     finish_1d("AirQ", n, t, |s, tt| {
         let (l1, l2) = loadings[s];
-        l1 * f1[tt] + l2 * f2[tt]
+        l1 * f1[tt]
+            + l2 * f2[tt]
             + season(tt, scaled_period(48.0, t, 1000), phases[s], 0.55)
             + jumps_per_series[s][tt]
             + noise[s][tt]
@@ -298,9 +298,13 @@ fn temperature(n: usize, t: usize, rng: &mut StdRng) -> Dataset {
     let weather = smooth_factor(rng, t, 0.98, 0.12);
     let offsets: Vec<f64> = (0..n).map(|_| 0.2 * randn(rng)).collect();
     let gains: Vec<f64> = (0..n).map(|_| 0.9 + 0.2 * rng.gen::<f64>()).collect();
-    let noise: Vec<Vec<f64>> = (0..n).map(|_| (0..t).map(|_| 0.15 * randn(rng)).collect()).collect();
+    let noise: Vec<Vec<f64>> =
+        (0..n).map(|_| (0..t).map(|_| 0.15 * randn(rng)).collect()).collect();
     finish_1d("Temperature", n, t, |s, tt| {
-        gains[s] * season(tt, scaled_period(365.0, t, 5000), 0.0, 1.0) + weather[tt] + offsets[s] + noise[s][tt]
+        gains[s] * season(tt, scaled_period(365.0, t, 5000), 0.0, 1.0)
+            + weather[tt]
+            + offsets[s]
+            + noise[s][tt]
     })
 }
 
@@ -326,7 +330,8 @@ fn bafu(n: usize, t: usize, rng: &mut StdRng) -> Dataset {
     let discharge = smooth_factor(rng, t, 0.999, 0.05);
     let gains: Vec<f64> = (0..n).map(|_| 0.7 + 0.6 * rng.gen::<f64>()).collect();
     let own: Vec<Vec<f64>> = (0..n).map(|_| smooth_factor(rng, t, 0.995, 0.03)).collect();
-    let noise: Vec<Vec<f64>> = (0..n).map(|_| (0..t).map(|_| 0.15 * randn(rng)).collect()).collect();
+    let noise: Vec<Vec<f64>> =
+        (0..n).map(|_| (0..t).map(|_| 0.15 * randn(rng)).collect()).collect();
     finish_1d("BAFU", n, t, |s, tt| gains[s] * discharge[tt] + own[s][tt] + noise[s][tt])
 }
 
@@ -346,7 +351,8 @@ fn janatahack(stores: usize, skus: usize, t: usize, rng: &mut StdRng) -> Dataset
     // Store-level idiosyncrasies (local demand shifts) on top of the shared SKU
     // curve: still high relatedness, but with a within-series component that
     // history-aware methods can exploit.
-    let idio: Vec<Vec<f64>> = (0..stores * skus).map(|_| smooth_factor(rng, t, 0.9, 0.15)).collect();
+    let idio: Vec<Vec<f64>> =
+        (0..stores * skus).map(|_| smooth_factor(rng, t, 0.9, 0.15)).collect();
     let noise_scale = 0.2;
     let mut values = Tensor::from_fn(&[stores, skus, t], |idx| {
         store_gain[idx[0]] * sku_curves[idx[1]][idx[2]] + idio[idx[0] * skus + idx[1]][idx[2]]

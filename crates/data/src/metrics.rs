@@ -71,7 +71,7 @@ pub fn aggregate_first_dim(values: &Tensor, keep: Option<&Mask>) -> Tensor {
     for i in 0..k1 {
         let base = i * rest;
         for j in 0..rest {
-            let ok = keep.map_or(true, |m| m.at(base + j));
+            let ok = keep.is_none_or(|m| m.at(base + j));
             if ok {
                 out[j] += values.at(base + j);
                 counts[j] += 1;

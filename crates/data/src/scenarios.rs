@@ -129,10 +129,8 @@ fn place_random_blocks(
     // Candidate starts on a grid of stride block_len guarantee disjointness; a random
     // per-series offset avoids aligning blocks across series.
     let offset = rng.gen_range(0..block_len);
-    let mut starts: Vec<usize> = (0..)
-        .map(|i| offset + i * block_len)
-        .take_while(|&st| st + block_len <= t)
-        .collect();
+    let mut starts: Vec<usize> =
+        (0..).map(|i| offset + i * block_len).take_while(|&st| st + block_len <= t).collect();
     starts.shuffle(rng);
     for &st in starts.iter().take(n_blocks) {
         missing.set_range(s, st, st + block_len, true);
@@ -180,7 +178,7 @@ mod tests {
     fn missdisj_blocks_are_disjoint_and_cover() {
         let ds = toy(5, 100);
         let inst = Scenario::MissDisj.apply(&ds, 1);
-        let mut covered = vec![false; 100];
+        let mut covered = [false; 100];
         for s in 0..5 {
             let runs = inst.missing.runs(s);
             assert_eq!(runs, vec![(s * 20, 20)]);

@@ -298,7 +298,8 @@ pub fn table2_deep(cfg: &ExpConfig) -> Table {
     // El-Blk, Me-MCAR, Me-Blk (already in that order).
     for m in methods {
         let imp = m.build(cfg.budget);
-        let maes: Vec<f64> = instances.iter().map(|inst| run_method(imp.as_ref(), inst).mae).collect();
+        let maes: Vec<f64> =
+            instances.iter().map(|inst| run_method(imp.as_ref(), inst).mae).collect();
         t.push_values(&imp.name(), &maes);
     }
     t
@@ -453,12 +454,8 @@ pub fn fig10b_scaling(cfg: &ExpConfig, lengths: &[usize]) -> Table {
 /// aggregate series (positive = imputing beats dropping), for Climate,
 /// Electricity, JanataHack and M5 under MCAR(100%).
 pub fn fig11_analytics(cfg: &ExpConfig) -> Table {
-    let datasets = [
-        DatasetName::Climate,
-        DatasetName::Electricity,
-        DatasetName::JanataHack,
-        DatasetName::M5,
-    ];
+    let datasets =
+        [DatasetName::Climate, DatasetName::Electricity, DatasetName::JanataHack, DatasetName::M5];
     let methods =
         [Method::CdRec, Method::Brits, Method::GpVae, Method::Transformer, Method::DeepMvi];
     let mut t = Table::new(

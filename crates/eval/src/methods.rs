@@ -143,7 +143,12 @@ impl Method {
                 Mrnn::default()
             }),
             Method::Transformer => Box::new(if quick {
-                VanillaTransformer { d_model: 16, context: 96, train_samples: 120, ..Default::default() }
+                VanillaTransformer {
+                    d_model: 16,
+                    context: 96,
+                    train_samples: 120,
+                    ..Default::default()
+                }
             } else {
                 VanillaTransformer::default()
             }),

@@ -1,9 +1,13 @@
 //! Basic dense matrix/vector operations.
 //!
-//! The matmul kernels use the cache-friendly `ikj` loop order; per the workspace
-//! performance guide this is within a small factor of a tuned BLAS for the modest
-//! matrix sizes the baselines need (series-count × rank, rank × rank).
+//! Since the kernel-layer refactor these are thin shape-checking wrappers over
+//! [`mvi_kernels`]: the matmul variants lower to the cache-blocked,
+//! register-tiled, parallel GEMM kernels, and the vector helpers to the fused
+//! `dot`/`axpy` primitives. Signatures are unchanged, so every baseline and
+//! autograd node picks the fast path up transparently. See `PERFORMANCE.md`
+//! for the kernel design and measured throughput.
 
+use mvi_kernels as kern;
 use mvi_tensor::Tensor;
 
 /// `C = A · B` for `A: [m,k]`, `B: [k,n]`.
@@ -15,21 +19,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
     let mut c = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aik * bv;
-            }
-        }
-    }
+    kern::matmul(m, k, n, a.data(), b.data(), c.data_mut());
     c
 }
 
@@ -39,21 +29,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
     let mut c = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aki * bv;
-            }
-        }
-    }
+    kern::matmul_tn(k, m, n, a.data(), b.data(), c.data_mut());
     c
 }
 
@@ -63,14 +39,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
     let mut c = Tensor::zeros(&[m, n]);
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let brow = b.row(j);
-            let dot: f64 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-            c.set_m(i, j, dot);
-        }
-    }
+    kern::matmul_nt(m, k, n, a.data(), b.data(), c.data_mut());
     c
 }
 
@@ -78,9 +47,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matvec(a: &Tensor, x: &[f64]) -> Vec<f64> {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(n, x.len(), "matvec dims: {n} vs {}", x.len());
-    (0..m)
-        .map(|i| a.row(i).iter().zip(x).map(|(&aij, &xj)| aij * xj).sum())
-        .collect()
+    (0..m).map(|i| kern::dot(a.row(i), x)).collect()
 }
 
 /// `y = Aᵀ · x` for `A: [m,n]`, `x: [m]`.
@@ -92,9 +59,7 @@ pub fn matvec_t(a: &Tensor, x: &[f64]) -> Vec<f64> {
         if xi == 0.0 {
             continue;
         }
-        for (yj, &aij) in y.iter_mut().zip(a.row(i)) {
-            *yj += aij * xi;
-        }
+        kern::axpy(&mut y, xi, a.row(i));
     }
     y
 }
@@ -120,20 +85,19 @@ pub fn identity(n: usize) -> Tensor {
     i
 }
 
-/// Euclidean dot product of two equal-length slices.
+/// Euclidean dot product of two equal-length slices (4-way unrolled kernel).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    kern::dot(a, b)
 }
 
 /// Euclidean norm of a slice.
 #[inline]
 pub fn norm2(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
+    kern::norm2_sq(a).sqrt()
 }
 
-/// Outer-product update `A -= alpha * u vᵀ` for `A: [m,n]`, `u: [m]`, `v: [n]`.
+/// Outer-product update `A += alpha * u vᵀ` for `A: [m,n]`, `u: [m]`, `v: [n]`.
 pub fn rank1_update(a: &mut Tensor, alpha: f64, u: &[f64], v: &[f64]) {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(m, u.len());
@@ -143,9 +107,7 @@ pub fn rank1_update(a: &mut Tensor, alpha: f64, u: &[f64], v: &[f64]) {
         if coeff == 0.0 {
             continue;
         }
-        for (av, &vj) in a.row_mut(i).iter_mut().zip(v) {
-            *av += coeff * vj;
-        }
+        kern::axpy(a.row_mut(i), coeff, v);
     }
 }
 
@@ -171,6 +133,18 @@ mod tests {
         let a = t2(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
         assert_eq!(matmul(&a, &identity(3)), a);
         assert_eq!(matmul(&identity(3), &a), a);
+    }
+
+    #[test]
+    fn matmul_empty_dims() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert_eq!(matmul(&a, &b).shape(), &[0, 2]);
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
     }
 
     #[test]
@@ -222,12 +196,33 @@ mod tests {
             m in 1usize..4, k in 1usize..4, l in 1usize..4, n in 1usize..4
         ) {
             let a = Tensor::from_fn(&[m, k], |idx| (1 + idx[0] + 2 * idx[1]) as f64);
-            let b = Tensor::from_fn(&[k, l], |idx| (1.0 + idx[0] as f64 - idx[1] as f64));
+            let b = Tensor::from_fn(&[k, l], |idx| 1.0 + idx[0] as f64 - idx[1] as f64);
             let c = Tensor::from_fn(&[l, n], |idx| (idx[0] * 2 + idx[1]) as f64);
             let left = matmul(&matmul(&a, &b), &c);
             let right = matmul(&a, &matmul(&b, &c));
             for (x, y) in left.data().iter().zip(right.data()) {
                 prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+
+        // Kernel-layer contract: the blocked/parallel kernels must agree with
+        // the seed's naive ikj reference on random shapes, including
+        // non-multiple-of-tile edge sizes (the tile width is 4, the k-panel 256).
+        #[test]
+        fn prop_blocked_kernels_match_naive_reference(
+            m in 1usize..12, k in 1usize..20, n in 1usize..12, seed in 0u64..200
+        ) {
+            let a = Tensor::from_fn(&[m, k], |idx| {
+                ((idx[0] * 13 + idx[1] * 3 + seed as usize) % 17) as f64 / 4.0 - 2.0
+            });
+            let b = Tensor::from_fn(&[k, n], |idx| {
+                ((idx[0] * 7 + idx[1] * 11 + seed as usize) % 19) as f64 / 4.0 - 2.0
+            });
+            let fast = matmul(&a, &b);
+            let mut c_ref = Tensor::zeros(&[m, n]);
+            mvi_kernels::reference::matmul_ikj(m, k, n, a.data(), b.data(), c_ref.data_mut());
+            for (x, y) in fast.data().iter().zip(c_ref.data()) {
+                prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{} vs {}", x, y);
             }
         }
     }

@@ -158,9 +158,8 @@ mod tests {
     fn spd(n: usize, seed: u64) -> Tensor {
         // B Bᵀ + n·I is SPD.
         let b = Tensor::from_fn(&[n, n], |idx| {
-            let h = (idx[0] as u64)
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add(idx[1] as u64 + seed);
+            let h =
+                (idx[0] as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(idx[1] as u64 + seed);
             ((h >> 30) % 100) as f64 / 25.0 - 2.0
         });
         let mut a = matmul(&b, &transpose(&b));

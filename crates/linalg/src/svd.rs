@@ -134,7 +134,8 @@ fn jacobi_tall(a: &Tensor) -> Svd {
 
     // Singular values = column norms; sort descending.
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = g.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    let norms: Vec<f64> =
+        g.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 
     let mut u = Tensor::zeros(&[m, n]);
@@ -160,7 +161,8 @@ fn rotate(cols: &mut [Vec<f64>], p: usize, q: usize, c: f64, s: f64) {
     // Split borrows of the two columns.
     let (lo, hi) = if p < q { (p, q) } else { (q, p) };
     let (head, tail) = cols.split_at_mut(hi);
-    let (cp, cq) = if p < q { (&mut head[lo], &mut tail[0]) } else { (&mut tail[0], &mut head[lo]) };
+    let (cp, cq) =
+        if p < q { (&mut head[lo], &mut tail[0]) } else { (&mut tail[0], &mut head[lo]) };
     for (x, y) in cp.iter_mut().zip(cq.iter_mut()) {
         let xp = c * *x - s * *y;
         let yq = s * *x + c * *y;

@@ -33,7 +33,14 @@ pub struct Brits {
 
 impl Default for Brits {
     fn default() -> Self {
-        Self { hidden: 32, train_samples: 150, window_len: 120, lr: 1e-2, consistency: 0.1, seed: 5 }
+        Self {
+            hidden: 32,
+            train_samples: 150,
+            window_len: 120,
+            lr: 1e-2,
+            consistency: 0.1,
+            seed: 5,
+        }
     }
 }
 
@@ -109,10 +116,10 @@ impl BritsModel {
 
             // Observed entries supervise the prediction.
             if let Some(acc) = loss_acc.as_deref_mut() {
-                let observed_idx: Vec<usize> =
-                    (0..m).filter(|&i| av[i]).collect();
+                let observed_idx: Vec<usize> = (0..m).filter(|&i| av[i]).collect();
                 if !observed_idx.is_empty() {
-                    let mask_vec: Vec<f64> = (0..m).map(|i| if av[i] { 1.0 } else { 0.0 }).collect();
+                    let mask_vec: Vec<f64> =
+                        (0..m).map(|i| if av[i] { 1.0 } else { 0.0 }).collect();
                     let maskc = g.constant_slice(&mask_vec);
                     let colc = g.constant_slice(col);
                     let diff = g.sub(xhat, colc);
@@ -175,7 +182,8 @@ impl Imputer for Brits {
             let est_f = model.directional(&mut g, &model.fwd, cols, avs, Some(&mut losses));
             let rev_cols: Vec<Vec<f64>> = cols.iter().rev().cloned().collect();
             let rev_avs: Vec<Vec<bool>> = avs.iter().rev().cloned().collect();
-            let est_b = model.directional(&mut g, &model.bwd, &rev_cols, &rev_avs, Some(&mut losses));
+            let est_b =
+                model.directional(&mut g, &model.bwd, &rev_cols, &rev_avs, Some(&mut losses));
             // Consistency between the two directions' estimates at each step.
             for (t, &ef) in est_f.iter().enumerate() {
                 let eb = est_b[win - 1 - t];

@@ -134,8 +134,7 @@ impl Imputer for GpVae {
                 let recon = model.decode(&mut g, z);
 
                 // Reconstruction at observed entries.
-                let mask: Vec<f64> =
-                    avail[t].iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+                let mask: Vec<f64> = avail[t].iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
                 let n_obs = mask.iter().sum::<f64>();
                 if n_obs > 0.0 {
                     let maskc = g.constant_slice(&mask);

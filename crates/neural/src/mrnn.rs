@@ -109,7 +109,8 @@ impl MrnnModel {
                 // States *adjacent* to t so the estimate never reads x_t directly:
                 // forward state up to t-1, backward state down to t+1.
                 let f = if t > 0 { fstates[t - 1] } else { g.constant(Tensor::zeros(&[hidden])) };
-                let b = if t + 1 < n { bstates[t + 1] } else { g.constant(Tensor::zeros(&[hidden])) };
+                let b =
+                    if t + 1 < n { bstates[t + 1] } else { g.constant(Tensor::zeros(&[hidden])) };
                 let cat = g.concat1d(&[f, b]);
                 self.interp.forward_vec(g, &self.store, cat)
             })
@@ -151,13 +152,7 @@ impl Imputer for Mrnn {
                 let vals: Vec<f64> = flat.values.series(s)[start..start + win].to_vec();
                 let avail: Vec<f64> = flat.available.series(s)[start..start + win]
                     .iter()
-                    .map(|&a| {
-                        if a && rng.gen::<f64>() >= self.drop_frac {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    })
+                    .map(|&a| if a && rng.gen::<f64>() >= self.drop_frac { 1.0 } else { 0.0 })
                     .collect();
                 let est = model.interpolate_stream(&mut g, &vals, &avail);
                 // Interpolation loss at genuinely-observed positions.

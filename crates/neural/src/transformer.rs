@@ -53,7 +53,14 @@ impl Default for VanillaTransformer {
 impl VanillaTransformer {
     /// Small configuration for unit tests.
     pub fn tiny() -> Self {
-        Self { d_model: 12, n_heads: 2, context: 48, train_samples: 160, lr: 3e-3, ..Self::default() }
+        Self {
+            d_model: 12,
+            n_heads: 2,
+            context: 48,
+            train_samples: 160,
+            lr: 3e-3,
+            ..Self::default()
+        }
     }
 }
 

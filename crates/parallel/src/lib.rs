@@ -1,0 +1,202 @@
+//! Scoped data-parallel helpers shared by the compute kernels and the trainer.
+//!
+//! The workspace has no crates.io access, so instead of rayon this crate
+//! provides the two primitives the hot paths actually need, built on
+//! [`std::thread::scope`]:
+//!
+//! * [`for_row_spans_mut`] — partition a mutable row-major buffer into
+//!   contiguous row spans, one per worker (used by the matmul kernels to
+//!   split the output matrix),
+//! * [`map_chunks`] — map a function over contiguous chunks of a shared
+//!   slice, collecting per-chunk results in order (used by
+//!   `Trainer::batch_gradients` for data-parallel gradient accumulation).
+//!
+//! Worker counts come from the caller, clamped to [`current_threads`], which
+//! defaults to the machine's available parallelism and can be overridden
+//! globally ([`configure_threads`], wired to `--threads=N` in the bench
+//! binaries) or per process via the `MVI_THREADS` environment variable.
+//! Spawning per call costs ~10–20 µs per worker, which is noise at the
+//! millisecond-scale granularity of the kernels and training steps gated
+//! behind size thresholds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// 0 = unset (fall back to `MVI_THREADS` / available parallelism).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Globally caps worker threads for all parallel helpers (0 clears the cap).
+pub fn configure_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The default hardware parallelism: `std::thread::available_parallelism`
+/// (logical CPUs), or 1 if that cannot be determined. Cached — the kernels
+/// call this on every invocation and the underlying affinity syscall is not
+/// free.
+pub fn available_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The `MVI_THREADS` env override, resolved once (env lookups take the
+/// process-global env lock, which hot kernel paths must not contend on).
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MVI_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
+    })
+}
+
+/// The effective worker-thread budget: [`configure_threads`] override if set,
+/// else the `MVI_THREADS` environment variable (read once), else
+/// [`available_threads`].
+///
+/// Always clamped to [`available_threads`] (logical CPUs): the helpers run
+/// CPU-bound work, where oversubscribing the machine only adds
+/// context-switch overhead (measured ~1.8× slowdown for a 256³ GEMM with 4
+/// workers on 1 core).
+pub fn current_threads() -> usize {
+    let hw = available_threads();
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced.min(hw);
+    }
+    env_threads().map_or(hw, |n| n.min(hw))
+}
+
+/// Splits `data` (a row-major buffer of rows of length `row_len`) into at most
+/// `threads` contiguous row spans and runs `f(first_row, span)` on each span
+/// in parallel. The final span runs on the calling thread.
+///
+/// `threads` is clamped to [`current_threads`] and to the row count; with one
+/// effective worker the call is a plain inline invocation (no spawn).
+pub fn for_row_spans_mut<T, F>(data: &mut [T], row_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n_rows = data.len().checked_div(row_len).unwrap_or(0);
+    let workers = threads.min(current_threads()).min(n_rows.max(1)).max(1);
+    if workers <= 1 || n_rows <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = n_rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut first_row = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * row_len).min(rest.len());
+            let (span, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let row0 = first_row;
+            first_row += take / row_len;
+            if rest.is_empty() {
+                // Run the final span inline instead of spawning and idling.
+                f(row0, span);
+            } else {
+                scope.spawn(move || f(row0, span));
+            }
+        }
+    });
+}
+
+/// Maps `f` over at most `threads` contiguous chunks of `items`, in parallel,
+/// returning the per-chunk results in chunk order. The final chunk runs on
+/// the calling thread.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let workers = threads.min(current_threads()).min(items.len().max(1)).max(1);
+    if workers <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::new();
+        let mut parts = items.chunks(chunk);
+        let last = parts.next_back();
+        for part in parts {
+            handles.push(scope.spawn(move || f(part)));
+        }
+        let mut out: Vec<R> = Vec::with_capacity(workers);
+        let tail = last.map(f);
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+        out.extend(tail);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_spans_cover_everything_exactly_once() {
+        let row_len = 7;
+        let n_rows = 23;
+        let mut data = vec![0u32; row_len * n_rows];
+        for threads in [1, 2, 3, 8, 64] {
+            data.iter_mut().for_each(|x| *x = 0);
+            for_row_spans_mut(&mut data, row_len, threads, |first_row, span| {
+                assert_eq!(span.len() % row_len, 0);
+                for (r, row) in span.chunks_exact_mut(row_len).enumerate() {
+                    for x in row.iter_mut() {
+                        *x += (first_row + r) as u32 + 1;
+                    }
+                }
+            });
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, (i / row_len) as u32 + 1, "threads={threads} idx={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_spans_handle_degenerate_shapes() {
+        let mut empty: Vec<f64> = Vec::new();
+        for_row_spans_mut(&mut empty, 0, 4, |_, span| assert!(span.is_empty()));
+        for_row_spans_mut(&mut empty, 5, 4, |_, span| assert!(span.is_empty()));
+        let mut one = vec![1.0; 9];
+        for_row_spans_mut(&mut one, 9, 4, |first, span| {
+            assert_eq!(first, 0);
+            assert_eq!(span.len(), 9);
+        });
+    }
+
+    #[test]
+    fn map_chunks_preserves_order_and_coverage() {
+        let items: Vec<usize> = (0..101).collect();
+        for threads in [1, 2, 5, 16] {
+            let sums = map_chunks(&items, threads, |part| part.iter().sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), 101 * 100 / 2, "threads={threads}");
+            let firsts = map_chunks(&items, threads, |part| part[0]);
+            let mut sorted = firsts.clone();
+            sorted.sort_unstable();
+            assert_eq!(firsts, sorted, "chunk results out of order");
+        }
+    }
+
+    #[test]
+    fn map_chunks_on_empty_input() {
+        let items: Vec<usize> = Vec::new();
+        let out = map_chunks(&items, 4, |part| part.len());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn thread_budget_override_wins() {
+        configure_threads(3);
+        assert_eq!(current_threads(), 3.min(available_threads()));
+        configure_threads(0);
+        assert!(current_threads() >= 1);
+    }
+}

@@ -12,8 +12,10 @@
 //!   and the missing tensor `M`.
 //! * [`shape`] — flat-index arithmetic shared by both.
 //!
-//! The crate is dependency-free (serde only, for experiment reports) and forms the
-//! bottom of the workspace dependency graph.
+//! The crate sits near the bottom of the workspace dependency graph: its only
+//! dependencies are `serde` (for experiment reports) and `mvi-kernels`, whose fused
+//! slice primitives back the elementwise hot paths (`axpy`, `add_assign`,
+//! `frobenius_norm`).
 
 pub mod mask;
 pub mod shape;

@@ -133,11 +133,7 @@ impl Mask {
 
     /// Flat offsets of all `true` entries, in row-major order.
     pub fn true_indices(&self) -> Vec<usize> {
-        self.data
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| if b { Some(i) } else { None })
-            .collect()
+        self.data.iter().enumerate().filter_map(|(i, &b)| if b { Some(i) } else { None }).collect()
     }
 
     // ------------------------------------------------------------------

@@ -241,27 +241,21 @@ impl Tensor {
         Self { shape: self.shape.clone(), data }
     }
 
-    /// `self += other` elementwise.
+    /// `self += other` elementwise (fused kernel).
     pub fn add_assign(&mut self, other: &Self) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        mvi_kernels::add_assign(&mut self.data, &other.data);
     }
 
-    /// `self += alpha * other` elementwise (axpy).
+    /// `self += alpha * other` elementwise (fused axpy kernel).
     pub fn axpy(&mut self, alpha: f64, other: &Self) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        mvi_kernels::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// `self *= c` elementwise.
     pub fn scale_inplace(&mut self, c: f64) {
-        for x in &mut self.data {
-            *x *= c;
-        }
+        mvi_kernels::scale(&mut self.data, c);
     }
 
     // ------------------------------------------------------------------
@@ -284,7 +278,7 @@ impl Tensor {
 
     /// Frobenius norm (Euclidean norm of the flattened tensor).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+        mvi_kernels::norm2_sq(&self.data).sqrt()
     }
 
     /// Largest absolute element (0 for empty tensors).

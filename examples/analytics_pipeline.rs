@@ -49,12 +49,7 @@ fn main() {
     println!("\n{:<12} {:>14} {:>22}", "method", "aggregate MAE", "gain over DropCell");
     for (name, imputer) in methods {
         let r = evaluate_analytics(imputer.as_ref(), &instance);
-        println!(
-            "{:<12} {:>14.5} {:>22.5}",
-            name,
-            r.method_agg_mae,
-            r.gain_over_dropcell()
-        );
+        println!("{:<12} {:>14.5} {:>22.5}", name, r.method_agg_mae, r.gain_over_dropcell());
     }
     println!("\nPositive gain = imputing improved the analyst-facing aggregate.");
 }

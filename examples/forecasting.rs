@@ -53,11 +53,9 @@ fn main() {
     }
 
     println!("\n{:<16} {:>8}", "forecaster", "MAE");
-    for (name, pred) in [
-        ("DeepMVI", &deepmvi),
-        ("seasonal-naive", &seasonal_naive),
-        ("last-value", &last_value),
-    ] {
+    for (name, pred) in
+        [("DeepMVI", &deepmvi), ("seasonal-naive", &seasonal_naive), ("last-value", &last_value)]
+    {
         println!("{:<16} {:>8.4}", name, mae(&dataset.values, pred, &instance.missing));
     }
     println!("\nDeepMVI should land near the seasonal-naive oracle and far below last-value.");

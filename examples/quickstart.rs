@@ -40,11 +40,16 @@ fn main() {
 
     // 2. Hide 10% of every series in MCAR blocks of 10.
     let instance = Scenario::mcar(1.0).apply(&dataset, 42);
-    println!("hidden: {} entries ({:.1}%)", instance.missing.count(), 100.0 * instance.missing_fraction());
+    println!(
+        "hidden: {} entries ({:.1}%)",
+        instance.missing.count(),
+        100.0 * instance.missing_fraction()
+    );
     let observed = instance.observed();
 
     // 3. Impute with DeepMVI (a small training budget keeps this example fast).
-    let config = DeepMviConfig { max_steps: 120, p: 16, n_heads: 2, ctx_windows: 20, ..Default::default() };
+    let config =
+        DeepMviConfig { max_steps: 120, p: 16, n_heads: 2, ctx_windows: 20, ..Default::default() };
     let deepmvi = DeepMvi::new(config);
     let imputed = deepmvi.impute(&observed);
 

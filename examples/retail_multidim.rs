@@ -29,12 +29,16 @@ fn main() {
     let instance = Scenario::mcar(1.0).apply(&dataset, 9);
     let observed = instance.observed();
 
-    let base = DeepMviConfig { max_steps: 250, p: 16, n_heads: 2, ctx_windows: 14, ..Default::default() };
+    let base =
+        DeepMviConfig { max_steps: 250, p: 16, n_heads: 2, ctx_windows: 14, ..Default::default() };
     let methods: Vec<(&str, Box<dyn Imputer>)> = vec![
         ("DeepMVI (multidim KR)", Box::new(DeepMvi::new(base.clone()))),
         (
             "DeepMVI1D (flattened)",
-            Box::new(DeepMvi::new(DeepMviConfig { kernel_mode: KernelMode::Flattened, ..base.clone() })),
+            Box::new(DeepMvi::new(DeepMviConfig {
+                kernel_mode: KernelMode::Flattened,
+                ..base.clone()
+            })),
         ),
         (
             "DeepMVI (no KR)",

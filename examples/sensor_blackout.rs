@@ -22,12 +22,7 @@ fn main() {
     let instance = Scenario::Blackout { block_len: 60 }.apply(&dataset, 4);
     let observed = instance.observed();
     let (start, len) = instance.missing.runs(0)[0];
-    println!(
-        "blackout: all {} series missing t = {}..{}",
-        dataset.n_series(),
-        start,
-        start + len
-    );
+    println!("blackout: all {} series missing t = {}..{}", dataset.n_series(), start, start + len);
 
     let deepmvi_cfg = DeepMviConfig { max_steps: 200, p: 16, n_heads: 2, ..Default::default() };
     let methods: Vec<(&str, Box<dyn Imputer>)> = vec![
@@ -47,7 +42,10 @@ fn main() {
 
     // Show the middle of the recovered segment for series 0: DeepMVI should track
     // the seasonal shape while CDRec/interp draw a near-straight line (Fig 4).
-    println!("\nseries 0, t, truth, {}:", methods.iter().map(|m| m.0).collect::<Vec<_>>().join(", "));
+    println!(
+        "\nseries 0, t, truth, {}:",
+        methods.iter().map(|m| m.0).collect::<Vec<_>>().join(", ")
+    );
     for t in (start..start + len).step_by(6) {
         let mut line = format!("t={t:<5} truth={:>7.3}", dataset.values.series(0)[t]);
         for (i, (name, _)) in methods.iter().enumerate() {

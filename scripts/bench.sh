@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Kernel-throughput harness: writes the machine-readable BENCH_1.json artifact
+# tracking the compute-kernel layer's performance trajectory across PRs.
+#
+#   THREADS=4 OUT=BENCH_1.json scripts/bench.sh
+#
+# Two builds are measured so the speedup is honest:
+#   1. a baseline-codegen build (RUSTFLAGS="", i.e. plain x86-64 — exactly how
+#      the seed's ikj kernel ran before this layer existed), kept in
+#      target/baseline so it does not thrash the main build cache;
+#   2. the repo's default native-codegen build, which runs the full harness
+#      and records both the same-build speedup and the speedup against the
+#      seed kernel under its own original codegen ("_shipped").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${THREADS:-4}"
+OUT="${OUT:-BENCH_1.json}"
+
+echo "== phase 1: baseline-codegen build (seed's original configuration) =="
+RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
+    cargo build --release --offline -p mvi-bench --bin kernel_bench
+./target/baseline/release/kernel_bench \
+    --quick --threads="$THREADS" --out=target/baseline_bench.json
+
+echo "== phase 2: native-codegen build (full harness) =="
+cargo build --release --offline -p mvi-bench --bin kernel_bench
+./target/release/kernel_bench \
+    --threads="$THREADS" --baseline=target/baseline_bench.json --out="$OUT"
+
+echo "bench artifact: $OUT"

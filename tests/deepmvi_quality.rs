@@ -85,8 +85,7 @@ fn temporal_transformer_carries_purely_within_series_signal_under_blackout() {
     let full = mae(&ds.values, &DeepMvi::new(test_cfg()).impute(&obs), &inst.missing);
     let no_tt = mae(
         &ds.values,
-        &DeepMvi::new(DeepMviConfig { use_temporal_transformer: false, ..test_cfg() })
-            .impute(&obs),
+        &DeepMvi::new(DeepMviConfig { use_temporal_transformer: false, ..test_cfg() }).impute(&obs),
         &inst.missing,
     );
     assert!(

@@ -58,7 +58,8 @@ fn sampler_shape_distribution_tracks_each_scenario() {
 #[test]
 fn multidim_scenarios_respect_tensor_layout() {
     let ds = generate_with_shape(DatasetName::JanataHack, &[6, 5], 130, 7);
-    for scenario in [Scenario::mcar(0.5), Scenario::MissDisj, Scenario::Blackout { block_len: 10 }] {
+    for scenario in [Scenario::mcar(0.5), Scenario::MissDisj, Scenario::Blackout { block_len: 10 }]
+    {
         let inst = scenario.apply(&ds, 11);
         assert_eq!(inst.missing.shape(), ds.values.shape());
         // Fraction sanity: nothing fully missing, something missing.
@@ -77,12 +78,7 @@ fn multidim_scenarios_respect_tensor_layout() {
 #[test]
 fn observed_view_is_consistent_with_mask() {
     for name in [DatasetName::Climate, DatasetName::M5] {
-        let ds = generate_with_shape(
-            name,
-            &ds_dims(name),
-            200,
-            9,
-        );
+        let ds = generate_with_shape(name, &ds_dims(name), 200, 9);
         let inst = Scenario::mcar(1.0).apply(&ds, 13);
         let obs = inst.observed();
         for i in 0..obs.values.len() {

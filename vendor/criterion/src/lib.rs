@@ -1,0 +1,194 @@
+//! Offline shim for the subset of the `criterion` API used by the bench
+//! targets (`harness = false` binaries).
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small wall-clock runner with criterion's API shape: it warms up briefly,
+//! runs `sample_size` timed samples, and prints median/mean per benchmark in
+//! a `name    time: [..]`-style line. There is no statistical analysis,
+//! HTML report, or baseline comparison — for machine-readable kernel numbers
+//! use `cargo run -p mvi-bench --release --bin kernel_bench` instead.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (ignored by the shim's timing model).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Times closures; handed to benchmark definitions.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Brief warmup so one-shot allocations and caches settle.
+        let _ = routine();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let _ = routine(setup());
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn report(name: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = results.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!("{name:<50} time: [median {median:>12.3?}  mean {mean:>12.3?}  n={}]", sorted.len());
+}
+
+/// Top-level driver with criterion's API shape.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b);
+        report(&name.into(), &b.results);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.into()), &b.results);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b.results);
+        self
+    }
+
+    /// Ends the group (marker only in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under a group name, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,277 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; this crate parses the derive input directly from
+//! [`proc_macro::TokenTree`]s. Supported shapes — which cover every derived
+//! type in this workspace — are non-generic structs with named fields and
+//! non-generic enums whose variants are unit or struct-like. Anything else
+//! panics with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+enum Kind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Consumes one leading `#[...]` attribute if present. Returns true if consumed.
+fn skip_attr(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("malformed attribute in derive input: {other:?}"),
+        }
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    let kind_kw = loop {
+        if skip_attr(&mut it) {
+            continue;
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // visibility / `crate` qualifiers: skip.
+            }
+            Some(TokenTree::Group(_)) => {} // the `(crate)` of `pub(crate)`
+            other => panic!("unsupported derive input near {other:?}"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive supports only non-generic {{...}} types; `{name}` has {other:?}"
+        ),
+    };
+    let kind = if kind_kw == "struct" {
+        Kind::Struct(parse_named_fields(body))
+    } else {
+        Kind::Enum(parse_variants(body))
+    };
+    Input { name, kind }
+}
+
+/// Parses `name: Type, ...`, returning the field names (types are skipped with
+/// angle-bracket depth tracking so `Vec<(String, Tensor)>` works).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        while skip_attr(&mut it) {}
+        let name = loop {
+            match it.next() {
+                None => return fields,
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s != "pub" {
+                        break s;
+                    }
+                }
+                Some(TokenTree::Group(_)) => {} // the `(crate)` of `pub(crate)`
+                other => panic!("unsupported field syntax near {other:?}"),
+            }
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        let mut angle_depth = 0i64;
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while skip_attr(&mut it) {}
+        let name = match it.next() {
+            None => return variants,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("unsupported enum variant syntax near {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                Some(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple variant `{name}`")
+            }
+            _ => None,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+fn entries_literal(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    if fields.is_empty() {
+        return "::serde::Value::Map(::std::vec::Vec::new())".to_string();
+    }
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec::Vec::from([{}]))", items.join(", "))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => entries_literal(fields, |f| format!("&self.{f}")),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Some(fields) => {
+                            let inner = entries_literal(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(\
+                                 ::std::vec::Vec::from([(::std::string::String::from(\
+                                 \"{vname}\"), {inner})])),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn struct_body(path: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::deserialize({source}.field(\"{f}\")?)?,"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join("\n"))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            format!("::std::result::Result::Ok({})", struct_body("Self", fields, "v"))
+        }
+        Kind::Enum(variants) => {
+            let unit_checks: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "if s == \"{0}\" {{ return ::std::result::Result::Ok({name}::{0}); }}",
+                        v.name
+                    )
+                })
+                .collect();
+            let struct_checks: Vec<String> = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|f| (v, f)))
+                .map(|(v, fields)| {
+                    format!(
+                        "if tag == \"{0}\" {{ return ::std::result::Result::Ok({1}); }}",
+                        v.name,
+                        struct_body(&format!("{name}::{}", v.name), fields, "inner")
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => {{\n\
+                         {}\n\
+                         ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                             \"unknown variant `{{s}}` for {name}\")))\n\
+                     }}\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let tag = entries[0].0.as_str();\n\
+                         let inner = &entries[0].1;\n\
+                         let _ = inner;\n\
+                         {}\n\
+                         ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                             \"unknown variant `{{tag}}` for {name}\")))\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"unexpected value for {name}: {{other:?}}\"))),\n\
+                 }}",
+                unit_checks.join("\n"),
+                struct_checks.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derives the shim `serde::Serialize` (value-model based).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde shim: generated Serialize impl did not parse")
+}
+
+/// Derives the shim `serde::Deserialize` (value-model based).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde shim: generated Deserialize impl did not parse")
+}
