@@ -52,6 +52,15 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Clears the tape for reuse, keeping the node and binding vectors'
+    /// capacity. Inference paths that evaluate many small forward passes
+    /// (one per window task) recycle one `Graph` instead of reallocating the
+    /// tape spine per pass; all previously issued [`VarId`]s are invalidated.
+    pub fn recycle(&mut self) {
+        self.nodes.clear();
+        self.param_binds.clear();
+    }
+
     fn push(&mut self, value: Tensor, parents: Vec<VarId>, backward: Option<BackwardFn>) -> VarId {
         debug_assert!(value.all_finite(), "non-finite value entered the tape");
         let id = self.nodes.len();

@@ -1,0 +1,159 @@
+//! Contract properties every imputer in the workspace must satisfy, checked
+//! over randomized and degenerate inputs:
+//!
+//! 1. the output tensor has the input shape;
+//! 2. observed entries pass through unchanged (the `Imputer` contract — every
+//!    method here restores observed values via `MatrixTask::finish` or writes
+//!    only missing entries);
+//! 3. the output is NaN/inf-free, including on degenerate inputs where the
+//!    underlying factorizations collapse (constant series, a single series,
+//!    fully observed data, fully missing series).
+
+use mvi_baselines::{CdRec, DynaMmo, SoftImpute, Stmvl, SvdImp, Svt, Trmf};
+use mvi_data::dataset::{Dataset, DimSpec, ObservedDataset};
+use mvi_data::imputer::{Imputer, LinearInterpImputer, MeanImputer};
+use mvi_tensor::{Mask, Tensor};
+use proptest::prelude::*;
+
+/// Every imputer under contract, freshly constructed (they are stateless).
+fn all_imputers() -> Vec<Box<dyn Imputer>> {
+    vec![
+        Box::new(MeanImputer),
+        Box::new(LinearInterpImputer),
+        Box::new(SvdImp::default()),
+        Box::new(SoftImpute::default()),
+        Box::new(Svt::default()),
+        Box::new(CdRec::default()),
+        Box::new(Trmf::default()),
+        Box::new(Stmvl::default()),
+        Box::new(DynaMmo::default()),
+    ]
+}
+
+/// Deterministic pseudo-random values: enough structure (per-series phase,
+/// shared season) for the factorization methods to have something to fit.
+fn synth_values(n: usize, t: usize, seed: u64) -> Tensor {
+    Tensor::from_fn(&[n, t], |idx| {
+        let (s, tt) = (idx[0] as f64, idx[1] as f64);
+        let jitter = {
+            let h = (idx[0] * 131 + idx[1]).wrapping_mul(0x9E37_79B9).wrapping_add(seed as usize)
+                % 1000;
+            h as f64 / 1000.0 - 0.5
+        };
+        (tt / 7.0 + s).sin() + 0.3 * (tt / 3.0).cos() + 0.1 * jitter
+    })
+}
+
+/// A seeded missing mask mixing point misses and a block per series, leaving
+/// at least two observed entries per series.
+fn synth_missing(n: usize, t: usize, seed: u64) -> Mask {
+    let mut m = Mask::falses(&[n, t]);
+    let mut state = seed | 1;
+    let mut next = move |bound: usize| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound
+    };
+    for s in 0..n {
+        let block_len = 1 + next(t / 3 + 1);
+        let block_at = next(t - block_len);
+        m.set_range(s, block_at, block_at + block_len, true);
+        for _ in 0..t / 10 {
+            m.set(&[s, next(t)], true);
+        }
+        // Keep two anchors observed so every method has in-series signal.
+        m.set(&[s, next(t / 2)], false);
+        m.set(&[s, t / 2 + next(t - t / 2)], false);
+    }
+    m
+}
+
+fn observed_from(values: Tensor, missing: Mask) -> ObservedDataset {
+    let n = values.shape()[0];
+    Dataset::new("prop", vec![DimSpec::indexed("series", "s", n)], values)
+        .with_missing(missing)
+        .observed()
+}
+
+/// Asserts the three contract properties for one imputer on one instance.
+fn check_contract(imp: &dyn Imputer, obs: &ObservedDataset) -> Result<(), TestCaseError> {
+    let out = imp.impute(obs);
+    prop_assert!(
+        out.shape() == obs.values.shape(),
+        "{} changed the shape: {:?} vs {:?}",
+        imp.name(),
+        out.shape(),
+        obs.values.shape()
+    );
+    for i in 0..out.len() {
+        let v = out.at(i);
+        prop_assert!(v.is_finite(), "{} produced non-finite {} at {}", imp.name(), v, i);
+        if obs.available.at(i) {
+            prop_assert!(
+                v == obs.values.at(i),
+                "{} modified observed entry {}: {} vs {}",
+                imp.name(),
+                i,
+                v,
+                obs.values.at(i)
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn contract_holds_on_randomized_instances(
+        n in 1usize..5,
+        t in 24usize..60,
+        seed in any::<u64>(),
+    ) {
+        let obs = observed_from(synth_values(n, t, seed), synth_missing(n, t, seed));
+        for imp in all_imputers() {
+            check_contract(imp.as_ref(), &obs)?;
+        }
+    }
+}
+
+#[test]
+fn contract_holds_on_constant_series() {
+    // Zero variance collapses correlations, SVD spectra and AR fits.
+    let values = Tensor::full(&[3, 40], 2.5);
+    let missing = synth_missing(3, 40, 99);
+    let obs = observed_from(values, missing);
+    for imp in all_imputers() {
+        check_contract(imp.as_ref(), &obs).unwrap();
+    }
+}
+
+#[test]
+fn contract_holds_on_a_single_series() {
+    // One row: no siblings, rank-1 matrices, empty correlation neighbourhoods.
+    let obs = observed_from(synth_values(1, 50, 7), synth_missing(1, 50, 7));
+    for imp in all_imputers() {
+        check_contract(imp.as_ref(), &obs).unwrap();
+    }
+}
+
+#[test]
+fn fully_observed_input_passes_through_unchanged() {
+    let values = synth_values(4, 30, 3);
+    let obs = observed_from(values.clone(), Mask::falses(&[4, 30]));
+    for imp in all_imputers() {
+        let out = imp.impute(&obs);
+        assert_eq!(out, values, "{} rewrote a fully observed dataset", imp.name());
+    }
+}
+
+#[test]
+fn fully_missing_series_still_yields_finite_output() {
+    let values = synth_values(3, 40, 5);
+    let mut missing = synth_missing(3, 40, 5);
+    missing.set_range(1, 0, 40, true); // series 1 entirely hidden
+    let obs = observed_from(values, missing);
+    for imp in all_imputers() {
+        check_contract(imp.as_ref(), &obs).unwrap();
+    }
+}

@@ -1,0 +1,244 @@
+//! Serving-throughput harness: the online engine versus naive per-request
+//! batch imputation, as a machine-readable `BENCH_2.json` artifact.
+//!
+//! Both arms answer the same request trace (range queries over a trained
+//! model, no retraining in either arm — the naive arm is already charitable):
+//!
+//! * **naive** — each request re-imputes the *full tensor* with the trained
+//!   model and slices the requested range out, which is what
+//!   `Imputer::impute`-shaped serving does today;
+//! * **engine** — requests stream through concurrent [`mvi_serve::BatchClient`]
+//!   threads into one [`mvi_serve::MicroBatcher`], which coalesces pending
+//!   requests and imputes only stale windows (warm cache after first touch).
+//!
+//! Reported per arm: requests/sec and p50/p99 per-request latency. The
+//! headline `speedup` is naive-to-engine throughput; the acceptance floor for
+//! this artifact is 5x (see `PERFORMANCE.md` for methodology details).
+//!
+//! ```text
+//! cargo run -p mvi-bench --release --bin serve_bench -- \
+//!     [--threads=N] [--clients=N] [--requests=N] [--out=PATH] [--quick]
+//! ```
+
+use deepmvi::{DeepMviConfig, DeepMviModel};
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::scenarios::Scenario;
+use mvi_serve::{ImputationEngine, MicroBatcher, ServeSnapshot};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SERIES: usize = 8;
+const T: usize = 400;
+
+struct ArmResult {
+    name: &'static str,
+    requests: usize,
+    wall_secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl ArmResult {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.wall_secs
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn summarize(name: &'static str, wall_secs: f64, mut latencies_ms: Vec<f64>) -> ArmResult {
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let result = ArmResult {
+        name,
+        requests: latencies_ms.len(),
+        wall_secs,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+    };
+    eprintln!(
+        "{name:>8}: {} requests in {:.3}s = {:>8.1} req/s  (p50 {:.3} ms, p99 {:.3} ms)",
+        result.requests,
+        wall_secs,
+        result.rps(),
+        result.p50_ms,
+        result.p99_ms
+    );
+    result
+}
+
+/// The shared request trace: range queries cycling over series with varying
+/// offsets/lengths, so consecutive requests overlap (the coalescing case) but
+/// are not identical.
+fn request_trace(n: usize) -> Vec<(usize, usize, usize)> {
+    (0..n)
+        .map(|i| {
+            let s = i % SERIES;
+            let lo = (i * 13) % (T - 80);
+            let len = 40 + (i * 7) % 40;
+            (s, lo, (lo + len).min(T))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_2.json");
+    let mut quick = false;
+    let mut clients = 4usize;
+    let mut n_requests = 400usize;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => mvi_parallel::configure_threads(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--clients=") {
+            clients = match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--clients needs a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = arg.strip_prefix("--requests=") {
+            n_requests = match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--requests needs a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else if arg == "--quick" {
+            quick = true;
+        } else {
+            eprintln!(
+                "usage: serve_bench [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
+                 [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+    if quick {
+        n_requests = n_requests.min(40);
+    }
+    let threads = mvi_parallel::current_threads();
+    eprintln!(
+        "serve_bench: {SERIES}x{T} dataset, {n_requests} requests, {clients} client threads, \
+         {threads} worker threads"
+    );
+
+    // One trained model feeds both arms.
+    let ds = generate_with_shape(DatasetName::Electricity, &[SERIES], T, 7);
+    let inst = Scenario::mcar(1.0).apply(&ds, 3);
+    let obs = inst.observed();
+    let cfg =
+        DeepMviConfig { max_steps: if quick { 10 } else { 60 }, threads, ..DeepMviConfig::tiny() };
+    let mut model = DeepMviModel::new(&cfg, &obs);
+    let t_train = Instant::now();
+    model.fit(&obs);
+    let train_secs = t_train.elapsed().as_secs_f64();
+    eprintln!("trained in {train_secs:.2}s; missing fraction {:.3}", inst.missing_fraction());
+    let trace = request_trace(n_requests);
+
+    // ---- Arm 1: naive per-request full impute (sequential server loop). ----
+    // Charitably few requests: full imputes are slow, so the naive arm runs a
+    // slice of the trace and extrapolates nothing — rps is measured directly.
+    let naive_n = if quick { 5 } else { 25 };
+    let mut naive_lat = Vec::with_capacity(naive_n);
+    let t0 = Instant::now();
+    for &(s, lo, hi) in trace.iter().take(naive_n) {
+        let t = Instant::now();
+        let full = model.impute(&obs);
+        let _slice = full.series(s)[lo..hi].to_vec();
+        naive_lat.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let naive = summarize("naive", t0.elapsed().as_secs_f64(), naive_lat);
+
+    // ---- Arm 2: the online engine behind a micro-batcher. ----
+    let frozen = ServeSnapshot::capture(&model, &obs).restore(&obs).expect("restore");
+    let engine = Arc::new(ImputationEngine::new(frozen, obs.clone()).expect("engine"));
+    let batcher = MicroBatcher::spawn(Arc::clone(&engine), 64);
+    let per_client = n_requests.div_ceil(clients);
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let client = batcher.client();
+        let part: Vec<(usize, usize, usize)> =
+            trace.iter().skip(c * per_client).take(per_client).copied().collect();
+        handles.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(part.len());
+            for (s, lo, hi) in part {
+                let t = Instant::now();
+                client.query(s, lo, hi).expect("engine query");
+                lat.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            lat
+        }));
+    }
+    let mut engine_lat = Vec::with_capacity(n_requests);
+    for h in handles {
+        engine_lat.extend(h.join().expect("client thread"));
+    }
+    let engine_arm = summarize("engine", t0.elapsed().as_secs_f64(), engine_lat);
+    let stats = engine.stats();
+    eprintln!(
+        "engine internals: {} batches for {} requests ({:.1} req/batch), {} window passes, {} \
+         cache hits",
+        stats.batches,
+        stats.requests,
+        stats.requests as f64 / stats.batches.max(1) as f64,
+        stats.windows_computed,
+        stats.window_hits
+    );
+
+    let speedup = engine_arm.rps() / naive.rps();
+    eprintln!("throughput speedup over naive per-request full impute: {speedup:.1}x");
+
+    let mut json = String::from("{\n  \"bench\": 2,\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"series\": {SERIES}, \"t_len\": {T}, \"missing_fraction\": {:.4}}},",
+        inst.missing_fraction()
+    );
+    let _ = writeln!(
+        json,
+        "  \"threads_used\": {threads},\n  \"client_threads\": {clients},\n  \"train_secs\": \
+         {train_secs:.3},",
+    );
+    json.push_str("  \"arms\": [\n");
+    for (i, arm) in [&naive, &engine_arm].into_iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"requests\": {}, \"wall_secs\": {:.6}, \"rps\": {:.2}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            arm.name,
+            arm.requests,
+            arm.wall_secs,
+            arm.rps(),
+            arm.p50_ms,
+            arm.p99_ms
+        );
+        json.push_str(if i == 1 { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"engine\": {{\"batches\": {}, \"windows_computed\": {}, \"window_hits\": {}}},",
+        stats.batches, stats.windows_computed, stats.window_hits
+    );
+    let _ = writeln!(json, "  \"throughput_speedup_vs_naive\": {speedup:.3}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+}

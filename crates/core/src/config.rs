@@ -1,7 +1,9 @@
 //! Hyper-parameters and ablation switches (§4.3, §5.5).
 
+use serde::{Deserialize, Serialize};
+
 /// How the kernel-regression module treats the dataset's dimensions (§5.5.4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KernelMode {
     /// One embedding space per dimension, siblings per Eq 16 — the proposed model.
     MultiDim,
@@ -15,7 +17,7 @@ pub enum KernelMode {
 /// DeepMVI hyper-parameters. Defaults are the paper's (§4.3): `p = 32` filters,
 /// window `w = 10` (auto-switched to 20 when the mean missing block exceeds 100),
 /// 4 attention heads, member-embedding width 10, Adam at `1e-3`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DeepMviConfig {
     /// Number of convolution filters `p` (window-feature width).
     pub p: usize,

@@ -1,0 +1,368 @@
+//! The inference half of the train/infer split: value-only forward passes over
+//! a **frozen** parameter store.
+//!
+//! Training ([`crate::train`]) builds one differentiation tape per instance and
+//! walks it backwards; serving needs neither gradients nor optimizer state. The
+//! types here expose the same per-window forward pass as a reusable,
+//! allocation-light read path:
+//!
+//! * [`WindowQuery`] — one unit of inference work: "impute these positions of
+//!   window `j` in series `s`".
+//! * [`InferScratch`] — a recycled tape ([`Graph::recycle`]) so evaluating many
+//!   small window passes reuses the tape spine instead of reallocating it.
+//! * [`FrozenModel`] — a trained [`DeepMviModel`] sealed for inference: built
+//!   by [`DeepMviModel::freeze`] or rehydrated from an exported parameter
+//!   snapshot with [`FrozenModel::from_snapshot`], shared read-only across
+//!   worker threads ([`FrozenModel::predict_batch`] fans queries out over
+//!   `mvi-parallel`).
+//!
+//! [`DeepMviModel::impute`] itself routes through this module, so batch
+//! imputation and online serving exercise the same forward path.
+
+use crate::config::DeepMviConfig;
+use crate::model::{DeepMviModel, WindowTask};
+use mvi_autograd::params::StoreSnapshot;
+use mvi_autograd::Graph;
+use mvi_data::dataset::ObservedDataset;
+use mvi_data::windows::WindowGrid;
+use mvi_tensor::Tensor;
+
+/// One inference work item: predict the given `positions` (all inside window
+/// `window_j`) of series `s`. Positions are absolute time indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowQuery {
+    /// Flat series id.
+    pub s: usize,
+    /// Window index (positions satisfy `t / w == window_j`).
+    pub window_j: usize,
+    /// Absolute time positions to predict, ascending.
+    pub positions: Vec<usize>,
+}
+
+/// Reusable forward-pass scratch. One per worker thread; recycling keeps the
+/// tape's node vector capacity across window passes.
+#[derive(Default)]
+pub struct InferScratch {
+    g: Graph,
+}
+
+impl InferScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DeepMviModel {
+    /// The window grid this model computes over.
+    pub fn grid(&self) -> WindowGrid {
+        WindowGrid::new(self.w, self.t_len)
+    }
+
+    /// Seals a trained model for inference.
+    pub fn freeze(self) -> FrozenModel {
+        FrozenModel { model: self }
+    }
+
+    /// Value-only forward pass for one query; no tape is retained beyond the
+    /// scratch. Returns one prediction per query position.
+    pub fn predict_window(
+        &self,
+        scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        query: &WindowQuery,
+    ) -> Vec<f64> {
+        scratch.g.recycle();
+        let task = WindowTask {
+            obs,
+            s: query.s,
+            window_j: query.window_j,
+            positions: &query.positions,
+            synth: None,
+        };
+        let preds = self.forward_positions(&self.store, &mut scratch.g, &task);
+        preds.into_iter().map(|p| scratch.g.value(p).at(0)).collect()
+    }
+
+    /// Evaluates a batch of queries data-parallel over `threads` workers (each
+    /// worker owns one [`InferScratch`]; the parameter store is shared read
+    /// only). Results are returned in query order regardless of thread count,
+    /// so the output is deterministic for a fixed model and input.
+    pub fn predict_batch(
+        &self,
+        obs: &ObservedDataset,
+        queries: &[WindowQuery],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let threads = threads.max(1).min(queries.len().max(1));
+        if threads <= 1 {
+            let mut scratch = InferScratch::new();
+            return queries.iter().map(|q| self.predict_window(&mut scratch, obs, q)).collect();
+        }
+        mvi_parallel::map_chunks(queries, threads, |chunk| {
+            let mut scratch = InferScratch::new();
+            chunk.iter().map(|q| self.predict_window(&mut scratch, obs, q)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Enumerates the missing entries of `obs` as window queries, every series.
+    pub fn missing_queries(&self, obs: &ObservedDataset) -> Vec<WindowQuery> {
+        let mut out = Vec::new();
+        for s in 0..obs.n_series() {
+            self.missing_queries_in(obs, s, 0, self.t_len, &mut out);
+        }
+        out
+    }
+
+    /// Appends the window queries covering the missing entries of series `s`
+    /// inside `[start, end)` to `out`. One query per (missing run × window)
+    /// intersection, ascending.
+    pub fn missing_queries_in(
+        &self,
+        obs: &ObservedDataset,
+        s: usize,
+        start: usize,
+        end: usize,
+        out: &mut Vec<WindowQuery>,
+    ) {
+        let grid = self.grid();
+        let base = out.len();
+        for (run_start, run_len) in obs.available.gap_runs_in(s, start, end) {
+            let run_end = run_start + run_len;
+            for wj in grid.windows_overlapping(run_start, run_end) {
+                let (lo, hi) = grid.bounds(wj);
+                let positions: Vec<usize> = (lo.max(run_start)..hi.min(run_end)).collect();
+                debug_assert!(!positions.is_empty());
+                // Merge with a preceding query of *this call* for the same
+                // window (two missing runs can cross one window). Entries the
+                // caller accumulated earlier are already finalized — merging
+                // into them would duplicate positions across calls.
+                let merge = out.len() > base
+                    && out.last().is_some_and(|prev| prev.s == s && prev.window_j == wj);
+                if merge {
+                    out.last_mut().expect("non-empty").positions.extend(positions);
+                } else {
+                    out.push(WindowQuery { s, window_j: wj, positions });
+                }
+            }
+        }
+    }
+
+    /// Imputes every missing entry of `obs`, fanning the window queries out
+    /// over `self.config().threads` workers. This is the batch path behind
+    /// [`DeepMviModel::impute`].
+    pub(crate) fn impute_batch(&self, obs: &ObservedDataset) -> Tensor {
+        let queries = self.missing_queries(obs);
+        let results = self.predict_batch(obs, &queries, self.cfg.threads);
+        let mut out = obs.values.clone();
+        let t_len = obs.t_len();
+        for (q, vals) in queries.iter().zip(&results) {
+            let t_off = q.s * t_len;
+            for (&t, &v) in q.positions.iter().zip(vals) {
+                out.data_mut()[t_off + t] = v;
+            }
+        }
+        out
+    }
+}
+
+/// A trained DeepMVI model sealed for inference: no optimizer state is
+/// reachable, the parameter store is frozen, and every method takes `&self`, so
+/// one instance can serve concurrent readers behind an `Arc`.
+pub struct FrozenModel {
+    model: DeepMviModel,
+}
+
+impl FrozenModel {
+    /// Rehydrates a frozen model from a configuration and an exported weight
+    /// snapshot ([`DeepMviModel::export_params`]). `obs` supplies the dataset
+    /// geometry the model was trained for (dimensions, series length); the
+    /// weights must match it exactly. `shared_std` is the trained imputation
+    /// std-dev, if it was captured.
+    ///
+    /// # Errors
+    /// Propagates any name/shape mismatch between the snapshot and the
+    /// parameters a model of this configuration and geometry would own.
+    pub fn from_snapshot(
+        cfg: &DeepMviConfig,
+        obs: &ObservedDataset,
+        snap: &StoreSnapshot,
+        shared_std: Option<f64>,
+    ) -> Result<Self, String> {
+        let mut model = DeepMviModel::new(cfg, obs);
+        model.import_params(snap)?;
+        model.shared_std = shared_std;
+        Ok(model.freeze())
+    }
+
+    /// The wrapped model, read-only.
+    pub fn model(&self) -> &DeepMviModel {
+        &self.model
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &DeepMviConfig {
+        &self.model.cfg
+    }
+
+    /// The window grid the model computes over.
+    pub fn grid(&self) -> WindowGrid {
+        self.model.grid()
+    }
+
+    /// Series length the model was built for.
+    pub fn t_len(&self) -> usize {
+        self.model.t_len
+    }
+
+    /// Shape of the non-time axes the model was built for.
+    pub fn series_shape(&self) -> &[usize] {
+        &self.model.series_shape
+    }
+
+    /// Trained shared imputation std-dev, if available.
+    pub fn shared_std(&self) -> Option<f64> {
+        self.model.shared_std()
+    }
+
+    /// Value-only forward pass for one query (see
+    /// [`DeepMviModel::predict_window`]).
+    pub fn predict_window(
+        &self,
+        scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        query: &WindowQuery,
+    ) -> Vec<f64> {
+        self.model.predict_window(scratch, obs, query)
+    }
+
+    /// Parallel batch evaluation (see [`DeepMviModel::predict_batch`]).
+    pub fn predict_batch(
+        &self,
+        obs: &ObservedDataset,
+        queries: &[WindowQuery],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        self.model.predict_batch(obs, queries, threads)
+    }
+
+    /// Full batch imputation with the frozen weights (identical to
+    /// [`DeepMviModel::impute`] on the wrapped model).
+    pub fn impute(&self, obs: &ObservedDataset) -> Tensor {
+        self.model.impute(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvi_data::generators::{generate_with_shape, DatasetName};
+    use mvi_data::scenarios::Scenario;
+
+    fn trained() -> (ObservedDataset, DeepMviModel) {
+        let ds = generate_with_shape(DatasetName::Gas, &[4], 160, 5);
+        let inst = Scenario::mcar(1.0).apply(&ds, 2);
+        let obs = inst.observed();
+        let cfg = DeepMviConfig { max_steps: 10, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        (obs, model)
+    }
+
+    #[test]
+    fn missing_queries_cover_exactly_the_missing_entries() {
+        let (obs, model) = trained();
+        let queries = model.missing_queries(&obs);
+        let w = model.window();
+        let mut seen = std::collections::HashSet::new();
+        for q in &queries {
+            for &t in &q.positions {
+                assert_eq!(t / w, q.window_j, "position outside its window");
+                assert!(!obs.available.series(q.s)[t], "query covers an observed entry");
+                assert!(seen.insert((q.s, t)), "duplicate position in queries");
+            }
+        }
+        let missing_total: usize = obs.available.data().iter().filter(|&&a| !a).count();
+        assert_eq!(seen.len(), missing_total, "queries miss some missing entries");
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_and_is_thread_invariant() {
+        let (obs, model) = trained();
+        let queries = model.missing_queries(&obs);
+        let seq = model.predict_batch(&obs, &queries, 1);
+        let par = model.predict_batch(&obs, &queries, 4);
+        assert_eq!(seq, par, "thread count changed inference results");
+        // Scratch reuse does not leak state between queries.
+        let mut scratch = InferScratch::new();
+        for (q, expect) in queries.iter().zip(&seq) {
+            assert_eq!(&model.predict_window(&mut scratch, &obs, q), expect);
+        }
+    }
+
+    #[test]
+    fn frozen_snapshot_roundtrip_reproduces_imputation() {
+        let (obs, model) = trained();
+        let cfg = model.config().clone();
+        let expected = model.impute(&obs);
+        let snap = model.export_params();
+        let std = model.shared_std();
+        let frozen = FrozenModel::from_snapshot(&cfg, &obs, &snap, std).unwrap();
+        assert_eq!(frozen.impute(&obs), expected);
+        assert_eq!(frozen.shared_std(), std);
+        assert_eq!(frozen.grid().window_len(), cfg.resolve_window(10.0));
+    }
+
+    #[test]
+    fn accumulating_overlapping_ranges_never_duplicates_positions_within_a_query() {
+        use mvi_data::dataset::{Dataset, DimSpec};
+        use mvi_tensor::{Mask, Tensor};
+        // One series, w = 10, missing runs [5, 25) and [35, 38): window 2
+        // (t 20..30) holds missing entries visible from both call ranges.
+        let ds = Dataset::new(
+            "overlap",
+            vec![DimSpec::indexed("series", "s", 1)],
+            Tensor::from_fn(&[1, 60], |idx| (idx[1] as f64 / 6.0).sin()),
+        );
+        let mut missing = Mask::falses(&[1, 60]);
+        missing.set_range(0, 5, 25, true);
+        missing.set_range(0, 35, 38, true);
+        let obs = ds.with_missing(missing).observed();
+        let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+        assert_eq!(model.window(), 10);
+
+        // Two overlapping calls for the same series into one accumulator, as
+        // the serving engine issues them for one micro-batch: the second call
+        // must start fresh queries, not extend the first call's last one.
+        let mut out = Vec::new();
+        model.missing_queries_in(&obs, 0, 0, 30, &mut out);
+        assert_eq!(out.last().map(|q| q.window_j), Some(2), "first call must end on window 2");
+        model.missing_queries_in(&obs, 0, 20, 60, &mut out);
+        for q in &out {
+            let mut positions = q.positions.clone();
+            positions.dedup();
+            assert_eq!(positions, q.positions, "window {} accumulated duplicates", q.window_j);
+            assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions not ascending");
+        }
+        // Window 2's missing positions appear once per call — cross-call
+        // dedup is the caller's job — but never merged into one query.
+        let win2: Vec<_> = out.iter().filter(|q| q.window_j == 2).collect();
+        assert_eq!(win2.len(), 2);
+        assert_eq!(win2[0].positions, win2[1].positions);
+    }
+
+    #[test]
+    fn tail_queries_restrict_to_the_range() {
+        let (obs, model) = trained();
+        let mut tail = Vec::new();
+        let t = obs.t_len();
+        model.missing_queries_in(&obs, 1, t / 2, t, &mut tail);
+        for q in &tail {
+            assert_eq!(q.s, 1);
+            assert!(q.positions.iter().all(|&p| p >= t / 2 && p < t));
+        }
+    }
+}

@@ -24,12 +24,14 @@
 //! experiments.
 
 pub mod config;
+pub mod infer;
 pub mod model;
 pub mod sampling;
 pub mod train;
 pub mod tune;
 
 pub use config::{DeepMviConfig, KernelMode};
+pub use infer::{FrozenModel, InferScratch, WindowQuery};
 pub use model::DeepMviModel;
 pub use train::TrainReport;
 pub use tune::{grid_search, TuneReport};

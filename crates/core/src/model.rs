@@ -50,20 +50,21 @@ impl SynthMask {
 }
 
 /// One forward-pass work item: predict `positions` of window `window_j` in series
-/// `s`, optionally under a synthetic training mask.
+/// `s`, optionally under a synthetic training mask. Borrows its inputs so the
+/// inference hot path can issue tasks without per-task allocation.
 pub(crate) struct WindowTask<'a> {
     pub obs: &'a ObservedDataset,
     pub s: usize,
     pub window_j: usize,
-    pub positions: Vec<usize>,
-    pub synth: Option<SynthMask>,
+    pub positions: &'a [usize],
+    pub synth: Option<&'a SynthMask>,
 }
 
 impl WindowTask<'_> {
     /// Effective availability of the target series at `t`: observed and not hidden
     /// by the synthetic mask.
     fn avail(&self, t: usize) -> bool {
-        self.obs.available.series(self.s)[t] && !self.synth.as_ref().is_some_and(|m| m.covers(t))
+        self.obs.available.series(self.s)[t] && !self.synth.is_some_and(|m| m.covers(t))
     }
 
     /// Effective availability of a sibling (along `dim`, member `member`, series id
@@ -72,7 +73,7 @@ impl WindowTask<'_> {
         if !self.obs.available.series(sib)[t] {
             return false;
         }
-        match &self.synth {
+        match self.synth {
             Some(m) => !(m.covers(t) && m.masked_members[dim].contains(&member)),
             None => true,
         }
@@ -228,6 +229,11 @@ impl DeepMviModel {
         self.w
     }
 
+    /// The model's configuration.
+    pub fn config(&self) -> &DeepMviConfig {
+        &self.cfg
+    }
+
     /// Forward pass for one window task against an explicit parameter store view
     /// (shared read-only across worker threads). Returns one `[1]`-shaped
     /// prediction node per requested position.
@@ -314,7 +320,7 @@ impl DeepMviModel {
 
         // Assemble per-position predictions.
         let mut preds = Vec::with_capacity(task.positions.len());
-        for &t in &task.positions {
+        for &t in task.positions {
             debug_assert_eq!(t / w, j0, "position {t} not inside window {j0}");
             let mut parts: Vec<VarId> = Vec::with_capacity(3);
             if let Some(rows) = tt_rows {
@@ -461,7 +467,7 @@ mod tests {
         let obs = small_obs();
         let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
         let task =
-            WindowTask { obs: &obs, s: 1, window_j: 4, positions: vec![40, 43, 47], synth: None };
+            WindowTask { obs: &obs, s: 1, window_j: 4, positions: &[40, 43, 47], synth: None };
         let mut g = Graph::new();
         let preds = model.forward_positions(&model.store, &mut g, &task);
         assert_eq!(preds.len(), 3);
@@ -475,14 +481,10 @@ mod tests {
     fn synthetic_mask_changes_the_forward_inputs() {
         let obs = small_obs();
         let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
-        let base = WindowTask { obs: &obs, s: 0, window_j: 3, positions: vec![32], synth: None };
-        let masked = WindowTask {
-            obs: &obs,
-            s: 0,
-            window_j: 3,
-            positions: vec![32],
-            synth: Some(SynthMask { range: (30, 40), masked_members: vec![vec![]] }),
-        };
+        let base = WindowTask { obs: &obs, s: 0, window_j: 3, positions: &[32], synth: None };
+        let synth = SynthMask { range: (30, 40), masked_members: vec![vec![]] };
+        let masked =
+            WindowTask { obs: &obs, s: 0, window_j: 3, positions: &[32], synth: Some(&synth) };
         let mut g1 = Graph::new();
         let p1 = model.forward_positions(&model.store, &mut g1, &base)[0];
         let mut g2 = Graph::new();
@@ -512,13 +514,9 @@ mod tests {
     fn gradients_flow_to_embeddings_and_transformer() {
         let obs = small_obs();
         let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
-        let task = WindowTask {
-            obs: &obs,
-            s: 2,
-            window_j: 5,
-            positions: vec![52],
-            synth: Some(SynthMask { range: (50, 60), masked_members: vec![vec![1]] }),
-        };
+        let synth = SynthMask { range: (50, 60), masked_members: vec![vec![1]] };
+        let task =
+            WindowTask { obs: &obs, s: 2, window_j: 5, positions: &[52], synth: Some(&synth) };
         let mut g = Graph::new();
         let pred = model.forward_positions(&model.store, &mut g, &task)[0];
         let loss = g.mse(pred, &Tensor::scalar(0.7));

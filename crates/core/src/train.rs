@@ -117,8 +117,8 @@ impl DeepMviModel {
             obs,
             s: inst.s,
             window_j: inst.window_j,
-            positions: inst.positions.clone(),
-            synth: Some(inst.synth.clone()),
+            positions: &inst.positions,
+            synth: Some(&inst.synth),
         };
         let preds = self.forward_positions(store, g, &task);
         let mut errs = Vec::with_capacity(preds.len());
@@ -143,38 +143,13 @@ impl DeepMviModel {
     }
 
     /// Imputes every missing entry of `obs` with the trained model.
+    ///
+    /// Routes through the shared inference path ([`crate::infer`]): missing
+    /// runs become [`crate::infer::WindowQuery`]s evaluated value-only and
+    /// data-parallel over `cfg.threads` workers. Results are deterministic for
+    /// a fixed model and input regardless of thread count.
     pub fn impute(&self, obs: &ObservedDataset) -> Tensor {
-        let mut out = obs.values.clone();
-        let w = self.w;
-        let missing = obs.available.complement();
-        for s in 0..obs.n_series() {
-            for (start, len) in missing.runs(s) {
-                let end = start + len;
-                let first_w = start / w;
-                let last_w = (end - 1) / w;
-                for wj in first_w..=last_w {
-                    let positions: Vec<usize> =
-                        (wj * w..(wj + 1) * w).filter(|&t| t >= start && t < end).collect();
-                    if positions.is_empty() {
-                        continue;
-                    }
-                    let task = WindowTask {
-                        obs,
-                        s,
-                        window_j: wj,
-                        positions: positions.clone(),
-                        synth: None,
-                    };
-                    let mut g = Graph::new();
-                    let preds = self.forward_positions(&self.store, &mut g, &task);
-                    let t_off = s * obs.t_len();
-                    for (&t, pred) in positions.iter().zip(preds) {
-                        out.data_mut()[t_off + t] = g.value(pred).at(0);
-                    }
-                }
-            }
-        }
-        out
+        self.impute_batch(obs)
     }
 }
 

@@ -156,6 +156,33 @@ impl ObservedDataset {
         out
     }
 
+    /// Records newly observed values for series `s` starting at time `start`:
+    /// writes `vals` into the value tensor and marks those entries available.
+    ///
+    /// This is the streaming mutation the online engine's `append` path uses —
+    /// the dataset shape stays fixed (the model is sized for it at training
+    /// time); arriving data fills in a previously missing suffix.
+    ///
+    /// # Panics
+    /// Panics if the range `[start, start + vals.len())` leaves the series.
+    pub fn record_range(&mut self, s: usize, start: usize, vals: &[f64]) {
+        let t = self.t_len();
+        let end = start + vals.len();
+        assert!(end <= t, "record_range {start}..{end} out of series length {t}");
+        self.values.series_mut(s)[start..end].copy_from_slice(vals);
+        self.available.set_range(s, start, end, true);
+    }
+
+    /// Hides `[start, end)` of series `s`: zeroes the values and marks them
+    /// missing. The inverse of [`ObservedDataset::record_range`], used to carve
+    /// a "future" suffix out of a dataset when simulating a stream.
+    pub fn hide_range(&mut self, s: usize, start: usize, end: usize) {
+        let t = self.t_len();
+        assert!(start <= end && end <= t, "hide_range {start}..{end} out of series length {t}");
+        self.values.series_mut(s)[start..end].fill(0.0);
+        self.available.set_range(s, start, end, false);
+    }
+
     /// Flattens an `n`-dimensional observed dataset into a 1-dimensional one (all
     /// series under a single synthetic dimension). Used by methods without a
     /// multidimensional model and by the DeepMVI1D ablation of §5.5.4.
@@ -247,6 +274,38 @@ mod tests {
         assert!(!obs.available.get(&[0, 0, 1]));
         assert!(obs.available.get(&[0, 0, 0]));
         assert_eq!(obs.values.get(&[1, 2, 3]), 123.0);
+    }
+
+    #[test]
+    fn record_and_hide_roundtrip_the_observed_view() {
+        let ds = toy();
+        let mut missing = Mask::falses(&[2, 3, 4]);
+        missing.set(&[0, 0, 2], true);
+        missing.set(&[0, 0, 3], true);
+        let mut obs = ds.with_missing(missing).observed();
+        assert_eq!(obs.values.get(&[0, 0, 2]), 0.0);
+
+        // Recording the suffix restores values and availability.
+        obs.record_range(0, 2, &[2.0, 3.0]);
+        assert_eq!(obs.values.get(&[0, 0, 2]), 2.0);
+        assert_eq!(obs.values.get(&[0, 0, 3]), 3.0);
+        assert!(obs.available.get(&[0, 0, 2]));
+
+        // Hiding it again returns to the missing state.
+        obs.hide_range(0, 2, 4);
+        assert_eq!(obs.values.get(&[0, 0, 2]), 0.0);
+        assert!(!obs.available.get(&[0, 0, 3]));
+        // Other series untouched throughout.
+        assert_eq!(obs.values.series(1), &[10.0, 11.0, 12.0, 13.0]);
+        assert!(obs.available.series(1).iter().all(|&a| a));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of series length")]
+    fn record_range_rejects_overflow() {
+        let ds = toy();
+        let mut obs = ds.with_missing(Mask::falses(&[2, 3, 4])).observed();
+        obs.record_range(0, 3, &[1.0, 2.0]);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`metrics`] — MAE / RMSE over missing indices (Eq 1) and the aggregate
 //!   analytics statistic of §5.7 (including DropCell).
 //! * [`imputer`] — the `Imputer` trait every method in the workspace implements.
+//! * [`windows`] — the non-overlapping window grid (§4.1) shared by training,
+//!   batch imputation and the online serving engine.
 
 pub mod blocks;
 pub mod dataset;
@@ -20,9 +22,11 @@ pub mod generators;
 pub mod imputer;
 pub mod metrics;
 pub mod scenarios;
+pub mod windows;
 
 pub use blocks::{BlockSampler, BlockShape};
 pub use dataset::{Dataset, DimSpec, Instance, ObservedDataset};
 pub use imputer::Imputer;
 pub use metrics::{mae, mae_all, rmse};
 pub use scenarios::Scenario;
+pub use windows::WindowGrid;

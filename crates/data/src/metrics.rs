@@ -113,10 +113,50 @@ mod tests {
     }
 
     #[test]
-    fn empty_mask_yields_zero() {
+    fn empty_mask_yields_zero_not_nan() {
+        // Nothing missing: the 0/0 mean must collapse to 0.0 for both metrics,
+        // never NaN — downstream reports aggregate these values unchecked.
         let truth = Tensor::from_slice(&[5.0]);
         let pred = Tensor::from_slice(&[0.0]);
-        assert_eq!(mae(&truth, &pred, &Mask::falses(&[1])), 0.0);
+        let empty = Mask::falses(&[1]);
+        let m = mae(&truth, &pred, &empty);
+        let r = rmse(&truth, &pred, &empty);
+        assert_eq!(m, 0.0);
+        assert_eq!(r, 0.0);
+        assert!(m.is_finite() && r.is_finite());
+    }
+
+    #[test]
+    fn all_entries_missing_reduces_to_unmasked_means() {
+        let truth = Tensor::from_slice(&[1.0, -2.0, 4.0, 0.0]);
+        let pred = Tensor::from_slice(&[0.0, 0.0, 0.0, 0.0]);
+        let all = Mask::trues(&[4]);
+        assert!((mae(&truth, &pred, &all) - 7.0 / 4.0).abs() < 1e-12);
+        assert!((rmse(&truth, &pred, &all) - (21.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn garbage_outside_the_mask_never_leaks_into_the_metric() {
+        // Imputers may leave NaN/inf at entries evaluation never reads; the
+        // metrics must mask them out rather than poison the mean.
+        let truth = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let pred = Tensor::from_slice(&[f64::NAN, 2.5, f64::INFINITY]);
+        let mut missing = Mask::falses(&[3]);
+        missing.set(&[1], true);
+        let m = mae(&truth, &pred, &missing);
+        let r = rmse(&truth, &pred, &missing);
+        assert!((m - 0.5).abs() < 1e-12, "mae leaked masked garbage: {m}");
+        assert!((r - 0.5).abs() < 1e-12, "rmse leaked masked garbage: {r}");
+        assert!(m.is_finite() && r.is_finite());
+    }
+
+    #[test]
+    fn empty_tensors_are_handled_by_all_metrics() {
+        let empty = Tensor::zeros(&[0]);
+        let mask = Mask::falses(&[0]);
+        assert_eq!(mae(&empty, &empty, &mask), 0.0);
+        assert_eq!(rmse(&empty, &empty, &mask), 0.0);
+        assert_eq!(mae_all(&empty, &empty), 0.0);
     }
 
     #[test]

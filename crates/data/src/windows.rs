@@ -1,0 +1,125 @@
+//! The non-overlapping window grid DeepMVI computes over (§4.1), as a
+//! standalone index: time positions ↔ window indices, clipped bounds, and the
+//! window range touched by a time range.
+//!
+//! The training loop, the batch imputer and the online serving engine all need
+//! the same arithmetic ("which windows does this missing run cross?", "which
+//! tail windows does this append invalidate?"); this type keeps it in one
+//! place instead of re-deriving `t / w` boundary cases at every call site.
+
+use std::ops::Range;
+
+/// A fixed-width, non-overlapping partition of `[0, t_len)` into windows of
+/// length `w` (the last window may be shorter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowGrid {
+    w: usize,
+    t_len: usize,
+}
+
+impl WindowGrid {
+    /// Builds a grid of `w`-wide windows over a series of length `t_len`.
+    ///
+    /// # Panics
+    /// Panics if `w == 0`.
+    pub fn new(w: usize, t_len: usize) -> Self {
+        assert!(w > 0, "window width must be positive");
+        Self { w, t_len }
+    }
+
+    /// Window width `w`.
+    pub fn window_len(&self) -> usize {
+        self.w
+    }
+
+    /// Series length `T`.
+    pub fn t_len(&self) -> usize {
+        self.t_len
+    }
+
+    /// Number of windows (`⌈T / w⌉`).
+    pub fn n_windows(&self) -> usize {
+        self.t_len.div_ceil(self.w)
+    }
+
+    /// Index of the window containing time `t`.
+    pub fn window_of(&self, t: usize) -> usize {
+        debug_assert!(t < self.t_len, "t={t} out of series length {}", self.t_len);
+        t / self.w
+    }
+
+    /// Time bounds `[start, end)` of window `j`, clipped to the series length.
+    pub fn bounds(&self, j: usize) -> (usize, usize) {
+        debug_assert!(j < self.n_windows(), "window {j} out of {}", self.n_windows());
+        (j * self.w, ((j + 1) * self.w).min(self.t_len))
+    }
+
+    /// Indices of every window intersecting the time range `[start, end)`
+    /// (empty for an empty range).
+    pub fn windows_overlapping(&self, start: usize, end: usize) -> Range<usize> {
+        let end = end.min(self.t_len);
+        if start >= end {
+            return 0..0;
+        }
+        start / self.w..(end - 1) / self.w + 1
+    }
+
+    /// The suffix of windows affected by a change to `[start, t_len)`, widened
+    /// left by one window width: the fine-grained local mean of a position in
+    /// the *previous* window can reach up to `w` steps forward into the changed
+    /// range, so tail re-imputation must start one window early to reproduce a
+    /// full batch re-impute on the affected region.
+    pub fn tail_windows_for(&self, start: usize) -> Range<usize> {
+        self.windows_overlapping(start.saturating_sub(self.w), self.t_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_partitions_the_series() {
+        let g = WindowGrid::new(10, 34);
+        assert_eq!(g.n_windows(), 4);
+        assert_eq!(g.bounds(0), (0, 10));
+        assert_eq!(g.bounds(3), (30, 34), "last window clips to T");
+        for t in 0..34 {
+            let j = g.window_of(t);
+            let (lo, hi) = g.bounds(j);
+            assert!(lo <= t && t < hi);
+        }
+    }
+
+    #[test]
+    fn overlap_covers_exactly_the_touched_windows() {
+        let g = WindowGrid::new(10, 50);
+        assert_eq!(g.windows_overlapping(0, 50), 0..5);
+        assert_eq!(g.windows_overlapping(12, 13), 1..2);
+        assert_eq!(g.windows_overlapping(9, 11), 0..2);
+        assert_eq!(g.windows_overlapping(20, 20), 0..0);
+        assert_eq!(g.windows_overlapping(45, 99), 4..5, "end clips to T");
+    }
+
+    #[test]
+    fn tail_windows_reach_one_window_back() {
+        let g = WindowGrid::new(10, 60);
+        assert_eq!(g.tail_windows_for(35), 2..6);
+        assert_eq!(g.tail_windows_for(40), 3..6);
+        assert_eq!(g.tail_windows_for(5), 0..6);
+        assert_eq!(g.tail_windows_for(0), 0..6);
+    }
+
+    #[test]
+    fn exact_multiple_has_full_last_window() {
+        let g = WindowGrid::new(5, 20);
+        assert_eq!(g.n_windows(), 4);
+        assert_eq!(g.bounds(3), (15, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = WindowGrid::new(0, 10);
+    }
+}

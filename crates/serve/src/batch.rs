@@ -1,0 +1,179 @@
+//! Micro-batching front door: concurrent callers funnel requests through a
+//! channel to one executor thread, which drains whatever is pending (up to a
+//! cap) and serves it as a single coalesced [`ImputationEngine::query_batch`].
+//!
+//! Requests that arrive while a batch is executing queue up and form the next
+//! batch, so under concurrent load the per-request cost amortizes: overlapping
+//! query windows are deduplicated into one forward pass, and the forward
+//! passes of a batch run data-parallel over `mvi-parallel`.
+
+use crate::engine::{ImputationEngine, ImputeRequest, ServeError};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Reply = Result<Vec<f64>, ServeError>;
+
+struct QueryJob {
+    req: ImputeRequest,
+    reply: mpsc::Sender<Reply>,
+}
+
+enum Job {
+    Query(Box<QueryJob>),
+    /// Sent by `Drop`: clients may still hold sender clones, so channel
+    /// disconnection alone cannot signal shutdown.
+    Shutdown,
+}
+
+/// The executor half: owns the engine reference and the worker thread.
+/// Dropping the batcher drains in-flight jobs and joins the worker.
+pub struct MicroBatcher {
+    tx: Option<mpsc::Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+    engine: Arc<ImputationEngine>,
+}
+
+/// A cloneable handle clients use to submit blocking queries.
+#[derive(Clone)]
+pub struct BatchClient {
+    tx: mpsc::Sender<Job>,
+}
+
+impl MicroBatcher {
+    /// Spawns the executor thread. `max_batch` caps how many pending requests
+    /// one batch may coalesce (≥ 1).
+    pub fn spawn(engine: Arc<ImputationEngine>, max_batch: usize) -> Self {
+        let max_batch = max_batch.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let exec = Arc::clone(&engine);
+        let worker = std::thread::spawn(move || {
+            while let Ok(first) = rx.recv() {
+                let mut jobs = Vec::new();
+                let mut stop = match first {
+                    Job::Shutdown => break,
+                    Job::Query(q) => {
+                        jobs.push(q);
+                        false
+                    }
+                };
+                while !stop && jobs.len() < max_batch {
+                    match rx.try_recv() {
+                        Ok(Job::Query(q)) => jobs.push(q),
+                        Ok(Job::Shutdown) => stop = true,
+                        Err(_) => break,
+                    }
+                }
+                let reqs: Vec<ImputeRequest> = jobs.iter().map(|j| j.req).collect();
+                let results = exec.query_batch(&reqs);
+                for (job, result) in jobs.into_iter().zip(results) {
+                    // A disconnected client (it gave up) is not an executor error.
+                    let _ = job.reply.send(result);
+                }
+                if stop {
+                    break;
+                }
+            }
+            // Dropping `rx` here disconnects queued and future jobs; their
+            // reply senders drop with them, failing in-flight clients cleanly.
+        });
+        Self { tx: Some(tx), worker: Some(worker), engine }
+    }
+
+    /// A new client handle for this batcher.
+    pub fn client(&self) -> BatchClient {
+        BatchClient { tx: self.tx.as_ref().expect("batcher alive").clone() }
+    }
+
+    /// The engine the batcher executes against.
+    pub fn engine(&self) -> &Arc<ImputationEngine> {
+        &self.engine
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            // The worker may be mid-batch; the sentinel reaches it at the
+            // next drain. Send can only fail if the worker already exited.
+            let _ = tx.send(Job::Shutdown);
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl BatchClient {
+    /// Submits one request and blocks until its micro-batch executes.
+    ///
+    /// # Errors
+    /// Validation errors from the engine pass through per request;
+    /// [`ServeError::Shutdown`] if the batcher shut down before the request
+    /// was answered (transient — the request itself may be valid).
+    pub fn query(&self, s: usize, start: usize, end: usize) -> Result<Vec<f64>, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job::Query(Box::new(QueryJob {
+            req: ImputeRequest { s, start, end },
+            reply: reply_tx,
+        }));
+        if self.tx.send(job).is_err() {
+            return Err(ServeError::Shutdown);
+        }
+        reply_rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmvi::{DeepMviConfig, DeepMviModel};
+    use mvi_data::generators::{generate_with_shape, DatasetName};
+    use mvi_data::scenarios::Scenario;
+
+    fn engine() -> Arc<ImputationEngine> {
+        let ds = generate_with_shape(DatasetName::AirQ, &[3], 120, 4);
+        let obs = Scenario::mcar(1.0).apply(&ds, 2).observed();
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        Arc::new(ImputationEngine::new(model.freeze(), obs).unwrap())
+    }
+
+    #[test]
+    fn concurrent_clients_get_the_same_answers_as_direct_queries() {
+        let engine = engine();
+        let t = engine.grid().t_len();
+        let full = engine.model().impute(&engine.observed());
+        let batcher = MicroBatcher::spawn(Arc::clone(&engine), 8);
+        let mut handles = Vec::new();
+        for s in 0..3 {
+            for _ in 0..4 {
+                let client = batcher.client();
+                handles.push(std::thread::spawn(move || (s, client.query(s, 0, t))));
+            }
+        }
+        for h in handles {
+            let (s, got) = h.join().unwrap();
+            assert_eq!(got.unwrap(), full.series(s), "series {s} diverged through the batcher");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 12);
+        assert!(stats.batches <= stats.requests, "batching never increases batch count");
+    }
+
+    #[test]
+    fn batcher_shutdown_is_clean() {
+        let engine = engine();
+        let client = {
+            let batcher = MicroBatcher::spawn(Arc::clone(&engine), 4);
+            let c = batcher.client();
+            assert!(c.query(0, 0, 10).is_ok());
+            c
+            // batcher drops here: worker joins.
+        };
+        // Requests after shutdown fail with the transient error, not a
+        // validation error, and never hang.
+        assert_eq!(client.query(0, 0, 10), Err(ServeError::Shutdown));
+    }
+}

@@ -1,0 +1,581 @@
+//! The online imputation engine: a warm frozen model plus the mutable serving
+//! state (observed values, imputation cache, per-window freshness).
+//!
+//! ## Consistency model
+//!
+//! The engine keeps a full-tensor imputation cache guarded by one mutex, with
+//! a per-`(series, window)` freshness bit. Queries serve fresh windows straight
+//! from the cache; stale windows covering missing entries are recomputed on
+//! demand — coalesced across a batch so overlapping requests share one forward
+//! pass per window ([`ImputationEngine::query_batch`]).
+//!
+//! [`ImputationEngine::append`] records newly arrived values at a series'
+//! write watermark and re-imputes only the **affected tail windows** instead of
+//! the full tensor:
+//!
+//! * the appended series: every window from one window before the append
+//!   onwards (the fine-grained local mean of §4.1.1 reaches `w` steps across a
+//!   window boundary, so re-imputation starts one window early);
+//! * sibling series: only windows overlapping the appended range — the kernel
+//!   regression (§4.2) reads sibling values pointwise at the imputed position,
+//!   and the temporal transformer and local mean never cross series.
+//!
+//! Windows of the appended series *before* the recomputed tail are marked
+//! stale rather than recomputed: their attention context (up to `ctx_windows`
+//! windows) may span the append, so they heal lazily on the next query that
+//! touches them. Values recomputed by `append` are exactly what a full batch
+//! re-impute over the current state would produce — the integration tests
+//! assert equality to 1e-9.
+
+use deepmvi::{FrozenModel, WindowQuery};
+use mvi_data::dataset::ObservedDataset;
+use mvi_data::windows::WindowGrid;
+use mvi_tensor::Tensor;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Errors produced by the serving layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Model/dataset geometry mismatch (wrong dims, series length, weights).
+    Geometry(String),
+    /// Series id outside the dataset.
+    Series { s: usize, n_series: usize },
+    /// Time range outside the series or inverted.
+    Range { start: usize, end: usize, t_len: usize },
+    /// Append past the end of the fixed-capacity series.
+    AppendOverflow { watermark: usize, len: usize, t_len: usize },
+    /// Snapshot parse/restore failure.
+    Snapshot(String),
+    /// The serving executor shut down before answering (transient: the
+    /// request itself may be perfectly valid).
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Geometry(msg) => write!(f, "geometry mismatch: {msg}"),
+            ServeError::Series { s, n_series } => {
+                write!(f, "series {s} out of range (dataset has {n_series})")
+            }
+            ServeError::Range { start, end, t_len } => {
+                write!(f, "range {start}..{end} invalid for series length {t_len}")
+            }
+            ServeError::AppendOverflow { watermark, len, t_len } => write!(
+                f,
+                "append of {len} values at watermark {watermark} exceeds series length {t_len}"
+            ),
+            ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            ServeError::Shutdown => write!(f, "serving executor shut down before answering"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One imputation request: the fully-imputed values of `[start, end)` in
+/// series `s` (observed entries pass through, missing entries are imputed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImputeRequest {
+    /// Flat series id.
+    pub s: usize,
+    /// Range start (inclusive).
+    pub start: usize,
+    /// Range end (exclusive).
+    pub end: usize,
+}
+
+/// What one [`ImputationEngine::append`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppendReport {
+    /// The time range the new values were recorded into.
+    pub recorded: (usize, usize),
+    /// Windows re-imputed eagerly (appended series' tail + sibling overlaps).
+    pub windows_recomputed: usize,
+    /// Missing positions whose cached imputation was refreshed.
+    pub positions_refreshed: usize,
+    /// Windows of the appended series marked stale for lazy recomputation.
+    pub windows_invalidated: usize,
+}
+
+/// Monotonic serving counters (lock-free reads; see
+/// [`ImputationEngine::stats`]).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    windows_computed: AtomicU64,
+    window_hits: AtomicU64,
+    appends: AtomicU64,
+    values_appended: AtomicU64,
+}
+
+/// Point-in-time copy of the engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests served (each element of a batch counts once).
+    pub requests: u64,
+    /// Micro-batches executed (a single `query` counts as a batch of one).
+    pub batches: u64,
+    /// Window forward passes actually evaluated.
+    pub windows_computed: u64,
+    /// Windows with missing entries served from the warm cache without a
+    /// forward pass (fully observed windows never count — they need neither
+    /// cache nor compute).
+    pub window_hits: u64,
+    /// Successful appends.
+    pub appends: u64,
+    /// Total values recorded by appends.
+    pub values_appended: u64,
+}
+
+/// Mutable serving state, guarded by the engine mutex.
+struct EngineState {
+    obs: ObservedDataset,
+    /// Full-tensor cache: observed values + the latest imputations.
+    imputed: Tensor,
+    /// Freshness per `(series, window)`, row-major `[n_series][n_windows]`.
+    fresh: Vec<bool>,
+    /// Per-series write watermark: where the next append lands (one past the
+    /// last observed entry).
+    watermark: Vec<usize>,
+}
+
+/// The online imputation engine. Shareable across threads behind an `Arc`;
+/// all methods take `&self`.
+pub struct ImputationEngine {
+    model: FrozenModel,
+    grid: WindowGrid,
+    n_series: usize,
+    state: Mutex<EngineState>,
+    counters: Counters,
+}
+
+impl ImputationEngine {
+    /// Builds an engine over a frozen model and the current observed state of
+    /// the dataset it serves. The imputation cache starts cold: every window
+    /// containing missing entries is computed on first touch (or all at once
+    /// via [`ImputationEngine::warm_up`]).
+    ///
+    /// # Errors
+    /// [`ServeError::Geometry`] when `obs` does not match the geometry the
+    /// model was built for.
+    pub fn new(model: FrozenModel, obs: ObservedDataset) -> Result<Self, ServeError> {
+        if obs.series_shape() != model.series_shape() || obs.t_len() != model.t_len() {
+            return Err(ServeError::Geometry(format!(
+                "observed dataset {:?}x{} does not match model {:?}x{}",
+                obs.series_shape(),
+                obs.t_len(),
+                model.series_shape(),
+                model.t_len()
+            )));
+        }
+        let grid = model.grid();
+        let n_series = obs.n_series();
+        let watermark = (0..n_series)
+            .map(|s| {
+                let avail = obs.available.series(s);
+                avail.iter().rposition(|&a| a).map_or(0, |t| t + 1)
+            })
+            .collect();
+        let imputed = obs.values.clone();
+        let fresh = vec![false; n_series * grid.n_windows()];
+        let state = EngineState { obs, imputed, fresh, watermark };
+        Ok(Self { model, grid, n_series, state: Mutex::new(state), counters: Counters::default() })
+    }
+
+    /// The frozen model this engine serves.
+    pub fn model(&self) -> &FrozenModel {
+        &self.model
+    }
+
+    /// The window grid of the served model.
+    pub fn grid(&self) -> WindowGrid {
+        self.grid
+    }
+
+    /// Computes every stale window with missing entries now, so subsequent
+    /// queries are pure cache reads. Returns the number of windows computed.
+    pub fn warm_up(&self) -> usize {
+        let mut state = self.state.lock().expect("engine poisoned");
+        let mut queries = Vec::new();
+        for s in 0..self.n_series {
+            self.collect_stale(&state, s, 0, self.grid.t_len(), &mut queries);
+        }
+        self.compute_and_fill(&mut state, &queries);
+        queries.len()
+    }
+
+    /// Serves one request (a micro-batch of one); see
+    /// [`ImputationEngine::query_batch`].
+    ///
+    /// # Errors
+    /// [`ServeError::Series`] / [`ServeError::Range`] on an invalid request.
+    pub fn query(&self, s: usize, start: usize, end: usize) -> Result<Vec<f64>, ServeError> {
+        self.query_batch(&[ImputeRequest { s, start, end }]).pop().expect("one result")
+    }
+
+    /// Serves a micro-batch of requests: validates each, coalesces the stale
+    /// windows the batch needs (deduplicated across overlapping requests),
+    /// evaluates them in one data-parallel pass, then answers every request
+    /// from the refreshed cache. Per-request errors do not poison the batch.
+    pub fn query_batch(&self, requests: &[ImputeRequest]) -> Vec<Result<Vec<f64>, ServeError>> {
+        let t_len = self.grid.t_len();
+        self.counters.requests.fetch_add(requests.len() as u64, Ordering::Relaxed);
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+
+        let validity: Vec<Result<(), ServeError>> = requests
+            .iter()
+            .map(|r| {
+                if r.s >= self.n_series {
+                    Err(ServeError::Series { s: r.s, n_series: self.n_series })
+                } else if r.start > r.end || r.end > t_len {
+                    Err(ServeError::Range { start: r.start, end: r.end, t_len })
+                } else {
+                    Ok(())
+                }
+            })
+            .collect();
+
+        let mut state = self.state.lock().expect("engine poisoned");
+        let mut queries = Vec::new();
+        let mut needed = BTreeSet::new();
+        let mut hits = 0usize;
+        for (r, ok) in requests.iter().zip(&validity) {
+            if ok.is_ok() {
+                hits += self.collect_stale_dedup(
+                    &state,
+                    r.s,
+                    r.start,
+                    r.end,
+                    &mut needed,
+                    &mut queries,
+                );
+            }
+        }
+        self.counters.window_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.compute_and_fill(&mut state, &queries);
+
+        requests
+            .iter()
+            .zip(validity)
+            .map(|(r, ok)| ok.map(|()| state.imputed.series(r.s)[r.start..r.end].to_vec()))
+            .collect()
+    }
+
+    /// Records newly arrived values for series `s` at its write watermark and
+    /// re-imputes the affected tail windows (see the module docs for the exact
+    /// affected set). Returns what was recomputed.
+    ///
+    /// # Errors
+    /// [`ServeError::Series`] for a bad id, [`ServeError::AppendOverflow`]
+    /// when the values run past the fixed series capacity.
+    pub fn append(&self, s: usize, values: &[f64]) -> Result<AppendReport, ServeError> {
+        if s >= self.n_series {
+            return Err(ServeError::Series { s, n_series: self.n_series });
+        }
+        let t_len = self.grid.t_len();
+        let mut state = self.state.lock().expect("engine poisoned");
+        let wm = state.watermark[s];
+        let end = wm + values.len();
+        if end > t_len {
+            return Err(ServeError::AppendOverflow { watermark: wm, len: values.len(), t_len });
+        }
+        if values.is_empty() {
+            return Ok(AppendReport {
+                recorded: (wm, wm),
+                windows_recomputed: 0,
+                positions_refreshed: 0,
+                windows_invalidated: 0,
+            });
+        }
+
+        state.obs.record_range(s, wm, values);
+        state.imputed.series_mut(s)[wm..end].copy_from_slice(values);
+        state.watermark[s] = end;
+
+        // Invalidate: the recorded range changes the forward inputs of every
+        // window in the appended series' tail, of earlier windows of the same
+        // series through the attention context, and of sibling windows
+        // overlapping the range through the kernel regression.
+        let tail = self.grid.tail_windows_for(wm);
+        let n_windows = self.grid.n_windows();
+        let mut invalidated = 0usize;
+        for j in 0..tail.start {
+            let slot = s * n_windows + j;
+            if state.fresh[slot] {
+                state.fresh[slot] = false;
+                invalidated += 1;
+            }
+        }
+        for j in tail.clone() {
+            state.fresh[s * n_windows + j] = false;
+        }
+        for sib in 0..self.n_series {
+            if sib != s {
+                for j in self.grid.windows_overlapping(wm, end) {
+                    state.fresh[sib * n_windows + j] = false;
+                }
+            }
+        }
+
+        // Eagerly re-impute the affected tail: the appended series from
+        // `tail.start`, siblings only where they overlap the recorded range.
+        let mut queries = Vec::new();
+        let mut needed = BTreeSet::new();
+        let (tail_lo, _) = self.grid.bounds(tail.start);
+        self.collect_stale_dedup(&state, s, tail_lo, t_len, &mut needed, &mut queries);
+        for sib in 0..self.n_series {
+            if sib != s {
+                self.collect_stale_dedup(&state, sib, wm, end, &mut needed, &mut queries);
+            }
+        }
+        let positions_refreshed = queries.iter().map(|q| q.positions.len()).sum();
+        let windows_recomputed = queries.len();
+        self.compute_and_fill(&mut state, &queries);
+
+        self.counters.appends.fetch_add(1, Ordering::Relaxed);
+        self.counters.values_appended.fetch_add(values.len() as u64, Ordering::Relaxed);
+        Ok(AppendReport {
+            recorded: (wm, end),
+            windows_recomputed,
+            positions_refreshed,
+            windows_invalidated: invalidated,
+        })
+    }
+
+    /// The next write position of series `s`.
+    ///
+    /// # Errors
+    /// [`ServeError::Series`] for a bad id.
+    pub fn watermark(&self, s: usize) -> Result<usize, ServeError> {
+        if s >= self.n_series {
+            return Err(ServeError::Series { s, n_series: self.n_series });
+        }
+        Ok(self.state.lock().expect("engine poisoned").watermark[s])
+    }
+
+    /// A copy of the full imputation cache (observed values + latest
+    /// imputations). Primarily for tests and offline comparison.
+    pub fn cached_values(&self) -> Tensor {
+        self.state.lock().expect("engine poisoned").imputed.clone()
+    }
+
+    /// A copy of the current observed state the engine serves.
+    pub fn observed(&self) -> ObservedDataset {
+        self.state.lock().expect("engine poisoned").obs.clone()
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            windows_computed: self.counters.windows_computed.load(Ordering::Relaxed),
+            window_hits: self.counters.window_hits.load(Ordering::Relaxed),
+            appends: self.counters.appends.load(Ordering::Relaxed),
+            values_appended: self.counters.values_appended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Appends the stale windows with missing entries of series `s` inside
+    /// `[start, end)` to `queries` (no dedup across calls).
+    fn collect_stale(
+        &self,
+        state: &EngineState,
+        s: usize,
+        start: usize,
+        end: usize,
+        queries: &mut Vec<WindowQuery>,
+    ) {
+        let mut needed = BTreeSet::new();
+        self.collect_stale_dedup(state, s, start, end, &mut needed, queries);
+    }
+
+    /// Like [`ImputationEngine::collect_stale`], but skips `(s, window)` pairs
+    /// already in `needed` — the coalescing step that lets overlapping
+    /// requests in one micro-batch share a single forward pass per window.
+    /// Returns how many windows were skipped because they were fresh (cache
+    /// hits — windows claimed by an earlier request in the batch are shared
+    /// work, not hits).
+    ///
+    /// Freshness is checked per window *before* enumerating any positions, so
+    /// the steady-state all-fresh request costs one bool scan per overlapped
+    /// window and zero allocation. Queries always carry the full window's
+    /// missing positions (the request range may clip the window, but the
+    /// freshness bit covers all of it).
+    fn collect_stale_dedup(
+        &self,
+        state: &EngineState,
+        s: usize,
+        start: usize,
+        end: usize,
+        needed: &mut BTreeSet<(usize, usize)>,
+        queries: &mut Vec<WindowQuery>,
+    ) -> usize {
+        let n_windows = self.grid.n_windows();
+        let avail = state.obs.available.series(s);
+        let mut fresh_hits = 0usize;
+        for wj in self.grid.windows_overlapping(start, end) {
+            let (lo, hi) = self.grid.bounds(wj);
+            if state.fresh[s * n_windows + wj] {
+                // Fully observed windows carry no imputations: not a hit.
+                if avail[lo..hi].iter().any(|&a| !a) {
+                    fresh_hits += 1;
+                }
+                continue;
+            }
+            if !needed.contains(&(s, wj)) {
+                let positions: Vec<usize> = (lo..hi).filter(|&t| !avail[t]).collect();
+                if positions.is_empty() {
+                    continue; // fully observed, nothing to impute
+                }
+                needed.insert((s, wj));
+                queries.push(WindowQuery { s, window_j: wj, positions });
+            }
+        }
+        fresh_hits
+    }
+
+    /// Evaluates `queries` data-parallel over the frozen model, writes the
+    /// predictions into the cache and marks the windows fresh.
+    fn compute_and_fill(&self, state: &mut EngineState, queries: &[WindowQuery]) {
+        if queries.is_empty() {
+            return;
+        }
+        let threads = mvi_parallel::current_threads();
+        let results = self.model.predict_batch(&state.obs, queries, threads);
+        let n_windows = self.grid.n_windows();
+        let t_len = self.grid.t_len();
+        for (q, vals) in queries.iter().zip(&results) {
+            let base = q.s * t_len;
+            for (&t, &v) in q.positions.iter().zip(vals) {
+                state.imputed.data_mut()[base + t] = v;
+            }
+            state.fresh[q.s * n_windows + q.window_j] = true;
+        }
+        self.counters.windows_computed.fetch_add(queries.len() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmvi::{DeepMviConfig, DeepMviModel};
+    use mvi_data::generators::{generate_with_shape, DatasetName};
+    use mvi_data::scenarios::Scenario;
+
+    fn engine_fixture() -> (ObservedDataset, ImputationEngine) {
+        let ds = generate_with_shape(DatasetName::Chlorine, &[4], 150, 7);
+        let inst = Scenario::mcar(1.0).apply(&ds, 3);
+        let obs = inst.observed();
+        let cfg = DeepMviConfig { max_steps: 8, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let engine = ImputationEngine::new(model.freeze(), obs.clone()).unwrap();
+        (obs, engine)
+    }
+
+    #[test]
+    fn query_matches_batch_impute_and_hits_cache_on_repeat() {
+        let (obs, engine) = engine_fixture();
+        let full = engine.model().impute(&obs);
+        let t = obs.t_len();
+        for s in 0..obs.n_series() {
+            let got = engine.query(s, 0, t).unwrap();
+            assert_eq!(got, full.series(s), "series {s} diverged from batch impute");
+        }
+        let computed_cold = engine.stats().windows_computed;
+        assert!(computed_cold > 0);
+        // A second sweep is pure cache reads.
+        for s in 0..obs.n_series() {
+            engine.query(s, 0, t).unwrap();
+        }
+        assert_eq!(engine.stats().windows_computed, computed_cold, "repeat queries recomputed");
+        assert!(engine.stats().window_hits > 0);
+    }
+
+    #[test]
+    fn warm_up_precomputes_everything() {
+        let (obs, engine) = engine_fixture();
+        let warmed = engine.warm_up();
+        assert!(warmed > 0);
+        let before = engine.stats().windows_computed;
+        engine.query(0, 0, obs.t_len()).unwrap();
+        assert_eq!(engine.stats().windows_computed, before);
+        assert_eq!(engine.cached_values(), engine.model().impute(&obs));
+    }
+
+    #[test]
+    fn coalescing_shares_windows_across_overlapping_requests() {
+        let (obs, engine) = engine_fixture();
+        let t = obs.t_len();
+        // Many overlapping requests over the same region in one batch.
+        let reqs: Vec<ImputeRequest> =
+            (0..6).map(|i| ImputeRequest { s: 1, start: i * 5, end: t / 2 + i * 5 }).collect();
+        let results = engine.query_batch(&reqs);
+        let computed = engine.stats().windows_computed;
+        for (r, res) in reqs.iter().zip(&results) {
+            let vals = res.as_ref().unwrap();
+            assert_eq!(vals.len(), r.end - r.start);
+        }
+        // Without coalescing this would be ~6x the distinct-window count.
+        let distinct = engine.grid().windows_overlapping(0, t / 2 + 25).len();
+        assert!(
+            computed as usize <= distinct,
+            "computed {computed} windows for {distinct} distinct"
+        );
+    }
+
+    #[test]
+    fn invalid_requests_fail_cleanly_without_poisoning_the_batch() {
+        let (obs, engine) = engine_fixture();
+        let t = obs.t_len();
+        let results = engine.query_batch(&[
+            ImputeRequest { s: 99, start: 0, end: 10 },
+            ImputeRequest { s: 0, start: 5, end: t + 1 },
+            ImputeRequest { s: 0, start: 8, end: 4 },
+            ImputeRequest { s: 2, start: 0, end: 10 },
+        ]);
+        assert!(matches!(results[0], Err(ServeError::Series { s: 99, .. })));
+        assert!(matches!(results[1], Err(ServeError::Range { .. })));
+        assert!(matches!(results[2], Err(ServeError::Range { .. })));
+        assert!(results[3].is_ok());
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected_at_construction() {
+        let (_, engine) = engine_fixture();
+        let other = generate_with_shape(DatasetName::Chlorine, &[5], 150, 7);
+        let other_obs = Scenario::mcar(1.0).apply(&other, 3).observed();
+        let model = engine.model();
+        let snap = crate::snapshot::ServeSnapshot::capture(model.model(), &engine.observed());
+        assert!(matches!(snap.restore(&other_obs), Err(ServeError::Geometry(_))));
+    }
+
+    #[test]
+    fn append_advances_watermark_and_respects_capacity() {
+        let ds = generate_with_shape(DatasetName::Gas, &[3], 100, 2);
+        let mut obs = Scenario::mcar(1.0).apply(&ds, 5).observed();
+        // Carve out a streaming future for series 1.
+        obs.hide_range(1, 80, 100);
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let engine = ImputationEngine::new(model.freeze(), obs).unwrap();
+
+        assert_eq!(engine.watermark(1).unwrap(), 80);
+        let report = engine.append(1, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(report.recorded, (80, 83));
+        assert!(report.windows_recomputed > 0, "tail still has missing entries to refresh");
+        assert_eq!(engine.watermark(1).unwrap(), 83);
+        // Appended values are served back verbatim.
+        assert_eq!(engine.query(1, 80, 83).unwrap(), vec![1.0, 2.0, 3.0]);
+        // Capacity is enforced.
+        let err = engine.append(1, &[0.0; 100]).unwrap_err();
+        assert!(matches!(err, ServeError::AppendOverflow { watermark: 83, .. }));
+        assert!(matches!(engine.append(9, &[0.0]), Err(ServeError::Series { .. })));
+    }
+}

@@ -1,0 +1,65 @@
+//! **mvi-serve** — online imputation serving for trained DeepMVI models.
+//!
+//! The batch pipeline ([`deepmvi::DeepMvi`]) retrains from scratch and imputes
+//! the whole tensor per call. This crate is the production-facing counterpart:
+//! a trained model is loaded **once** into a warm cache and then serves many
+//! cheap requests — the train/infer split of `deepmvi::infer` turned into an
+//! engine.
+//!
+//! * [`ServeSnapshot`] — self-describing persistence: config + dataset
+//!   geometry + weights + trained std-dev, JSON-serializable, geometry-checked
+//!   on restore.
+//! * [`ImputationEngine`] — the serving core: a full-tensor imputation cache
+//!   with per-window freshness, coalesced micro-batch queries
+//!   ([`ImputationEngine::query_batch`]) and a streaming
+//!   [`ImputationEngine::append`] that re-imputes only the affected tail
+//!   windows instead of the full tensor.
+//! * [`MicroBatcher`] / [`BatchClient`] — a thread front door: concurrent
+//!   callers funnel into one executor that drains pending requests into
+//!   coalesced batches.
+//!
+//! # Quickstart
+//!
+//! Train offline, snapshot, serve online:
+//!
+//! ```
+//! use deepmvi::{DeepMviConfig, DeepMviModel};
+//! use mvi_data::generators::{generate_with_shape, DatasetName};
+//! use mvi_data::scenarios::Scenario;
+//! use mvi_serve::{ImputationEngine, ServeSnapshot};
+//!
+//! // Offline: train on the observed data and persist a snapshot.
+//! let ds = generate_with_shape(DatasetName::Gas, &[3], 120, 4);
+//! let obs = Scenario::mcar(1.0).apply(&ds, 1).observed();
+//! let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+//! let mut model = DeepMviModel::new(&cfg, &obs);
+//! model.fit(&obs);
+//! let json = ServeSnapshot::capture(&model, &obs).to_json();
+//!
+//! // Online: rehydrate into an engine and serve.
+//! let snapshot = ServeSnapshot::from_json(&json).unwrap();
+//! let frozen = snapshot.restore(&obs).unwrap();
+//! let engine = ImputationEngine::new(frozen, obs.clone()).unwrap();
+//!
+//! // Point queries impute on demand (and cache per window) ...
+//! let head = engine.query(0, 0, 40).unwrap();
+//! assert_eq!(head.len(), 40);
+//! // ... and new observations re-impute only the affected tail windows.
+//! let watermark = engine.watermark(0).unwrap();
+//! if watermark < 120 {
+//!     engine.append(0, &[0.25]).unwrap();
+//! }
+//! ```
+//!
+//! For concurrent callers, wrap the engine in a [`MicroBatcher`] and hand each
+//! thread a [`BatchClient`]; see the `online_serving` example for an
+//! end-to-end tour and `serve_bench` for the throughput methodology behind
+//! `BENCH_2.json` (documented in `PERFORMANCE.md`).
+
+pub mod batch;
+pub mod engine;
+pub mod snapshot;
+
+pub use batch::{BatchClient, MicroBatcher};
+pub use engine::{AppendReport, EngineStats, ImputationEngine, ImputeRequest, ServeError};
+pub use snapshot::ServeSnapshot;

@@ -1,0 +1,121 @@
+//! Model persistence for serving: everything a serving process needs to
+//! rehydrate a trained DeepMVI model without the training pipeline.
+//!
+//! [`deepmvi::DeepMviModel::export_params`] captures only the weights; a
+//! server additionally needs the configuration the weights were trained under
+//! and the dataset geometry they are sized for. [`ServeSnapshot`] bundles all
+//! three (plus the trained imputation std-dev) into one serde-serializable
+//! artifact, and validates geometry on restore so a snapshot cannot silently
+//! be loaded against the wrong tenant's data.
+
+use crate::engine::ServeError;
+use deepmvi::{DeepMviConfig, DeepMviModel, FrozenModel};
+use mvi_autograd::params::StoreSnapshot;
+use mvi_data::dataset::{DimSpec, ObservedDataset};
+use serde::{Deserialize, Serialize};
+
+/// A complete, self-describing dump of a trained model for serving.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Configuration the model was trained under (window rule, module
+    /// switches, sizes — everything needed to rebuild identical parameters).
+    pub config: DeepMviConfig,
+    /// Non-time dimensions of the training dataset.
+    pub dims: Vec<DimSpec>,
+    /// Series length the model was sized for.
+    pub t_len: usize,
+    /// Trained shared imputation std-dev (§4), if training captured one.
+    pub shared_std: Option<f64>,
+    /// The weights.
+    pub params: StoreSnapshot,
+}
+
+impl ServeSnapshot {
+    /// Captures a trained model together with the geometry of the dataset it
+    /// was trained on.
+    pub fn capture(model: &DeepMviModel, obs: &ObservedDataset) -> Self {
+        Self {
+            config: model.config().clone(),
+            dims: obs.dims.clone(),
+            t_len: obs.t_len(),
+            shared_std: model.shared_std(),
+            params: model.export_params(),
+        }
+    }
+
+    /// Rehydrates a frozen model against `obs`, validating that the dataset
+    /// geometry matches what the weights were trained for.
+    ///
+    /// # Errors
+    /// [`ServeError::Geometry`] on a dimension/length mismatch or a weight
+    /// snapshot that does not fit the rebuilt parameter layout.
+    pub fn restore(&self, obs: &ObservedDataset) -> Result<FrozenModel, ServeError> {
+        if obs.dims != self.dims {
+            return Err(ServeError::Geometry(format!(
+                "dataset dims {:?} do not match snapshot dims {:?}",
+                obs.dims.iter().map(|d| (d.name.as_str(), d.len())).collect::<Vec<_>>(),
+                self.dims.iter().map(|d| (d.name.as_str(), d.len())).collect::<Vec<_>>(),
+            )));
+        }
+        if obs.t_len() != self.t_len {
+            return Err(ServeError::Geometry(format!(
+                "dataset t_len {} does not match snapshot t_len {}",
+                obs.t_len(),
+                self.t_len
+            )));
+        }
+        FrozenModel::from_snapshot(&self.config, obs, &self.params, self.shared_std)
+            .map_err(ServeError::Geometry)
+    }
+
+    /// Serializes to JSON (any serde format works; JSON is what the examples
+    /// and the offline workspace shim support out of the box).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parses a snapshot serialized with [`ServeSnapshot::to_json`].
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] when the JSON does not parse into a snapshot.
+    pub fn from_json(json: &str) -> Result<Self, ServeError> {
+        serde_json::from_str(json).map_err(|e| ServeError::Snapshot(format!("{e:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvi_data::generators::{generate_with_shape, DatasetName};
+    use mvi_data::scenarios::Scenario;
+
+    #[test]
+    fn snapshot_roundtrips_through_json_and_validates_geometry() {
+        let ds = generate_with_shape(DatasetName::Gas, &[3], 120, 4);
+        let inst = Scenario::mcar(1.0).apply(&ds, 1);
+        let obs = inst.observed();
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let expected = model.impute(&obs);
+
+        let snap = ServeSnapshot::capture(&model, &obs);
+        let back = ServeSnapshot::from_json(&snap.to_json()).unwrap();
+        let frozen = back.restore(&obs).unwrap();
+        assert_eq!(frozen.impute(&obs), expected);
+
+        // Wrong geometry is rejected.
+        let other = generate_with_shape(DatasetName::Gas, &[4], 120, 4);
+        let other_obs = Scenario::mcar(1.0).apply(&other, 1).observed();
+        assert!(matches!(back.restore(&other_obs), Err(ServeError::Geometry(_))));
+
+        let shorter = generate_with_shape(DatasetName::Gas, &[3], 80, 4);
+        let shorter_obs = Scenario::mcar(1.0).apply(&shorter, 1).observed();
+        assert!(matches!(back.restore(&shorter_obs), Err(ServeError::Geometry(_))));
+    }
+
+    #[test]
+    fn malformed_json_is_a_snapshot_error() {
+        assert!(matches!(ServeSnapshot::from_json("{nope"), Err(ServeError::Snapshot(_))));
+    }
+}

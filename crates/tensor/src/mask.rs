@@ -173,21 +173,47 @@ impl Mask {
     /// Used both to enumerate missing blocks for imputation and to build the empirical
     /// block-shape distribution for the synthetic-training-mask sampler (§3).
     pub fn runs(&self, s: usize) -> Vec<(usize, usize)> {
-        let series = self.series(s);
+        self.runs_of_in(s, 0, self.t_len(), true)
+    }
+
+    /// Maximal runs of `true` entries in series `s` clipped to `[start, end)`,
+    /// as `(start, len)` pairs. A run straddling the range boundary is
+    /// truncated to the part inside the range.
+    ///
+    /// This is the windowed view of [`Mask::runs`]: streaming/tail imputation
+    /// only needs the runs inside the affected suffix, and a clipped
+    /// enumeration avoids rescanning the whole series per update.
+    pub fn runs_in(&self, s: usize, start: usize, end: usize) -> Vec<(usize, usize)> {
+        self.runs_of_in(s, start, end, true)
+    }
+
+    /// Maximal runs of `false` entries in series `s` clipped to `[start, end)`
+    /// — the *missing* runs of an availability mask, enumerated directly so
+    /// hot read paths need not allocate a full [`Mask::complement`].
+    pub fn gap_runs_in(&self, s: usize, start: usize, end: usize) -> Vec<(usize, usize)> {
+        self.runs_of_in(s, start, end, false)
+    }
+
+    /// Shared scan behind the run enumerations: maximal runs of entries equal
+    /// to `target` within `[start, end)` of series `s`.
+    fn runs_of_in(&self, s: usize, start: usize, end: usize, target: bool) -> Vec<(usize, usize)> {
+        let t = self.t_len();
+        assert!(start <= end && end <= t, "range {start}..{end} out of series length {t}");
+        let series = &self.series(s)[start..end];
         let mut runs = Vec::new();
-        let mut start = None;
-        for (t, &b) in series.iter().enumerate() {
-            match (b, start) {
-                (true, None) => start = Some(t),
+        let mut run_start = None;
+        for (off, &b) in series.iter().enumerate() {
+            match (b == target, run_start) {
+                (true, None) => run_start = Some(start + off),
                 (false, Some(st)) => {
-                    runs.push((st, t - st));
-                    start = None;
+                    runs.push((st, start + off - st));
+                    run_start = None;
                 }
                 _ => {}
             }
         }
-        if let Some(st) = start {
-            runs.push((st, series.len() - st));
+        if let Some(st) = run_start {
+            runs.push((st, end - st));
         }
         runs
     }
@@ -237,6 +263,31 @@ mod tests {
         assert_eq!(m.runs(0), vec![(2, 3), (8, 2)]);
         assert_eq!(Mask::trues(&[1, 4]).runs(0), vec![(0, 4)]);
         assert_eq!(Mask::falses(&[1, 4]).runs(0), vec![]);
+    }
+
+    #[test]
+    fn runs_in_clips_to_the_range() {
+        let mut m = Mask::falses(&[1, 12]);
+        m.set_range(0, 2, 6, true);
+        m.set_range(0, 9, 12, true);
+        assert_eq!(m.runs_in(0, 0, 12), m.runs(0));
+        // Straddling runs are truncated on both sides.
+        assert_eq!(m.runs_in(0, 4, 10), vec![(4, 2), (9, 1)]);
+        // A range inside one run yields the clipped run.
+        assert_eq!(m.runs_in(0, 3, 5), vec![(3, 2)]);
+        // Empty and all-false ranges yield nothing.
+        assert_eq!(m.runs_in(0, 6, 6), vec![]);
+        assert_eq!(m.runs_in(0, 6, 9), vec![]);
+    }
+
+    #[test]
+    fn gap_runs_are_the_complement_runs() {
+        let mut m = Mask::trues(&[1, 12]);
+        m.set_range(0, 3, 6, false);
+        m.set_range(0, 10, 12, false);
+        assert_eq!(m.gap_runs_in(0, 0, 12), m.complement().runs(0));
+        assert_eq!(m.gap_runs_in(0, 4, 11), vec![(4, 2), (10, 1)]);
+        assert_eq!(m.gap_runs_in(0, 0, 3), vec![]);
     }
 
     #[test]

@@ -11,4 +11,5 @@ pub use mvi_data as data;
 pub use mvi_eval as eval;
 pub use mvi_linalg as linalg;
 pub use mvi_neural as neural;
+pub use mvi_serve as serve;
 pub use mvi_tensor as tensor;

@@ -1,0 +1,81 @@
+//! Determinism golden tests: identical seed + config must yield bitwise
+//! identical imputations — across repeated runs in one process, and across
+//! worker-thread counts (`MVI_THREADS=1` vs `N`). CI runs the whole suite
+//! under both thread settings, so any thread-count-dependent reduction order
+//! that sneaks into the kernels, the trainer or the inference fan-out fails
+//! the build twice over.
+//!
+//! Both tests live in one integration-test binary on purpose:
+//! `mvi_parallel::configure_threads` is process-global, and integration tests
+//! in one file share a process. They additionally serialize on [`POOL_LOCK`] —
+//! cargo's default harness runs tests concurrently, and a concurrent
+//! `configure_threads(1)` would silently clamp the other test's multi-threaded
+//! arm to one worker, making the thread-invariance check pass vacuously.
+
+use deepmvi::{DeepMvi, DeepMviConfig};
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::imputer::Imputer;
+use mvi_data::scenarios::Scenario;
+use mvi_tensor::Tensor;
+use std::sync::Mutex;
+
+/// Guards the process-global worker-thread budget across the tests here.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn fixture() -> mvi_data::dataset::ObservedDataset {
+    let ds = generate_with_shape(DatasetName::Chlorine, &[5], 200, 9);
+    Scenario::mcar(1.0).apply(&ds, 4).observed()
+}
+
+fn impute_with_threads(cfg_threads: usize, pool_threads: usize) -> Tensor {
+    mvi_parallel::configure_threads(pool_threads);
+    let cfg =
+        DeepMviConfig { max_steps: 30, threads: cfg_threads, seed: 1234, ..DeepMviConfig::tiny() };
+    let out = DeepMvi::new(cfg).impute(&fixture());
+    mvi_parallel::configure_threads(0); // restore the default budget
+    out
+}
+
+#[test]
+fn identical_seed_and_config_are_bitwise_reproducible_across_runs_and_threads() {
+    let _pool = POOL_LOCK.lock().unwrap();
+    // Two independent runs, single-threaded: the golden reference.
+    let first = impute_with_threads(1, 1);
+    let second = impute_with_threads(1, 1);
+    assert_eq!(first.data(), second.data(), "two identical single-threaded runs diverged bitwise");
+
+    // Same seed + config with parallel training, inference and kernels must
+    // reproduce the golden run bit for bit: worker splits change *who*
+    // computes each value, never the per-value operation order.
+    for threads in [2usize, 4, 8] {
+        let parallel = impute_with_threads(threads, threads);
+        assert_eq!(
+            first.data(),
+            parallel.data(),
+            "imputation with {threads} worker threads diverged bitwise from 1 thread"
+        );
+    }
+}
+
+#[test]
+fn training_reports_are_thread_invariant_too() {
+    let _pool = POOL_LOCK.lock().unwrap();
+    // Not just the imputed values: the validation trajectory (which drives
+    // early stopping and the persisted shared std) must match as well.
+    let obs = fixture();
+    let run = |threads: usize| {
+        mvi_parallel::configure_threads(threads);
+        let cfg = DeepMviConfig { max_steps: 20, threads, seed: 77, ..DeepMviConfig::tiny() };
+        let mut model = deepmvi::DeepMviModel::new(&cfg, &obs);
+        let report = model.fit(&obs);
+        mvi_parallel::configure_threads(0);
+        (report.steps, report.best_val, report.val_trace, model.shared_std())
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.0, parallel.0, "step counts diverged");
+    assert_eq!(serial.1.to_bits(), parallel.1.to_bits(), "best_val diverged");
+    assert_eq!(serial.3, parallel.3, "shared std diverged");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&serial.2), bits(&parallel.2), "validation traces diverged");
+}

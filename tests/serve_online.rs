@@ -1,0 +1,183 @@
+//! End-to-end tests of the online serving path: train once, snapshot, serve —
+//! streaming appends, micro-batched queries, and equivalence with the batch
+//! imputer.
+
+use deepmvi::{DeepMviConfig, DeepMviModel};
+use mvi_data::dataset::ObservedDataset;
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::scenarios::Scenario;
+use mvi_data::windows::WindowGrid;
+use mvi_serve::{ImputationEngine, ImputeRequest, MicroBatcher, ServeSnapshot};
+use mvi_tensor::Tensor;
+use std::sync::Arc;
+
+const SERIES: usize = 4;
+const T: usize = 240;
+const STREAM_START: usize = 180;
+
+/// A dataset whose suffix `[STREAM_START, T)` is a streaming future: hidden at
+/// training time, appended series-by-series while serving. Returns the ground
+/// truth (the stream source), the observed view, and a trained model.
+fn streaming_fixture() -> (Tensor, ObservedDataset, DeepMviModel) {
+    let ds = generate_with_shape(DatasetName::Chlorine, &[SERIES], T, 11);
+    let inst = Scenario::mcar(1.0).apply(&ds, 5);
+    let mut obs = inst.observed();
+    for s in 0..SERIES {
+        obs.hide_range(s, STREAM_START, T);
+    }
+    let cfg = DeepMviConfig { max_steps: 25, ..DeepMviConfig::tiny() };
+    let mut model = DeepMviModel::new(&cfg, &obs);
+    model.fit(&obs);
+    (ds.values, obs, model)
+}
+
+/// The positions `append` promises to refresh: missing entries of the appended
+/// series from one window before the append onwards, plus missing entries of
+/// sibling series inside the appended range.
+fn affected_positions(
+    grid: WindowGrid,
+    obs: &ObservedDataset,
+    s: usize,
+    wm: usize,
+    end: usize,
+) -> Vec<(usize, usize)> {
+    let tail = grid.tail_windows_for(wm);
+    let (tail_lo, _) = grid.bounds(tail.start);
+    let mut out = Vec::new();
+    for series in 0..obs.n_series() {
+        let avail = obs.available.series(series);
+        let range = if series == s { tail_lo..grid.t_len() } else { wm..end };
+        for t in range {
+            if !avail[t] {
+                out.push((series, t));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn streaming_append_matches_full_reimpute_on_affected_tail_windows() {
+    let (truth, obs, model) = streaming_fixture();
+    let grid = model.grid();
+    let frozen = model.freeze();
+    let engine = ImputationEngine::new(
+        ServeSnapshot::capture(frozen.model(), &obs).restore(&obs).unwrap(),
+        obs.clone(),
+    )
+    .unwrap();
+
+    // Stream the hidden future in, in uneven chunks, round-robin over series.
+    // Watermarks come from the engine: an MCAR block adjacent to the hidden
+    // suffix makes some series' streams start before STREAM_START.
+    let chunks = [7usize, 20, 13, 16];
+    let mut round = 0usize;
+    let mut appends = 0usize;
+    while (0..SERIES).any(|s| engine.watermark(s).unwrap() < T) {
+        for s in 0..SERIES {
+            let wm = engine.watermark(s).unwrap();
+            if wm >= T {
+                continue;
+            }
+            let len = chunks[round % chunks.len()].min(T - wm);
+            let report = engine.append(s, &truth.series(s)[wm..wm + len]).unwrap();
+            assert_eq!(report.recorded, (wm, wm + len));
+            appends += 1;
+
+            // A full batch re-impute over the *current* observed state is the
+            // oracle; the engine must match it on every affected position.
+            let current = engine.observed();
+            let oracle = frozen.impute(&current);
+            let cache = engine.cached_values();
+            for (series, t) in affected_positions(grid, &current, s, wm, wm + len) {
+                let got = cache.series(series)[t];
+                let want = oracle.series(series)[t];
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "series {series} t={t} after append to {s}@{wm}: engine {got} vs oracle {want}"
+                );
+            }
+        }
+        round += 1;
+    }
+    assert!(appends >= SERIES * 3, "stream drained in too few appends to exercise the tail path");
+    for s in 0..SERIES {
+        assert_eq!(engine.watermark(s).unwrap(), T);
+    }
+}
+
+#[test]
+fn lazily_healed_cache_converges_to_the_batch_imputer() {
+    let (truth, obs, model) = streaming_fixture();
+    let frozen = model.freeze();
+    let engine = ImputationEngine::new(
+        ServeSnapshot::capture(frozen.model(), &obs).restore(&obs).unwrap(),
+        obs.clone(),
+    )
+    .unwrap();
+
+    // Append a burst to one series only, then sweep every series with queries:
+    // stale windows (including pre-append windows invalidated through the
+    // attention context) heal on touch.
+    engine.append(2, &truth.series(2)[STREAM_START..STREAM_START + 30]).unwrap();
+    for s in 0..SERIES {
+        engine.query(s, 0, T).unwrap();
+    }
+    let oracle = frozen.impute(&engine.observed());
+    let cache = engine.cached_values();
+    let max_diff =
+        cache.data().iter().zip(oracle.data()).map(|(&a, &b)| (a - b).abs()).fold(0.0f64, f64::max);
+    assert!(max_diff < 1e-12, "healed cache diverges from batch impute by {max_diff}");
+}
+
+#[test]
+fn micro_batched_and_direct_queries_agree() {
+    let (_, obs, model) = streaming_fixture();
+    let engine = Arc::new(ImputationEngine::new(model.freeze(), obs.clone()).unwrap());
+
+    // Direct (unbatched) answers first; the batched and concurrent runs must
+    // reproduce them from the same engine.
+    let requests: Vec<ImputeRequest> = (0..SERIES)
+        .flat_map(|s| {
+            [
+                ImputeRequest { s, start: 0, end: T / 2 },
+                ImputeRequest { s, start: T / 4, end: T },
+                ImputeRequest { s, start: T - 30, end: T },
+            ]
+        })
+        .collect();
+    let direct: Vec<Vec<f64>> =
+        requests.iter().map(|r| engine.query(r.s, r.start, r.end).unwrap()).collect();
+
+    let batched = engine.query_batch(&requests);
+    for ((r, d), b) in requests.iter().zip(&direct).zip(batched) {
+        assert_eq!(&b.unwrap(), d, "request {r:?} diverged between direct and batched");
+    }
+
+    // And through concurrent clients of the micro-batcher.
+    let batcher = MicroBatcher::spawn(Arc::clone(&engine), 16);
+    let mut handles = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        let client = batcher.client();
+        let r = *r;
+        handles.push(std::thread::spawn(move || (i, client.query(r.s, r.start, r.end))));
+    }
+    for h in handles {
+        let (i, got) = h.join().unwrap();
+        assert_eq!(got.unwrap(), direct[i], "request {i} diverged through the batcher");
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_serves_identical_values() {
+    let (_, obs, model) = streaming_fixture();
+    let snap = ServeSnapshot::capture(&model, &obs);
+    let json = snap.to_json();
+    let expected = model.impute(&obs);
+
+    let restored = ServeSnapshot::from_json(&json).unwrap();
+    let engine = ImputationEngine::new(restored.restore(&obs).unwrap(), obs.clone()).unwrap();
+    engine.warm_up();
+    assert_eq!(engine.cached_values(), expected, "restored engine diverged from trained model");
+    assert_eq!(restored.shared_std, snap.shared_std, "shared std lost in the snapshot roundtrip");
+}
