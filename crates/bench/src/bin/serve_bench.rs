@@ -15,12 +15,19 @@
 //! headline `speedup` is naive-to-engine throughput; the acceptance floor for
 //! this artifact is 5x (see `PERFORMANCE.md` for methodology details).
 //!
+//! A third scenario measures **growth**: appends streaming past the trained
+//! `t_len` (which used to hard-fail with `AppendOverflow`) into the growable
+//! engine, reported as `BENCH_3.json` — append latency percentiles, values/s,
+//! windows recomputed, and the tail-query sweep over the grown region.
+//!
 //! ```text
 //! cargo run -p mvi-bench --release --bin serve_bench -- \
-//!     [--threads=N] [--clients=N] [--requests=N] [--out=PATH] [--quick]
+//!     [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
+//!     [--growth-out=PATH] [--quick]
 //! ```
 
 use deepmvi::{DeepMviConfig, DeepMviModel};
+use mvi_data::dataset::Dataset;
 use mvi_data::generators::{generate_with_shape, DatasetName};
 use mvi_data::scenarios::Scenario;
 use mvi_serve::{ImputationEngine, MicroBatcher, ServeSnapshot};
@@ -30,6 +37,9 @@ use std::time::Instant;
 
 const SERIES: usize = 8;
 const T: usize = 400;
+/// Ground truth extends this far past the trained length — the stream source
+/// for the growth scenario.
+const GROWTH_MAX: usize = 240;
 
 struct ArmResult {
     name: &'static str,
@@ -89,6 +99,7 @@ fn request_trace(n: usize) -> Vec<(usize, usize, usize)> {
 
 fn main() {
     let mut out_path = String::from("BENCH_2.json");
+    let mut growth_out_path = String::from("BENCH_3.json");
     let mut quick = false;
     let mut clients = 4usize;
     let mut n_requests = 400usize;
@@ -119,12 +130,14 @@ fn main() {
             };
         } else if let Some(v) = arg.strip_prefix("--out=") {
             out_path = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--growth-out=") {
+            growth_out_path = v.to_string();
         } else if arg == "--quick" {
             quick = true;
         } else {
             eprintln!(
                 "usage: serve_bench [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
-                 [--quick]"
+                 [--growth-out=PATH] [--quick]"
             );
             std::process::exit(2);
         }
@@ -138,8 +151,11 @@ fn main() {
          {threads} worker threads"
     );
 
-    // One trained model feeds both arms.
-    let ds = generate_with_shape(DatasetName::Electricity, &[SERIES], T, 7);
+    // One trained model feeds every arm. Ground truth runs past the trained
+    // length so the growth scenario has a stream source; training only ever
+    // sees the truncated prefix.
+    let full = generate_with_shape(DatasetName::Electricity, &[SERIES], T + GROWTH_MAX, 7);
+    let ds = Dataset::new("electricity-trained", full.dims.clone(), full.values.truncated_time(T));
     let inst = Scenario::mcar(1.0).apply(&ds, 3);
     let obs = inst.observed();
     let cfg =
@@ -241,4 +257,80 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("wrote {out_path}");
+
+    // ---- Scenario 3: growth — stream past the trained capacity. ----
+    // A fresh warm engine takes fixed-size appends round-robin over the
+    // series until every one has grown `growth` steps past the trained
+    // length; this exact flow was a hard `AppendOverflow` failure before
+    // series storage became growable.
+    let growth = if quick { 60 } else { GROWTH_MAX };
+    let frozen = ServeSnapshot::capture(&model, &obs).restore(&obs).expect("restore");
+    let engine = ImputationEngine::new(frozen, obs.clone()).expect("engine");
+    engine.warm_up();
+    let base = engine.stats();
+    let target = T + growth;
+    let chunk = 9usize;
+    let mut append_lat = Vec::new();
+    let t0 = Instant::now();
+    loop {
+        let mut all_done = true;
+        for s in 0..SERIES {
+            let wm = engine.watermark(s).expect("watermark");
+            if wm >= target {
+                continue;
+            }
+            all_done = false;
+            let end = (wm + chunk).min(target);
+            let t = Instant::now();
+            engine.append(s, &full.values.series(s)[wm..end]).expect("append past capacity");
+            append_lat.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        if all_done {
+            break;
+        }
+    }
+    let growth_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(engine.live_len(), target, "growth scenario must reach its target length");
+    let gstats = engine.stats();
+    let appends = gstats.appends - base.appends;
+    let values = gstats.values_appended - base.values_appended;
+    let windows = gstats.windows_computed - base.windows_computed;
+
+    // Tail sweep: queries over the grown region (observed + rolled windows).
+    let t0 = Instant::now();
+    for s in 0..SERIES {
+        engine.query(s, T, target).expect("tail query over the grown region");
+    }
+    let tail_sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    append_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p99) = (percentile(&append_lat, 0.50), percentile(&append_lat, 0.99));
+    eprintln!(
+        "growth: {SERIES} series {T} -> {target} in {appends} appends over {growth_wall:.3}s = \
+         {:.0} values/s (append p50 {p50:.3} ms, p99 {p99:.3} ms, {windows} window passes; tail \
+         sweep {tail_sweep_ms:.2} ms)",
+        values as f64 / growth_wall
+    );
+
+    let mut gjson = String::from("{\n  \"bench\": 3,\n  \"scenario\": \"append_past_capacity\",\n");
+    let _ = writeln!(
+        gjson,
+        "  \"dataset\": {{\"series\": {SERIES}, \"trained_t_len\": {T}, \"final_live_len\": \
+         {target}}},\n  \"threads_used\": {threads},\n  \"chunk\": {chunk},"
+    );
+    let _ = writeln!(
+        gjson,
+        "  \"appends\": {appends},\n  \"values_appended\": {values},\n  \
+         \"windows_recomputed\": {windows},\n  \"wall_secs\": {growth_wall:.6},"
+    );
+    let _ = writeln!(
+        gjson,
+        "  \"appends_per_sec\": {:.2},\n  \"values_per_sec\": {:.2},\n  \"append_p50_ms\": \
+         {p50:.4},\n  \"append_p99_ms\": {p99:.4},\n  \"tail_sweep_ms\": {tail_sweep_ms:.4}",
+        appends as f64 / growth_wall,
+        values as f64 / growth_wall
+    );
+    gjson.push_str("}\n");
+    std::fs::write(&growth_out_path, &gjson).expect("write growth bench json");
+    eprintln!("wrote {growth_out_path}");
 }

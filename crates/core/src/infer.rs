@@ -109,17 +109,23 @@ impl DeepMviModel {
     }
 
     /// Enumerates the missing entries of `obs` as window queries, every series.
+    ///
+    /// `obs` may be longer than the trained series length: the grid follows
+    /// the dataset's live length, and windows past the trained range are
+    /// evaluated with the rolling trained-length horizon (see
+    /// [`DeepMviModel::t_len`]).
     pub fn missing_queries(&self, obs: &ObservedDataset) -> Vec<WindowQuery> {
         let mut out = Vec::new();
         for s in 0..obs.n_series() {
-            self.missing_queries_in(obs, s, 0, self.t_len, &mut out);
+            self.missing_queries_in(obs, s, 0, obs.t_len(), &mut out);
         }
         out
     }
 
     /// Appends the window queries covering the missing entries of series `s`
     /// inside `[start, end)` to `out`. One query per (missing run × window)
-    /// intersection, ascending.
+    /// intersection, ascending. Windows are indexed on the grid of `obs`'s
+    /// live length, which may extend past the trained range.
     pub fn missing_queries_in(
         &self,
         obs: &ObservedDataset,
@@ -128,7 +134,7 @@ impl DeepMviModel {
         end: usize,
         out: &mut Vec<WindowQuery>,
     ) {
-        let grid = self.grid();
+        let grid = WindowGrid::new(self.w, obs.t_len());
         let base = out.len();
         for (run_start, run_len) in obs.available.gap_runs_in(s, start, end) {
             let run_end = run_start + run_len;
@@ -213,7 +219,11 @@ impl FrozenModel {
         self.model.grid()
     }
 
-    /// Series length the model was built for.
+    /// Series length the model was trained for. Inference (every predict/
+    /// impute method here) also accepts datasets *longer* than this: windows
+    /// past the trained range roll the trained temporal context forward
+    /// instead of erroring, which is what lets the serving engine grow series
+    /// under live appends.
     pub fn t_len(&self) -> usize {
         self.model.t_len
     }
@@ -352,6 +362,58 @@ mod tests {
         let win2: Vec<_> = out.iter().filter(|q| q.window_j == 2).collect();
         assert_eq!(win2.len(), 2);
         assert_eq!(win2[0].positions, win2[1].positions);
+    }
+
+    #[test]
+    fn inference_rolls_past_the_trained_length() {
+        let (obs, model) = trained();
+        let trained_t = obs.t_len();
+        let baseline = model.impute(&obs);
+
+        // Grow by three windows: observe the first two, leave the last missing.
+        let w = model.window();
+        let mut grown = obs.clone();
+        grown.extend_time(trained_t + 3 * w);
+        for s in 0..grown.n_series() {
+            let vals: Vec<f64> =
+                (0..2 * w).map(|i| ((trained_t + i) as f64 / 9.0 + s as f64).sin()).collect();
+            grown.record_range(s, trained_t, &vals);
+        }
+
+        // Queries cover exactly the missing entries of the live length.
+        let queries = model.missing_queries(&grown);
+        let covered: usize = queries.iter().map(|q| q.positions.len()).sum();
+        let missing: usize = grown.available.data().iter().filter(|&&a| !a).count();
+        assert_eq!(covered, missing, "grown dataset not fully enumerated");
+        assert!(
+            queries.iter().any(|q| q.positions.iter().any(|&t| t >= trained_t)),
+            "no queries in the grown region"
+        );
+
+        let out = model.impute(&grown);
+        assert_eq!(out.shape(), grown.values.shape());
+        assert!(out.all_finite(), "rolled inference produced non-finite values");
+        // Positions whose forward inputs cannot reach the grown region — the
+        // fine-grained mean reaches w steps forward, and here the trained
+        // length is a whole number of windows so no attention row crosses the
+        // old end — are bitwise unchanged.
+        assert_eq!(trained_t % w, 0, "fixture assumption: trained length is window-aligned");
+        for s in 0..obs.n_series() {
+            for t in 0..trained_t.saturating_sub(w + 1) {
+                assert_eq!(
+                    out.series(s)[t].to_bits(),
+                    baseline.series(s)[t].to_bits(),
+                    "series {s} t={t}: growth changed an unaffected in-range imputation"
+                );
+            }
+        }
+        // Thread-count invariance holds for grown windows too.
+        let grown_queries = model.missing_queries(&grown);
+        assert_eq!(
+            model.predict_batch(&grown, &grown_queries, 1),
+            model.predict_batch(&grown, &grown_queries, 4),
+            "thread count changed rolled-inference results"
+        );
     }
 
     #[test]

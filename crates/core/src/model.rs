@@ -229,6 +229,13 @@ impl DeepMviModel {
         self.w
     }
 
+    /// Series length the model was trained for. Inference accepts datasets at
+    /// this length or longer (windows past it are evaluated over a rolling
+    /// trained-length horizon); training always runs at exactly this length.
+    pub fn t_len(&self) -> usize {
+        self.t_len
+    }
+
     /// The model's configuration.
     pub fn config(&self) -> &DeepMviConfig {
         &self.cfg
@@ -237,6 +244,18 @@ impl DeepMviModel {
     /// Forward pass for one window task against an explicit parameter store view
     /// (shared read-only across worker threads). Returns one `[1]`-shaped
     /// prediction node per requested position.
+    ///
+    /// The task's dataset may be *longer* than the series length the model was
+    /// trained on (`task.obs.t_len() >= self.t_len`): a window beyond the
+    /// trained range is evaluated by **rolling the trained temporal context**
+    /// — the attention context slides to the most recent trained-length
+    /// horizon of windows ending at the target, and the positional encoding
+    /// uses horizon-relative window positions, so the model only ever sees
+    /// positions it was trained on. For windows inside the trained range the
+    /// horizon starts at 0 and every computation is bitwise identical to the
+    /// fixed-length path. The fine-grained local mean (±`w` around the target)
+    /// and the kernel regression (sibling values at the target step) are
+    /// position-relative already and extend unchanged.
     pub(crate) fn forward_positions(
         &self,
         store: &ParamStore,
@@ -246,11 +265,17 @@ impl DeepMviModel {
         let p = self.cfg.p;
         let w = self.w;
         let j0 = task.window_j;
+        let live_t = task.obs.t_len();
 
-        // Context range: `ctx_windows` windows centred on the target.
+        // Context range: `ctx_windows` windows centred on the target, clipped
+        // to the trained-length horizon ending at the target window (which is
+        // `[0, n_windows)` itself whenever the target is inside it).
         let ctx = self.cfg.ctx_windows.min(self.n_windows).max(1);
         let half = ctx / 2;
-        let j_start = j0.saturating_sub(half).min(self.n_windows - ctx);
+        let h0 = (j0 + 1).saturating_sub(self.n_windows); // horizon start window
+        let j_rel = j0 - h0; // target's window position inside the horizon
+        let j_start_rel = j_rel.saturating_sub(half).min(self.n_windows - ctx);
+        let j_start = h0 + j_start_rel;
         let jc = j0 - j_start; // target window's row inside the context
 
         // Per-position hidden vectors from the temporal transformer.
@@ -262,7 +287,7 @@ impl DeepMviModel {
                 let wj = j_start + j;
                 for o in 0..w {
                     let t = wj * w + o;
-                    if t < self.t_len && task.avail(t) {
+                    if t < live_t && task.avail(t) {
                         xw.set_m(j, o, series_vals[t]);
                     } else {
                         kmask_cols[j] = false; // Eq 9: any missing value voids the key
@@ -287,8 +312,11 @@ impl DeepMviModel {
             let ynext = g.shift_rows(y, -1);
             let neighbours = g.concat_cols(&[yprev, ynext]); // [ctx, 2p]
             let pe = {
-                let abs_positions: Vec<usize> = (j_start..j_start + ctx).collect();
-                g.constant(positional_encoding(&abs_positions, 2 * p))
+                // Horizon-relative window positions: identical to absolute
+                // indices inside the trained range (h0 == 0), and rolled back
+                // into the trained positional range for grown windows.
+                let positions: Vec<usize> = (j_start_rel..j_start_rel + ctx).collect();
+                g.constant(positional_encoding(&positions, 2 * p))
             };
             // Fig 7's "No Context Window" ablation: keys/queries see only the
             // positional encoding, exactly dropping the contextual information.
@@ -333,7 +361,7 @@ impl DeepMviModel {
             if self.cfg.use_fine_grained {
                 let series_vals = task.obs.values.series(task.s);
                 let lo = t.saturating_sub(w);
-                let hi = (t + w + 1).min(self.t_len);
+                let hi = (t + w + 1).min(live_t);
                 let mut sum = 0.0;
                 let mut count = 0usize;
                 for tt in lo..hi {

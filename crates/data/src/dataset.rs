@@ -183,6 +183,35 @@ impl ObservedDataset {
         self.available.set_range(s, start, end, false);
     }
 
+    /// Grows the time axis to `new_t_len`: every series keeps its prefix and
+    /// gains a fully *missing* suffix (values zeroed, availability false),
+    /// ready to be filled by [`ObservedDataset::record_range`] as a stream
+    /// arrives. The streaming counterpart of the fixed-shape constructors —
+    /// the online engine uses this (with geometric capacity growth) to accept
+    /// appends past the length the model was trained on.
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` is smaller than the current length.
+    pub fn extend_time(&mut self, new_t_len: usize) {
+        self.values.extend_time(new_t_len, 0.0);
+        self.available.extend_time(new_t_len, false);
+    }
+
+    /// A copy truncated to the first `t_len` time steps of every series — the
+    /// live prefix of capacity-padded storage, or the trained-geometry view a
+    /// model restore needs when the serving state has grown past it.
+    ///
+    /// # Panics
+    /// Panics if `t_len` exceeds the current length.
+    pub fn truncated(&self, t_len: usize) -> ObservedDataset {
+        ObservedDataset {
+            name: self.name.clone(),
+            dims: self.dims.clone(),
+            values: self.values.truncated_time(t_len),
+            available: self.available.truncated_time(t_len),
+        }
+    }
+
     /// Flattens an `n`-dimensional observed dataset into a 1-dimensional one (all
     /// series under a single synthetic dimension). Used by methods without a
     /// multidimensional model and by the DeepMVI1D ablation of §5.5.4.
@@ -298,6 +327,32 @@ mod tests {
         // Other series untouched throughout.
         assert_eq!(obs.values.series(1), &[10.0, 11.0, 12.0, 13.0]);
         assert!(obs.available.series(1).iter().all(|&a| a));
+    }
+
+    #[test]
+    fn extend_time_adds_a_missing_suffix_and_truncated_inverts() {
+        let ds = toy();
+        let mut missing = Mask::falses(&[2, 3, 4]);
+        missing.set(&[0, 0, 1], true);
+        let mut obs = ds.with_missing(missing).observed();
+        let original = obs.clone();
+
+        obs.extend_time(7);
+        assert_eq!(obs.t_len(), 7);
+        for s in 0..obs.n_series() {
+            assert_eq!(&obs.values.series(s)[..4], original.values.series(s));
+            assert!(obs.values.series(s)[4..].iter().all(|&v| v == 0.0));
+            assert!(obs.available.series(s)[4..].iter().all(|&a| !a), "suffix must be missing");
+        }
+        // The grown region accepts late-arriving observations.
+        obs.record_range(2, 4, &[7.0, 8.0]);
+        assert_eq!(obs.values.series(2)[4..6], [7.0, 8.0]);
+        assert!(obs.available.series(2)[4] && obs.available.series(2)[5]);
+
+        let back = obs.truncated(4);
+        assert_eq!(back.values, original.values);
+        assert_eq!(back.available, original.available);
+        assert_eq!(back.dims, original.dims);
     }
 
     #[test]

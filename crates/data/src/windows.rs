@@ -11,6 +11,11 @@ use std::ops::Range;
 
 /// A fixed-width, non-overlapping partition of `[0, t_len)` into windows of
 /// length `w` (the last window may be shorter).
+///
+/// The time axis may *grow* ([`WindowGrid::grow_to`]): the serving engine
+/// tracks a live series length that extends past the trained one as appends
+/// arrive, and `n_windows` / `tail_windows_for` / `windows_overlapping`
+/// always answer for the current length.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WindowGrid {
     w: usize,
@@ -21,10 +26,29 @@ impl WindowGrid {
     /// Builds a grid of `w`-wide windows over a series of length `t_len`.
     ///
     /// # Panics
-    /// Panics if `w == 0`.
+    /// Panics on degenerate geometry: `w == 0` (every index computation here
+    /// divides by `w`) or `t_len == 0` (a grid over an empty series has no
+    /// windows, and `bounds`/`window_of` would underflow).
     pub fn new(w: usize, t_len: usize) -> Self {
-        assert!(w > 0, "window width must be positive");
+        assert!(w > 0, "window width must be positive (got w = 0)");
+        assert!(t_len > 0, "window grid needs a non-empty series (got t_len = 0)");
         Self { w, t_len }
+    }
+
+    /// Grows the time axis to `new_t_len`, keeping the window width: existing
+    /// window indices and bounds are unchanged except the previously-last
+    /// window, which may widen to a full `w` as the series extends through it.
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` is smaller than the current length (windows
+    /// never shrink — a grid indexes data that has already arrived).
+    pub fn grow_to(&mut self, new_t_len: usize) {
+        assert!(
+            new_t_len >= self.t_len,
+            "window grid cannot shrink ({} -> {new_t_len})",
+            self.t_len
+        );
+        self.t_len = new_t_len;
     }
 
     /// Window width `w`.
@@ -121,5 +145,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_width_rejected() {
         let _ = WindowGrid::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty series")]
+    fn zero_length_rejected() {
+        let _ = WindowGrid::new(10, 0);
+    }
+
+    #[test]
+    fn grow_tracks_the_live_length() {
+        let mut g = WindowGrid::new(10, 34);
+        assert_eq!(g.n_windows(), 4);
+        // Growing through the partial last window first completes it ...
+        g.grow_to(40);
+        assert_eq!(g.n_windows(), 4);
+        assert_eq!(g.bounds(3), (30, 40), "previously-clipped window widens");
+        // ... then adds new windows.
+        g.grow_to(57);
+        assert_eq!(g.n_windows(), 6);
+        assert_eq!(g.bounds(5), (50, 57));
+        assert_eq!(g.windows_overlapping(38, 52), 3..6);
+        assert_eq!(g.tail_windows_for(41), 3..6, "tail reaches one window back of the append");
+        // Same-length growth is a no-op.
+        g.grow_to(57);
+        assert_eq!(g.n_windows(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        WindowGrid::new(10, 50).grow_to(49);
     }
 }

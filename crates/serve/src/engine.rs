@@ -26,12 +26,46 @@
 //! touches them. Values recomputed by `append` are exactly what a full batch
 //! re-impute over the current state would produce — the integration tests
 //! assert equality to 1e-9.
+//!
+//! ## Growable series capacity
+//!
+//! Series are **not** capped at the length the model was trained on. The
+//! engine tracks a *live* length (the [`mvi_data::windows::WindowGrid`] grows
+//! with it) and an internal storage *capacity*: an append running past the
+//! live end extends the live length, and when it also runs past capacity the
+//! backing [`ObservedDataset`]/[`Tensor`] grow geometrically (≥1.5×,
+//! window-aligned) via their `extend_time` mutators, so the per-appended-value
+//! storage cost stays amortized O(1). The slack between live length and
+//! capacity is entirely missing/unobserved and is never visible through the
+//! API: queries validate against the live length, and
+//! [`ImputationEngine::observed`]/[`ImputationEngine::cached_values`] return
+//! the live prefix.
+//!
+//! Windows past the trained length are evaluated by the frozen model's
+//! *rolling* temporal context (the attention horizon slides to the most recent
+//! trained-length span of windows, with horizon-relative positional
+//! encodings), so a grown engine still matches a batch re-impute of the
+//! equivalently extended dataset to 1e-9 — see `deepmvi::FrozenModel::t_len`.
+//!
+//! ## Watermarks and interior gaps
+//!
+//! Each series has one **write watermark**: the position just past the last
+//! observed entry at construction, advanced by every append. `append` is the
+//! *streaming* mutation — it always records at the watermark. A series with a
+//! hidden interior range followed by observed data starts with its watermark
+//! past the gap, so late-arriving data for the interior cannot enter through
+//! `append`; that is what [`ImputationEngine::fill_range`] is for — it records
+//! values at an explicit in-range position (backfill), re-imputes the windows
+//! within local (±`w`) reach of the filled range plus sibling overlaps, and
+//! invalidates the rest of the series for lazy healing, exactly mirroring the
+//! append consistency contract.
 
 use deepmvi::{FrozenModel, WindowQuery};
 use mvi_data::dataset::ObservedDataset;
 use mvi_data::windows::WindowGrid;
 use mvi_tensor::Tensor;
 use std::collections::BTreeSet;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -42,10 +76,11 @@ pub enum ServeError {
     Geometry(String),
     /// Series id outside the dataset.
     Series { s: usize, n_series: usize },
-    /// Time range outside the series or inverted.
+    /// Time range outside the live series length or inverted.
     Range { start: usize, end: usize, t_len: usize },
-    /// Append past the end of the fixed-capacity series.
-    AppendOverflow { watermark: usize, len: usize, t_len: usize },
+    /// A restored snapshot carries NaN/±inf weights; serving them would
+    /// silently answer every query with NaN.
+    NonFiniteWeights { param: String },
     /// Snapshot parse/restore failure.
     Snapshot(String),
     /// The serving executor shut down before answering (transient: the
@@ -61,12 +96,11 @@ impl std::fmt::Display for ServeError {
                 write!(f, "series {s} out of range (dataset has {n_series})")
             }
             ServeError::Range { start, end, t_len } => {
-                write!(f, "range {start}..{end} invalid for series length {t_len}")
+                write!(f, "range {start}..{end} invalid for live series length {t_len}")
             }
-            ServeError::AppendOverflow { watermark, len, t_len } => write!(
-                f,
-                "append of {len} values at watermark {watermark} exceeds series length {t_len}"
-            ),
+            ServeError::NonFiniteWeights { param } => {
+                write!(f, "snapshot parameter `{param}` contains non-finite weights")
+            }
             ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             ServeError::Shutdown => write!(f, "serving executor shut down before answering"),
         }
@@ -87,17 +121,22 @@ pub struct ImputeRequest {
     pub end: usize,
 }
 
-/// What one [`ImputationEngine::append`] did.
+/// What one [`ImputationEngine::append`] or [`ImputationEngine::fill_range`]
+/// did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AppendReport {
     /// The time range the new values were recorded into.
     pub recorded: (usize, usize),
-    /// Windows re-imputed eagerly (appended series' tail + sibling overlaps).
+    /// Windows re-imputed eagerly (local reach of the record + sibling
+    /// overlaps).
     pub windows_recomputed: usize,
     /// Missing positions whose cached imputation was refreshed.
     pub positions_refreshed: usize,
-    /// Windows of the appended series marked stale for lazy recomputation.
+    /// Windows of the recorded series marked stale for lazy recomputation.
     pub windows_invalidated: usize,
+    /// Live series length after the mutation (appends may grow it past the
+    /// trained length; backfills never do).
+    pub live_len: usize,
 }
 
 /// Monotonic serving counters (lock-free reads; see
@@ -110,6 +149,8 @@ struct Counters {
     window_hits: AtomicU64,
     appends: AtomicU64,
     values_appended: AtomicU64,
+    backfills: AtomicU64,
+    values_backfilled: AtomicU64,
 }
 
 /// Point-in-time copy of the engine counters.
@@ -129,25 +170,40 @@ pub struct EngineStats {
     pub appends: u64,
     /// Total values recorded by appends.
     pub values_appended: u64,
+    /// Successful interior backfills ([`ImputationEngine::fill_range`]).
+    pub backfills: u64,
+    /// Total values recorded by backfills.
+    pub values_backfilled: u64,
 }
 
 /// Mutable serving state, guarded by the engine mutex.
 struct EngineState {
+    /// Observed values/mask at storage *capacity*; everything in
+    /// `[grid.t_len(), obs.t_len())` is missing by construction.
     obs: ObservedDataset,
-    /// Full-tensor cache: observed values + the latest imputations.
+    /// The live window grid: `grid.t_len()` is the live series length.
+    grid: WindowGrid,
+    /// Full-tensor cache at storage capacity: observed values + the latest
+    /// imputations.
     imputed: Tensor,
-    /// Freshness per `(series, window)`, row-major `[n_series][n_windows]`.
-    fresh: Vec<bool>,
+    /// Freshness per series, one flag per live window.
+    fresh: Vec<Vec<bool>>,
     /// Per-series write watermark: where the next append lands (one past the
     /// last observed entry).
     watermark: Vec<usize>,
+}
+
+impl EngineState {
+    /// Live series length (capacity slack excluded).
+    fn live_t(&self) -> usize {
+        self.grid.t_len()
+    }
 }
 
 /// The online imputation engine. Shareable across threads behind an `Arc`;
 /// all methods take `&self`.
 pub struct ImputationEngine {
     model: FrozenModel,
-    grid: WindowGrid,
     n_series: usize,
     state: Mutex<EngineState>,
     counters: Counters,
@@ -159,20 +215,25 @@ impl ImputationEngine {
     /// containing missing entries is computed on first touch (or all at once
     /// via [`ImputationEngine::warm_up`]).
     ///
+    /// `obs` may be *longer* than the model's trained length (a serving state
+    /// that already grew past training, e.g. restored from a snapshot of a
+    /// long-running deployment); it can never be shorter.
+    ///
     /// # Errors
     /// [`ServeError::Geometry`] when `obs` does not match the geometry the
     /// model was built for.
     pub fn new(model: FrozenModel, obs: ObservedDataset) -> Result<Self, ServeError> {
-        if obs.series_shape() != model.series_shape() || obs.t_len() != model.t_len() {
+        if obs.series_shape() != model.series_shape() || obs.t_len() < model.t_len() {
             return Err(ServeError::Geometry(format!(
-                "observed dataset {:?}x{} does not match model {:?}x{}",
+                "observed dataset {:?}x{} does not match model {:?}x{} (series shapes must \
+                 match and the dataset can only be longer than the trained length)",
                 obs.series_shape(),
                 obs.t_len(),
                 model.series_shape(),
                 model.t_len()
             )));
         }
-        let grid = model.grid();
+        let grid = WindowGrid::new(model.grid().window_len(), obs.t_len());
         let n_series = obs.n_series();
         let watermark = (0..n_series)
             .map(|s| {
@@ -181,9 +242,9 @@ impl ImputationEngine {
             })
             .collect();
         let imputed = obs.values.clone();
-        let fresh = vec![false; n_series * grid.n_windows()];
-        let state = EngineState { obs, imputed, fresh, watermark };
-        Ok(Self { model, grid, n_series, state: Mutex::new(state), counters: Counters::default() })
+        let fresh = vec![vec![false; grid.n_windows()]; n_series];
+        let state = EngineState { obs, grid, imputed, fresh, watermark };
+        Ok(Self { model, n_series, state: Mutex::new(state), counters: Counters::default() })
     }
 
     /// The frozen model this engine serves.
@@ -191,9 +252,21 @@ impl ImputationEngine {
         &self.model
     }
 
-    /// The window grid of the served model.
+    /// A snapshot of the live window grid: `grid().t_len()` is the current
+    /// live series length, which grows as appends run past it.
     pub fn grid(&self) -> WindowGrid {
-        self.grid
+        self.state.lock().expect("engine poisoned").grid
+    }
+
+    /// Current live series length (starts at the constructed dataset's length
+    /// and grows with appends).
+    pub fn live_len(&self) -> usize {
+        self.state.lock().expect("engine poisoned").live_t()
+    }
+
+    /// Series length the served model was trained on (fixed).
+    pub fn trained_len(&self) -> usize {
+        self.model.t_len()
     }
 
     /// Computes every stale window with missing entries now, so subsequent
@@ -201,8 +274,9 @@ impl ImputationEngine {
     pub fn warm_up(&self) -> usize {
         let mut state = self.state.lock().expect("engine poisoned");
         let mut queries = Vec::new();
+        let live_t = state.live_t();
         for s in 0..self.n_series {
-            self.collect_stale(&state, s, 0, self.grid.t_len(), &mut queries);
+            self.collect_stale(&state, s, 0, live_t, &mut queries);
         }
         self.compute_and_fill(&mut state, &queries);
         queries.len()
@@ -217,29 +291,30 @@ impl ImputationEngine {
         self.query_batch(&[ImputeRequest { s, start, end }]).pop().expect("one result")
     }
 
-    /// Serves a micro-batch of requests: validates each, coalesces the stale
-    /// windows the batch needs (deduplicated across overlapping requests),
-    /// evaluates them in one data-parallel pass, then answers every request
-    /// from the refreshed cache. Per-request errors do not poison the batch.
+    /// Serves a micro-batch of requests: validates each against the live
+    /// series length, coalesces the stale windows the batch needs
+    /// (deduplicated across overlapping requests), evaluates them in one
+    /// data-parallel pass, then answers every request from the refreshed
+    /// cache. Per-request errors do not poison the batch.
     pub fn query_batch(&self, requests: &[ImputeRequest]) -> Vec<Result<Vec<f64>, ServeError>> {
-        let t_len = self.grid.t_len();
         self.counters.requests.fetch_add(requests.len() as u64, Ordering::Relaxed);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
 
+        let mut state = self.state.lock().expect("engine poisoned");
+        let live_t = state.live_t();
         let validity: Vec<Result<(), ServeError>> = requests
             .iter()
             .map(|r| {
                 if r.s >= self.n_series {
                     Err(ServeError::Series { s: r.s, n_series: self.n_series })
-                } else if r.start > r.end || r.end > t_len {
-                    Err(ServeError::Range { start: r.start, end: r.end, t_len })
+                } else if r.start > r.end || r.end > live_t {
+                    Err(ServeError::Range { start: r.start, end: r.end, t_len: live_t })
                 } else {
                     Ok(())
                 }
             })
             .collect();
 
-        let mut state = self.state.lock().expect("engine poisoned");
         let mut queries = Vec::new();
         let mut needed = BTreeSet::new();
         let mut hits = 0usize;
@@ -267,86 +342,169 @@ impl ImputationEngine {
 
     /// Records newly arrived values for series `s` at its write watermark and
     /// re-imputes the affected tail windows (see the module docs for the exact
-    /// affected set). Returns what was recomputed.
+    /// affected set). An append running past the current live length **grows**
+    /// the series: the live grid extends, storage grows geometrically when
+    /// capacity is exhausted, and windows past the trained length are served
+    /// through the frozen model's rolling temporal context — streaming never
+    /// hits a capacity wall. Returns what was recorded and recomputed.
     ///
     /// # Errors
-    /// [`ServeError::Series`] for a bad id, [`ServeError::AppendOverflow`]
-    /// when the values run past the fixed series capacity.
+    /// [`ServeError::Series`] for a bad id.
     pub fn append(&self, s: usize, values: &[f64]) -> Result<AppendReport, ServeError> {
         if s >= self.n_series {
             return Err(ServeError::Series { s, n_series: self.n_series });
         }
-        let t_len = self.grid.t_len();
         let mut state = self.state.lock().expect("engine poisoned");
         let wm = state.watermark[s];
         let end = wm + values.len();
-        if end > t_len {
-            return Err(ServeError::AppendOverflow { watermark: wm, len: values.len(), t_len });
-        }
         if values.is_empty() {
             return Ok(AppendReport {
                 recorded: (wm, wm),
                 windows_recomputed: 0,
                 positions_refreshed: 0,
                 windows_invalidated: 0,
+                live_len: state.live_t(),
             });
         }
-
-        state.obs.record_range(s, wm, values);
-        state.imputed.series_mut(s)[wm..end].copy_from_slice(values);
+        if end > state.live_t() {
+            self.grow(&mut state, end);
+        }
+        self.record(&mut state, s, wm, values);
         state.watermark[s] = end;
 
-        // Invalidate: the recorded range changes the forward inputs of every
-        // window in the appended series' tail, of earlier windows of the same
-        // series through the attention context, and of sibling windows
-        // overlapping the range through the kernel regression.
-        let tail = self.grid.tail_windows_for(wm);
-        let n_windows = self.grid.n_windows();
+        // Eager set: the whole tail from one window before the append (the
+        // fine-grained mean reaches `w` steps across a window boundary). When
+        // the append grew the series, every window holding newly-live
+        // positions overlaps `[wm, end)` — the appended range ends at the new
+        // live end — so extended windows of *all* series are refreshed or
+        // invalidated by the shared plumbing below too.
+        let tail = state.grid.tail_windows_for(wm);
+        let report = self.refresh_after_record(&mut state, s, wm, end, tail);
+
+        self.counters.appends.fetch_add(1, Ordering::Relaxed);
+        self.counters.values_appended.fetch_add(values.len() as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Records late-arriving values for series `s` at an explicit position
+    /// inside the live range — the *backfill* counterpart of
+    /// [`ImputationEngine::append`] for interior gaps the watermark has
+    /// already passed (e.g. a sensor outage healed by a delayed batch upload).
+    ///
+    /// Re-imputes eagerly every window within local reach of the filled range
+    /// (±`w`: the fine-grained mean crosses one window boundary) plus sibling
+    /// windows overlapping it (kernel regression), and invalidates the rest of
+    /// the series' fresh windows for lazy healing (attention context), exactly
+    /// mirroring the append contract: eager positions match a full batch
+    /// re-impute of the current state.
+    ///
+    /// The watermark only moves if the filled range ends past it; filling an
+    /// interior gap leaves streaming appends unaffected.
+    ///
+    /// # Errors
+    /// [`ServeError::Series`] for a bad id, [`ServeError::Range`] when the
+    /// range leaves the live series (backfill never grows a series — that is
+    /// `append`'s job).
+    pub fn fill_range(
+        &self,
+        s: usize,
+        start: usize,
+        values: &[f64],
+    ) -> Result<AppendReport, ServeError> {
+        if s >= self.n_series {
+            return Err(ServeError::Series { s, n_series: self.n_series });
+        }
+        let mut state = self.state.lock().expect("engine poisoned");
+        let live_t = state.live_t();
+        let end = start + values.len();
+        if start > live_t || end > live_t {
+            return Err(ServeError::Range { start, end, t_len: live_t });
+        }
+        if values.is_empty() {
+            return Ok(AppendReport {
+                recorded: (start, start),
+                windows_recomputed: 0,
+                positions_refreshed: 0,
+                windows_invalidated: 0,
+                live_len: live_t,
+            });
+        }
+        self.record(&mut state, s, start, values);
+        state.watermark[s] = state.watermark[s].max(end);
+
+        // Eager set: windows within the ±w local reach of the filled range.
+        let w = state.grid.window_len();
+        let eager = state.grid.windows_overlapping(start.saturating_sub(w), (end + w).min(live_t));
+        let report = self.refresh_after_record(&mut state, s, start, end, eager);
+
+        self.counters.backfills.fetch_add(1, Ordering::Relaxed);
+        self.counters.values_backfilled.fetch_add(values.len() as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// The shared mutation plumbing behind [`ImputationEngine::append`] and
+    /// [`ImputationEngine::fill_range`], run after `[start, end)` of series
+    /// `s` was recorded: marks every affected window stale — all of `s` (the
+    /// attention context can reach anywhere in the series) plus sibling
+    /// windows overlapping the recorded range (the kernel regression reads
+    /// sibling values pointwise) — then eagerly recomputes the `eager` window
+    /// range of `s` and the sibling overlaps in one batch. Windows of `s`
+    /// outside `eager` heal lazily on their next touch and are counted as
+    /// `windows_invalidated`.
+    fn refresh_after_record(
+        &self,
+        state: &mut EngineState,
+        s: usize,
+        start: usize,
+        end: usize,
+        eager: Range<usize>,
+    ) -> AppendReport {
+        let overlap = state.grid.windows_overlapping(start, end);
         let mut invalidated = 0usize;
-        for j in 0..tail.start {
-            let slot = s * n_windows + j;
-            if state.fresh[slot] {
-                state.fresh[slot] = false;
+        for j in 0..state.grid.n_windows() {
+            if eager.contains(&j) {
+                state.fresh[s][j] = false;
+            } else if state.fresh[s][j] {
+                state.fresh[s][j] = false;
                 invalidated += 1;
             }
         }
-        for j in tail.clone() {
-            state.fresh[s * n_windows + j] = false;
-        }
         for sib in 0..self.n_series {
             if sib != s {
-                for j in self.grid.windows_overlapping(wm, end) {
-                    state.fresh[sib * n_windows + j] = false;
+                for j in overlap.clone() {
+                    state.fresh[sib][j] = false;
                 }
             }
         }
 
-        // Eagerly re-impute the affected tail: the appended series from
-        // `tail.start`, siblings only where they overlap the recorded range.
         let mut queries = Vec::new();
         let mut needed = BTreeSet::new();
-        let (tail_lo, _) = self.grid.bounds(tail.start);
-        self.collect_stale_dedup(&state, s, tail_lo, t_len, &mut needed, &mut queries);
+        if !eager.is_empty() {
+            let (eager_lo, _) = state.grid.bounds(eager.start);
+            let (_, eager_hi) = state.grid.bounds(eager.end - 1);
+            self.collect_stale_dedup(state, s, eager_lo, eager_hi, &mut needed, &mut queries);
+        }
         for sib in 0..self.n_series {
             if sib != s {
-                self.collect_stale_dedup(&state, sib, wm, end, &mut needed, &mut queries);
+                self.collect_stale_dedup(state, sib, start, end, &mut needed, &mut queries);
             }
         }
         let positions_refreshed = queries.iter().map(|q| q.positions.len()).sum();
         let windows_recomputed = queries.len();
-        self.compute_and_fill(&mut state, &queries);
-
-        self.counters.appends.fetch_add(1, Ordering::Relaxed);
-        self.counters.values_appended.fetch_add(values.len() as u64, Ordering::Relaxed);
-        Ok(AppendReport {
-            recorded: (wm, end),
+        self.compute_and_fill(state, &queries);
+        AppendReport {
+            recorded: (start, end),
             windows_recomputed,
             positions_refreshed,
             windows_invalidated: invalidated,
-        })
+            live_len: state.live_t(),
+        }
     }
 
-    /// The next write position of series `s`.
+    /// The next write position of series `s` — one past the last observed
+    /// entry at construction, advanced by appends. Note this is a *streaming*
+    /// cursor: a hidden interior gap before the watermark is backfilled with
+    /// [`ImputationEngine::fill_range`], not `append`.
     ///
     /// # Errors
     /// [`ServeError::Series`] for a bad id.
@@ -357,15 +515,19 @@ impl ImputationEngine {
         Ok(self.state.lock().expect("engine poisoned").watermark[s])
     }
 
-    /// A copy of the full imputation cache (observed values + latest
-    /// imputations). Primarily for tests and offline comparison.
+    /// A copy of the full live imputation cache (observed values + latest
+    /// imputations, truncated to the live length). Primarily for tests and
+    /// offline comparison.
     pub fn cached_values(&self) -> Tensor {
-        self.state.lock().expect("engine poisoned").imputed.clone()
+        let state = self.state.lock().expect("engine poisoned");
+        state.imputed.truncated_time(state.live_t())
     }
 
-    /// A copy of the current observed state the engine serves.
+    /// A copy of the current observed state the engine serves, at the live
+    /// length (capacity slack excluded).
     pub fn observed(&self) -> ObservedDataset {
-        self.state.lock().expect("engine poisoned").obs.clone()
+        let state = self.state.lock().expect("engine poisoned");
+        state.obs.truncated(state.live_t())
     }
 
     /// Point-in-time serving counters.
@@ -377,7 +539,38 @@ impl ImputationEngine {
             window_hits: self.counters.window_hits.load(Ordering::Relaxed),
             appends: self.counters.appends.load(Ordering::Relaxed),
             values_appended: self.counters.values_appended.load(Ordering::Relaxed),
+            backfills: self.counters.backfills.load(Ordering::Relaxed),
+            values_backfilled: self.counters.values_backfilled.load(Ordering::Relaxed),
         }
+    }
+
+    /// Extends the live length to `live_needed`, growing the backing storage
+    /// geometrically (≥1.5×, window-aligned) when capacity runs out so a
+    /// stream of small appends moves each element O(1) times amortized. The
+    /// slack `[live, capacity)` stays all-missing, which the forward pass
+    /// treats exactly like data that does not exist.
+    fn grow(&self, state: &mut EngineState, live_needed: usize) {
+        let capacity = state.obs.t_len();
+        if live_needed > capacity {
+            let w = state.grid.window_len();
+            let target = live_needed.max(capacity + capacity / 2);
+            let new_capacity = target.div_ceil(w) * w;
+            state.obs.extend_time(new_capacity);
+            state.imputed.extend_time(new_capacity, 0.0);
+        }
+        state.grid.grow_to(live_needed);
+        let n_windows = state.grid.n_windows();
+        for fresh in &mut state.fresh {
+            fresh.resize(n_windows, false);
+        }
+    }
+
+    /// Writes `values` into the observed state and the imputation cache at
+    /// `[start, start + len)` of series `s` (both live by the caller's
+    /// validation/growth).
+    fn record(&self, state: &mut EngineState, s: usize, start: usize, values: &[f64]) {
+        state.obs.record_range(s, start, values);
+        state.imputed.series_mut(s)[start..start + values.len()].copy_from_slice(values);
     }
 
     /// Appends the stale windows with missing entries of series `s` inside
@@ -415,12 +608,11 @@ impl ImputationEngine {
         needed: &mut BTreeSet<(usize, usize)>,
         queries: &mut Vec<WindowQuery>,
     ) -> usize {
-        let n_windows = self.grid.n_windows();
         let avail = state.obs.available.series(s);
         let mut fresh_hits = 0usize;
-        for wj in self.grid.windows_overlapping(start, end) {
-            let (lo, hi) = self.grid.bounds(wj);
-            if state.fresh[s * n_windows + wj] {
+        for wj in state.grid.windows_overlapping(start, end) {
+            let (lo, hi) = state.grid.bounds(wj);
+            if state.fresh[s][wj] {
                 // Fully observed windows carry no imputations: not a hit.
                 if avail[lo..hi].iter().any(|&a| !a) {
                     fresh_hits += 1;
@@ -440,21 +632,22 @@ impl ImputationEngine {
     }
 
     /// Evaluates `queries` data-parallel over the frozen model, writes the
-    /// predictions into the cache and marks the windows fresh.
+    /// predictions into the cache and marks the windows fresh. The capacity
+    /// slack past the live length is all-missing, so evaluating against the
+    /// capacity-padded observed state is bitwise identical to evaluating
+    /// against the live prefix.
     fn compute_and_fill(&self, state: &mut EngineState, queries: &[WindowQuery]) {
         if queries.is_empty() {
             return;
         }
         let threads = mvi_parallel::current_threads();
         let results = self.model.predict_batch(&state.obs, queries, threads);
-        let n_windows = self.grid.n_windows();
-        let t_len = self.grid.t_len();
         for (q, vals) in queries.iter().zip(&results) {
-            let base = q.s * t_len;
+            let series = state.imputed.series_mut(q.s);
             for (&t, &v) in q.positions.iter().zip(vals) {
-                state.imputed.data_mut()[base + t] = v;
+                series[t] = v;
             }
-            state.fresh[q.s * n_windows + q.window_j] = true;
+            state.fresh[q.s][q.window_j] = true;
         }
         self.counters.windows_computed.fetch_add(queries.len() as u64, Ordering::Relaxed);
     }
@@ -556,7 +749,21 @@ mod tests {
     }
 
     #[test]
-    fn append_advances_watermark_and_respects_capacity() {
+    fn shorter_dataset_is_rejected_at_construction() {
+        let ds = generate_with_shape(DatasetName::Gas, &[3], 100, 2);
+        let obs = Scenario::mcar(1.0).apply(&ds, 5).observed();
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let shorter = obs.truncated(60);
+        assert!(matches!(
+            ImputationEngine::new(model.freeze(), shorter),
+            Err(ServeError::Geometry(_))
+        ));
+    }
+
+    #[test]
+    fn append_advances_watermark_and_grows_past_trained_capacity() {
         let ds = generate_with_shape(DatasetName::Gas, &[3], 100, 2);
         let mut obs = Scenario::mcar(1.0).apply(&ds, 5).observed();
         // Carve out a streaming future for series 1.
@@ -567,15 +774,88 @@ mod tests {
         let engine = ImputationEngine::new(model.freeze(), obs).unwrap();
 
         assert_eq!(engine.watermark(1).unwrap(), 80);
+        assert_eq!(engine.live_len(), 100);
+        assert_eq!(engine.trained_len(), 100);
         let report = engine.append(1, &[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(report.recorded, (80, 83));
         assert!(report.windows_recomputed > 0, "tail still has missing entries to refresh");
+        assert_eq!(report.live_len, 100, "in-range append must not grow the series");
         assert_eq!(engine.watermark(1).unwrap(), 83);
         // Appended values are served back verbatim.
         assert_eq!(engine.query(1, 80, 83).unwrap(), vec![1.0, 2.0, 3.0]);
-        // Capacity is enforced.
-        let err = engine.append(1, &[0.0; 100]).unwrap_err();
-        assert!(matches!(err, ServeError::AppendOverflow { watermark: 83, .. }));
+
+        // Appending past the trained capacity grows the series instead of
+        // failing: the live grid extends and the values serve back verbatim.
+        let burst: Vec<f64> = (0..40).map(|i| i as f64 / 7.0).collect();
+        let report = engine.append(1, &burst).unwrap();
+        assert_eq!(report.recorded, (83, 123));
+        assert_eq!(report.live_len, 123);
+        assert_eq!(engine.live_len(), 123);
+        assert_eq!(engine.watermark(1).unwrap(), 123);
+        assert_eq!(engine.grid().n_windows(), engine.grid().t_len().div_ceil(10));
+        assert_eq!(engine.query(1, 83, 123).unwrap(), burst);
+        // Sibling series grew too: their new suffix is imputable, not an error.
+        let sibling_tail = engine.query(0, 100, 123).unwrap();
+        assert_eq!(sibling_tail.len(), 23);
+        assert!(sibling_tail.iter().all(|v| v.is_finite()));
+        // The observed view reports the live length with the slack excluded.
+        let observed = engine.observed();
+        assert_eq!(observed.t_len(), 123);
+        assert!(observed.available.series(0)[100..].iter().all(|&a| !a));
+        // Queries past the live end still fail cleanly.
+        assert!(matches!(engine.query(1, 0, 124), Err(ServeError::Range { .. })));
         assert!(matches!(engine.append(9, &[0.0]), Err(ServeError::Series { .. })));
+    }
+
+    #[test]
+    fn repeated_small_appends_grow_storage_geometrically() {
+        let ds = generate_with_shape(DatasetName::Gas, &[3], 60, 2);
+        let obs = Scenario::mcar(1.0).apply(&ds, 5).observed();
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let engine = ImputationEngine::new(model.freeze(), obs).unwrap();
+
+        let start = engine.watermark(0).unwrap();
+        for i in 0..90 {
+            engine.append(0, &[(i as f64 / 11.0).sin()]).unwrap();
+        }
+        assert_eq!(engine.watermark(0).unwrap(), start + 90);
+        assert!(engine.live_len() >= start + 90);
+        // Served values reproduce the stream.
+        let got = engine.query(0, start, start + 90).unwrap();
+        let want: Vec<f64> = (0..90).map(|i| (i as f64 / 11.0).sin()).collect();
+        assert_eq!(got, want);
+        let stats = engine.stats();
+        assert_eq!(stats.appends, 90);
+        assert_eq!(stats.values_appended, 90);
+    }
+
+    #[test]
+    fn fill_range_backfills_an_interior_gap_the_watermark_passed() {
+        let ds = generate_with_shape(DatasetName::Gas, &[3], 100, 2);
+        let mut obs = Scenario::mcar(1.0).apply(&ds, 5).observed();
+        // Hidden interior range with an observed tail: the watermark starts at
+        // the end, so `append` can never reach the gap.
+        obs.hide_range(1, 40, 60);
+        obs.record_range(1, 90, &[5.0; 10]);
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let engine = ImputationEngine::new(model.freeze(), obs).unwrap();
+        assert_eq!(engine.watermark(1).unwrap(), 100);
+
+        let late = [1.5; 20];
+        let report = engine.fill_range(1, 40, &late).unwrap();
+        assert_eq!(report.recorded, (40, 60));
+        assert_eq!(report.live_len, 100);
+        assert_eq!(engine.watermark(1).unwrap(), 100, "interior backfill must not move the cursor");
+        assert_eq!(engine.query(1, 40, 60).unwrap(), late.to_vec());
+        let stats = engine.stats();
+        assert_eq!(stats.backfills, 1);
+        assert_eq!(stats.values_backfilled, 20);
+        // Out-of-range backfills are rejected; backfill never grows.
+        assert!(matches!(engine.fill_range(1, 95, &[0.0; 10]), Err(ServeError::Range { .. })));
+        assert!(matches!(engine.fill_range(7, 0, &[0.0]), Err(ServeError::Series { .. })));
     }
 }

@@ -7,13 +7,16 @@
 //! engine.
 //!
 //! * [`ServeSnapshot`] — self-describing persistence: config + dataset
-//!   geometry + weights + trained std-dev, JSON-serializable, geometry-checked
-//!   on restore.
+//!   geometry (trained *and* live length) + weights (base64-packed, versioned)
+//!   + trained std-dev, geometry-checked and finiteness-checked on restore.
 //! * [`ImputationEngine`] — the serving core: a full-tensor imputation cache
 //!   with per-window freshness, coalesced micro-batch queries
-//!   ([`ImputationEngine::query_batch`]) and a streaming
+//!   ([`ImputationEngine::query_batch`]), a streaming
 //!   [`ImputationEngine::append`] that re-imputes only the affected tail
-//!   windows instead of the full tensor.
+//!   windows instead of the full tensor — and **grows** the series when the
+//!   stream runs past the trained length (rolling-horizon inference, no
+//!   capacity wall) — plus [`ImputationEngine::fill_range`] for backfilling
+//!   interior gaps the append watermark has already passed.
 //! * [`MicroBatcher`] / [`BatchClient`] — a thread front door: concurrent
 //!   callers funnel into one executor that drains pending requests into
 //!   coalesced batches.
@@ -44,11 +47,14 @@
 //! // Point queries impute on demand (and cache per window) ...
 //! let head = engine.query(0, 0, 40).unwrap();
 //! assert_eq!(head.len(), 40);
-//! // ... and new observations re-impute only the affected tail windows.
-//! let watermark = engine.watermark(0).unwrap();
-//! if watermark < 120 {
-//!     engine.append(0, &[0.25]).unwrap();
-//! }
+//! // ... new observations re-impute only the affected tail windows, and the
+//! // stream may run past the trained length — the series grows instead of
+//! // erroring, with windows beyond training served by a rolling horizon.
+//! engine.append(0, &vec![0.25; 140 - engine.watermark(0).unwrap()]).unwrap();
+//! assert_eq!(engine.live_len(), 140);
+//! assert_eq!(engine.trained_len(), 120);
+//! let grown_tail = engine.query(0, 120, 140).unwrap();
+//! assert_eq!(grown_tail.len(), 20);
 //! ```
 //!
 //! For concurrent callers, wrap the engine in a [`MicroBatcher`] and hand each

@@ -4,51 +4,130 @@
 //! [`deepmvi::DeepMviModel::export_params`] captures only the weights; a
 //! server additionally needs the configuration the weights were trained under
 //! and the dataset geometry they are sized for. [`ServeSnapshot`] bundles all
-//! three (plus the trained imputation std-dev) into one serde-serializable
-//! artifact, and validates geometry on restore so a snapshot cannot silently
-//! be loaded against the wrong tenant's data.
+//! of that (plus the trained imputation std-dev) into one JSON artifact, and
+//! validates geometry on restore so a snapshot cannot silently be loaded
+//! against the wrong tenant's data.
+//!
+//! ## Wire format
+//!
+//! The current format is **version 2**: a `version` field, both the *trained*
+//! series length and the *live* length the serving state had reached when the
+//! snapshot was taken (a long-running deployment grows past training — both
+//! are geometry-checked on restore), the resolved window width `w` (so the
+//! model rebuilds identically even though the live data's missing-block
+//! statistics have drifted since training), and the weight tensors packed as
+//! **base64 little-endian f64** instead of JSON float arrays — bit-exact and
+//! several times smaller than the decimal dump. Version-1 snapshots (no
+//! `version` field, plain float arrays, single length) still load.
+//!
+//! Restore additionally rejects snapshots carrying NaN/±inf weights
+//! ([`ServeError::NonFiniteWeights`]): JSON renders non-finite floats as
+//! `null`, which reads back as NaN, and a model restored that way would
+//! silently answer every query with NaN.
 
 use crate::engine::ServeError;
 use deepmvi::{DeepMviConfig, DeepMviModel, FrozenModel};
 use mvi_autograd::params::StoreSnapshot;
 use mvi_data::dataset::{DimSpec, ObservedDataset};
+use mvi_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Wire-format version written by [`ServeSnapshot::to_json`].
+pub const SNAPSHOT_VERSION: u32 = 2;
+
 /// A complete, self-describing dump of a trained model for serving.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ServeSnapshot {
     /// Configuration the model was trained under (window rule, module
     /// switches, sizes — everything needed to rebuild identical parameters).
     pub config: DeepMviConfig,
     /// Non-time dimensions of the training dataset.
     pub dims: Vec<DimSpec>,
-    /// Series length the model was sized for.
+    /// Series length the model was *trained* for.
     pub t_len: usize,
+    /// Live series length of the serving state the snapshot captured — equal
+    /// to `t_len` right after training, larger once streaming appends have
+    /// grown the series.
+    pub live_t_len: usize,
+    /// Resolved window width `w` the model was built with, pinned so restore
+    /// does not re-derive it from post-growth missing statistics (`0` in
+    /// snapshots written before version 2: restore falls back to the config's
+    /// window rule, which is safe there because v1 states never grew).
+    pub window: usize,
     /// Trained shared imputation std-dev (§4), if training captured one.
     pub shared_std: Option<f64>,
     /// The weights.
     pub params: StoreSnapshot,
 }
 
+/// Version-2 wire layout (weights packed, both lengths explicit).
+#[derive(Serialize, Deserialize)]
+struct WireSnapshotV2 {
+    version: u32,
+    config: DeepMviConfig,
+    dims: Vec<DimSpec>,
+    t_len: usize,
+    live_t_len: usize,
+    window: usize,
+    shared_std: Option<f64>,
+    params: Vec<WireParam>,
+}
+
+/// One packed weight tensor: base64 of the little-endian f64 buffer.
+#[derive(Serialize, Deserialize)]
+struct WireParam {
+    name: String,
+    shape: Vec<usize>,
+    data: String,
+}
+
+/// Version-1 wire layout (what [`ServeSnapshot`] itself used to serialize as:
+/// one length, weights as JSON float arrays, no version field).
+#[derive(Serialize, Deserialize)]
+struct WireSnapshotV1 {
+    config: DeepMviConfig,
+    dims: Vec<DimSpec>,
+    t_len: usize,
+    shared_std: Option<f64>,
+    params: StoreSnapshot,
+}
+
 impl ServeSnapshot {
-    /// Captures a trained model together with the geometry of the dataset it
-    /// was trained on.
+    /// Captures a trained model together with the geometry of the serving
+    /// state it serves. `obs` may be longer than the trained length (a grown
+    /// serving state); both lengths are persisted and checked on restore.
+    ///
+    /// # Panics
+    /// Panics if `obs` is shorter than the model's trained length.
     pub fn capture(model: &DeepMviModel, obs: &ObservedDataset) -> Self {
+        assert!(
+            obs.t_len() >= model.t_len(),
+            "capture: dataset length {} is shorter than the trained length {}",
+            obs.t_len(),
+            model.t_len()
+        );
         Self {
             config: model.config().clone(),
             dims: obs.dims.clone(),
-            t_len: obs.t_len(),
+            t_len: model.t_len(),
+            live_t_len: obs.t_len(),
+            window: model.window(),
             shared_std: model.shared_std(),
             params: model.export_params(),
         }
     }
 
     /// Rehydrates a frozen model against `obs`, validating that the dataset
-    /// geometry matches what the weights were trained for.
+    /// geometry matches what the snapshot describes: same dimensions, and a
+    /// length equal to the captured *live* length. The model itself is rebuilt
+    /// at the *trained* length (with the pinned window width), so a snapshot
+    /// of a grown deployment restores with the exact rolling-horizon behaviour
+    /// it was serving.
     ///
     /// # Errors
     /// [`ServeError::Geometry`] on a dimension/length mismatch or a weight
-    /// snapshot that does not fit the rebuilt parameter layout.
+    /// snapshot that does not fit the rebuilt parameter layout;
+    /// [`ServeError::NonFiniteWeights`] when any weight is NaN/±inf.
     pub fn restore(&self, obs: &ObservedDataset) -> Result<FrozenModel, ServeError> {
         if obs.dims != self.dims {
             return Err(ServeError::Geometry(format!(
@@ -57,30 +136,211 @@ impl ServeSnapshot {
                 self.dims.iter().map(|d| (d.name.as_str(), d.len())).collect::<Vec<_>>(),
             )));
         }
-        if obs.t_len() != self.t_len {
+        if self.live_t_len < self.t_len {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot live length {} is shorter than its trained length {} — a serving \
+                 state never shrinks, so the snapshot is corrupt",
+                self.live_t_len, self.t_len
+            )));
+        }
+        if obs.t_len() != self.live_t_len {
             return Err(ServeError::Geometry(format!(
-                "dataset t_len {} does not match snapshot t_len {}",
+                "dataset t_len {} does not match snapshot live length {} (trained length {})",
                 obs.t_len(),
+                self.live_t_len,
                 self.t_len
             )));
         }
-        FrozenModel::from_snapshot(&self.config, obs, &self.params, self.shared_std)
+        for (name, tensor) in &self.params.params {
+            if !tensor.all_finite() {
+                return Err(ServeError::NonFiniteWeights { param: name.clone() });
+            }
+        }
+        // Rebuild at trained geometry: the truncated prefix view when the
+        // state has grown, with the window width pinned so post-growth block
+        // statistics cannot flip the §4.3 window rule and break the layout.
+        let trained_view;
+        let geometry = if obs.t_len() == self.t_len {
+            obs
+        } else {
+            trained_view = obs.truncated(self.t_len);
+            &trained_view
+        };
+        let config = if self.window > 0 {
+            DeepMviConfig { window: Some(self.window), ..self.config.clone() }
+        } else {
+            self.config.clone()
+        };
+        FrozenModel::from_snapshot(&config, geometry, &self.params, self.shared_std)
             .map_err(ServeError::Geometry)
     }
 
-    /// Serializes to JSON (any serde format works; JSON is what the examples
-    /// and the offline workspace shim support out of the box).
+    /// Serializes to version-2 JSON (weights base64-packed; see the module
+    /// docs for the layout).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+        let params = self
+            .params
+            .params
+            .iter()
+            .map(|(name, tensor)| WireParam {
+                name: name.clone(),
+                shape: tensor.shape().to_vec(),
+                data: base64_encode(&pack_f64_le(tensor.data())),
+            })
+            .collect();
+        let wire = WireSnapshotV2 {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            dims: self.dims.clone(),
+            t_len: self.t_len,
+            live_t_len: self.live_t_len,
+            window: self.window,
+            shared_std: self.shared_std,
+            params,
+        };
+        serde_json::to_string(&wire).expect("snapshot serialization cannot fail")
     }
 
-    /// Parses a snapshot serialized with [`ServeSnapshot::to_json`].
+    /// Parses a snapshot serialized with [`ServeSnapshot::to_json`] — the
+    /// current version-2 layout or the legacy version-1 float-array layout.
     ///
     /// # Errors
-    /// [`ServeError::Snapshot`] when the JSON does not parse into a snapshot.
+    /// [`ServeError::Snapshot`] when the JSON parses as neither version, the
+    /// version is unknown, or a packed weight buffer does not decode to its
+    /// declared shape.
     pub fn from_json(json: &str) -> Result<Self, ServeError> {
-        serde_json::from_str(json).map_err(|e| ServeError::Snapshot(format!("{e:?}")))
+        let v2_err = match serde_json::from_str::<WireSnapshotV2>(json) {
+            Ok(wire) => {
+                if wire.version != SNAPSHOT_VERSION {
+                    return Err(ServeError::Snapshot(format!(
+                        "unsupported snapshot version {} (this build reads 1..={SNAPSHOT_VERSION})",
+                        wire.version
+                    )));
+                }
+                let mut params = Vec::with_capacity(wire.params.len());
+                for p in wire.params {
+                    let bytes = base64_decode(&p.data).map_err(|e| {
+                        ServeError::Snapshot(format!("parameter `{}`: {e}", p.name))
+                    })?;
+                    let expected: usize = p.shape.iter().product();
+                    if bytes.len() != 8 * expected {
+                        return Err(ServeError::Snapshot(format!(
+                            "parameter `{}`: {} bytes do not fill shape {:?}",
+                            p.name,
+                            bytes.len(),
+                            p.shape
+                        )));
+                    }
+                    params.push((p.name, Tensor::from_vec(p.shape, unpack_f64_le(&bytes))));
+                }
+                return Ok(Self {
+                    config: wire.config,
+                    dims: wire.dims,
+                    t_len: wire.t_len,
+                    live_t_len: wire.live_t_len,
+                    window: wire.window,
+                    shared_std: wire.shared_std,
+                    params: StoreSnapshot { params },
+                });
+            }
+            Err(e) => e,
+        };
+        match serde_json::from_str::<WireSnapshotV1>(json) {
+            Ok(wire) => Ok(Self {
+                config: wire.config,
+                dims: wire.dims,
+                t_len: wire.t_len,
+                live_t_len: wire.t_len,
+                window: 0,
+                shared_std: wire.shared_std,
+                params: wire.params,
+            }),
+            Err(v1_err) => Err(ServeError::Snapshot(format!(
+                "not a v{SNAPSHOT_VERSION} snapshot ({v2_err:?}) and not a v1 snapshot \
+                 ({v1_err:?})"
+            ))),
+        }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Weight packing: little-endian f64 <-> base64 (RFC 4648 standard alphabet,
+// padded). Hand-rolled because the offline workspace vendors no base64 crate;
+// round-trips are bit-exact, so NaN payloads survive into the finite check.
+// ---------------------------------------------------------------------------
+
+fn pack_f64_le(values: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+fn unpack_f64_le(bytes: &[u8]) -> Vec<f64> {
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+}
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b1 = chunk[0] as u32;
+        let b2 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b3 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b1 << 16) | (b2 << 8) | b3;
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { B64_ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { B64_ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    fn sextet(c: u8) -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok((c - b'A') as u32),
+            b'a'..=b'z' => Ok((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Ok((c - b'0' + 52) as u32),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("invalid base64 byte `{}`", c as char)),
+        }
+    }
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} is not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    let n_groups = bytes.len() / 4;
+    for (g, chunk) in bytes.chunks_exact(4).enumerate() {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && g + 1 != n_groups) {
+            return Err("misplaced base64 padding".into());
+        }
+        let mut n = 0u32;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if i < 4 - pad {
+                    return Err("misplaced base64 padding".into());
+                }
+                0
+            } else {
+                sextet(c)?
+            };
+            n = (n << 6) | v;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -89,17 +349,49 @@ mod tests {
     use mvi_data::generators::{generate_with_shape, DatasetName};
     use mvi_data::scenarios::Scenario;
 
-    #[test]
-    fn snapshot_roundtrips_through_json_and_validates_geometry() {
+    fn trained() -> (ObservedDataset, DeepMviModel) {
         let ds = generate_with_shape(DatasetName::Gas, &[3], 120, 4);
         let inst = Scenario::mcar(1.0).apply(&ds, 1);
         let obs = inst.observed();
         let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
         let mut model = DeepMviModel::new(&cfg, &obs);
         model.fit(&obs);
+        (obs, model)
+    }
+
+    #[test]
+    fn base64_roundtrips_arbitrary_buffers() {
+        for len in 0..12 {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let enc = base64_encode(&bytes);
+            assert_eq!(enc.len() % 4, 0);
+            assert_eq!(base64_decode(&enc).unwrap(), bytes, "len {len}");
+        }
+        // Known vector (RFC 4648): "foobar".
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert!(base64_decode("Zm9=YQ==").is_err(), "misplaced padding must fail");
+        assert!(base64_decode("abc").is_err(), "truncated group must fail");
+        assert!(base64_decode("ab!d").is_err(), "bad alphabet must fail");
+    }
+
+    #[test]
+    fn packed_floats_roundtrip_bit_exactly() {
+        let vals = [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE, -1e300];
+        let back = unpack_f64_le(&pack_f64_le(&vals));
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json_and_validates_geometry() {
+        let (obs, model) = trained();
         let expected = model.impute(&obs);
 
         let snap = ServeSnapshot::capture(&model, &obs);
+        assert_eq!(snap.t_len, snap.live_t_len, "fresh capture has not grown");
+        assert_eq!(snap.window, model.window());
         let back = ServeSnapshot::from_json(&snap.to_json()).unwrap();
         let frozen = back.restore(&obs).unwrap();
         assert_eq!(frozen.impute(&obs), expected);
@@ -112,6 +404,119 @@ mod tests {
         let shorter = generate_with_shape(DatasetName::Gas, &[3], 80, 4);
         let shorter_obs = Scenario::mcar(1.0).apply(&shorter, 1).observed();
         assert!(matches!(back.restore(&shorter_obs), Err(ServeError::Geometry(_))));
+    }
+
+    #[test]
+    fn v2_packing_shrinks_the_artifact() {
+        let (obs, model) = trained();
+        let snap = ServeSnapshot::capture(&model, &obs);
+        let v2 = snap.to_json();
+        let v1 = serde_json::to_string(&WireSnapshotV1 {
+            config: snap.config.clone(),
+            dims: snap.dims.clone(),
+            t_len: snap.t_len,
+            shared_std: snap.shared_std,
+            params: snap.params.clone(),
+        })
+        .unwrap();
+        let raw = 8 * snap.params.params.iter().map(|(_, t)| t.len()).sum::<usize>();
+        eprintln!(
+            "snapshot sizes: raw weights {raw} B, v1 float-array {} B ({:.2}x raw), v2 packed {} \
+             B ({:.2}x raw, {:.2}x smaller than v1)",
+            v1.len(),
+            v1.len() as f64 / raw as f64,
+            v2.len(),
+            v2.len() as f64 / raw as f64,
+            v1.len() as f64 / v2.len() as f64
+        );
+        assert!(
+            v2.len() < v1.len(),
+            "packed snapshot ({}) not smaller than float-array dump ({})",
+            v2.len(),
+            v1.len()
+        );
+        // Base64 is 4/3 of raw; everything else (names, shapes, config) is
+        // bounded overhead. Guard the packing stays near that bound.
+        assert!(
+            (v2.len() as f64) < 1.5 * raw as f64 + 4096.0,
+            "packed snapshot {} bytes for {} raw weight bytes",
+            v2.len(),
+            raw
+        );
+    }
+
+    #[test]
+    fn legacy_v1_json_still_loads() {
+        let (obs, model) = trained();
+        let expected = model.impute(&obs);
+        let snap = ServeSnapshot::capture(&model, &obs);
+        // Exactly what the pre-versioning format serialized as.
+        let v1_json = serde_json::to_string(&WireSnapshotV1 {
+            config: snap.config.clone(),
+            dims: snap.dims.clone(),
+            t_len: snap.t_len,
+            shared_std: snap.shared_std,
+            params: snap.params.clone(),
+        })
+        .unwrap();
+        let back = ServeSnapshot::from_json(&v1_json).unwrap();
+        assert_eq!(back.live_t_len, back.t_len, "v1 states never grew");
+        assert_eq!(back.window, 0, "v1 has no pinned window");
+        let frozen = back.restore(&obs).unwrap();
+        assert_eq!(frozen.impute(&obs), expected);
+        assert_eq!(frozen.shared_std(), snap.shared_std);
+    }
+
+    #[test]
+    fn future_versions_and_garbled_payloads_are_rejected() {
+        let (obs, model) = trained();
+        let snap = ServeSnapshot::capture(&model, &obs);
+        let json = snap.to_json();
+        let future = json.replacen("\"version\":2", "\"version\":99", 1);
+        assert!(matches!(
+            ServeSnapshot::from_json(&future),
+            Err(ServeError::Snapshot(msg)) if msg.contains("version 99")
+        ));
+        // Corrupt one packed buffer: the shape/byte-count check catches it.
+        let garbled = json.replacen("\"data\":\"", "\"data\":\"AAAA", 1);
+        assert!(matches!(ServeSnapshot::from_json(&garbled), Err(ServeError::Snapshot(_))));
+        // An inverted length pair (live < trained) is a typed error on
+        // restore, not a panic inside the trained-view truncation.
+        let mut inverted = snap.clone();
+        inverted.live_t_len = snap.t_len - 20;
+        let short_obs = obs.truncated(inverted.live_t_len);
+        assert!(matches!(inverted.restore(&short_obs), Err(ServeError::Snapshot(_))));
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_on_restore() {
+        let (obs, model) = trained();
+        let mut snap = ServeSnapshot::capture(&model, &obs);
+        // Poison one weight; v2 base64 packing preserves the NaN bits, so the
+        // JSON roundtrip hands the finite check exactly what was written.
+        snap.params.params[1].1.data_mut()[0] = f64::NAN;
+        let back = ServeSnapshot::from_json(&snap.to_json()).unwrap();
+        let poisoned = &back.params.params[1];
+        assert!(poisoned.1.data()[0].is_nan(), "NaN lost in the packed roundtrip");
+        let err = back.restore(&obs).err().expect("poisoned snapshot must not restore");
+        assert_eq!(err, ServeError::NonFiniteWeights { param: poisoned.0.clone() });
+
+        // The v1 path (where JSON turns NaN into null and back into NaN —
+        // the original silent-NaN-serving bug) is rejected the same way.
+        let v1_json = serde_json::to_string(&WireSnapshotV1 {
+            config: snap.config.clone(),
+            dims: snap.dims.clone(),
+            t_len: snap.t_len,
+            shared_std: snap.shared_std,
+            params: snap.params.clone(),
+        })
+        .unwrap();
+        let v1_back = ServeSnapshot::from_json(&v1_json).unwrap();
+        assert!(matches!(v1_back.restore(&obs), Err(ServeError::NonFiniteWeights { .. })));
+        // An infinity is caught too, not just NaN.
+        let mut inf = ServeSnapshot::capture(&model, &obs);
+        inf.params.params[0].1.data_mut()[2] = f64::INFINITY;
+        assert!(matches!(inf.restore(&obs), Err(ServeError::NonFiniteWeights { .. })));
     }
 
     #[test]

@@ -152,6 +152,56 @@ impl Mask {
         t
     }
 
+    /// Grows the time (last) axis to `new_t_len` in place, preserving every
+    /// series prefix and filling the appended suffix of each series with
+    /// `value` (mirrors [`crate::Tensor::extend_time`]; callers growing a
+    /// stream should grow geometrically for amortized O(1) per element).
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` is smaller than the current time axis.
+    pub fn extend_time(&mut self, new_t_len: usize, value: bool) {
+        let (series_shape, old_t) = shape::split_time(&self.shape);
+        assert!(
+            new_t_len >= old_t,
+            "extend_time {old_t} -> {new_t_len} would shrink the time axis"
+        );
+        if new_t_len == old_t {
+            return;
+        }
+        let n = shape::num_elements(series_shape);
+        self.data.resize(n * new_t_len, value);
+        for s in (1..n).rev() {
+            self.data.copy_within(s * old_t..(s + 1) * old_t, s * new_t_len);
+        }
+        for s in 0..n {
+            self.data[s * new_t_len + old_t..(s + 1) * new_t_len].fill(value);
+        }
+        let last = self.shape.len() - 1;
+        self.shape[last] = new_t_len;
+    }
+
+    /// A copy truncated along the time (last) axis to its first `new_t_len`
+    /// steps (mirrors [`crate::Tensor::truncated_time`]).
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` exceeds the current time axis.
+    pub fn truncated_time(&self, new_t_len: usize) -> Self {
+        let (series_shape, old_t) = shape::split_time(&self.shape);
+        assert!(
+            new_t_len <= old_t,
+            "truncated_time {old_t} -> {new_t_len} would grow the time axis"
+        );
+        let n = shape::num_elements(series_shape);
+        let mut data = Vec::with_capacity(n * new_t_len);
+        for s in 0..n {
+            data.extend_from_slice(&self.data[s * old_t..s * old_t + new_t_len]);
+        }
+        let mut new_shape = self.shape.clone();
+        let last = new_shape.len() - 1;
+        new_shape[last] = new_t_len;
+        Self { shape: new_shape, data }
+    }
+
     /// The `s`-th series of the mask as a contiguous slice.
     #[inline]
     pub fn series(&self, s: usize) -> &[bool] {
@@ -288,6 +338,24 @@ mod tests {
         assert_eq!(m.gap_runs_in(0, 0, 12), m.complement().runs(0));
         assert_eq!(m.gap_runs_in(0, 4, 11), vec![(4, 2), (10, 1)]);
         assert_eq!(m.gap_runs_in(0, 0, 3), vec![]);
+    }
+
+    #[test]
+    fn extend_time_preserves_series_and_truncate_inverts() {
+        let mut m = Mask::falses(&[2, 3, 4]);
+        m.set(&[0, 1, 3], true);
+        m.set(&[1, 2, 0], true);
+        let original = m.clone();
+        m.extend_time(6, false);
+        assert_eq!(m.shape(), &[2, 3, 6]);
+        assert!(m.get(&[0, 1, 3]));
+        assert!(m.get(&[1, 2, 0]));
+        assert_eq!(m.count(), 2, "extension must not invent entries");
+        assert_eq!(m.truncated_time(4), original);
+        // Growing with `true` marks only the new suffix.
+        let mut t = original.clone();
+        t.extend_time(5, true);
+        assert_eq!(t.count(), 2 + 6, "one new step per series marked true");
     }
 
     #[test]

@@ -152,6 +152,66 @@ impl Tensor {
         t
     }
 
+    /// Grows the time (last) axis to `new_t_len` in place, preserving every
+    /// series prefix and filling the appended suffix of each series with
+    /// `fill`.
+    ///
+    /// One call moves every element once (series stay contiguous under the
+    /// row-major layout, so they shift toward the back); callers that grow a
+    /// stream repeatedly should grow geometrically and track the live length
+    /// separately, which makes the per-appended-element cost amortized O(1)
+    /// (the serving engine does exactly this).
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` is smaller than the current time axis.
+    pub fn extend_time(&mut self, new_t_len: usize, fill: f64) {
+        let (series_shape, old_t) = shape::split_time(&self.shape);
+        assert!(
+            new_t_len >= old_t,
+            "extend_time {old_t} -> {new_t_len} would shrink the time axis"
+        );
+        if new_t_len == old_t {
+            return;
+        }
+        let n = shape::num_elements(series_shape);
+        self.data.resize(n * new_t_len, fill);
+        // Shift series back-to-front (each new start is at or past the old
+        // one, and higher series have already vacated their old slots), then
+        // overwrite the per-series gaps left between old payload and the next
+        // series' new start.
+        for s in (1..n).rev() {
+            self.data.copy_within(s * old_t..(s + 1) * old_t, s * new_t_len);
+        }
+        for s in 0..n {
+            self.data[s * new_t_len + old_t..(s + 1) * new_t_len].fill(fill);
+        }
+        let last = self.shape.len() - 1;
+        self.shape[last] = new_t_len;
+    }
+
+    /// A copy truncated along the time (last) axis to its first `new_t_len`
+    /// steps — the inverse view of [`Tensor::extend_time`], used to recover
+    /// the live prefix from capacity-padded storage.
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` exceeds the current time axis.
+    pub fn truncated_time(&self, new_t_len: usize) -> Self {
+        let (series_shape, old_t) = shape::split_time(&self.shape);
+        assert!(
+            new_t_len <= old_t,
+            "truncated_time {old_t} -> {new_t_len} would grow the time axis"
+        );
+        let n = shape::num_elements(series_shape);
+        let mut data = Vec::with_capacity(n * new_t_len);
+        for s in 0..n {
+            data.extend_from_slice(&self.data[s * old_t..s * old_t + new_t_len]);
+        }
+        let mut new_shape = self.shape.clone();
+        let last = new_shape.len() - 1;
+        new_shape[last] = new_t_len;
+        Self { shape: new_shape, data }
+    }
+
     /// The `s`-th series as a contiguous slice of length [`Tensor::t_len`].
     ///
     /// Series are numbered in row-major order over the non-time axes, i.e. series `s`
@@ -346,6 +406,50 @@ mod tests {
         assert_eq!(a.data(), &[6.0, 12.0]);
         a.scale_inplace(2.0);
         assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn extend_time_preserves_series_and_fills_suffix() {
+        // Shape (2, 3, 4): two non-time axes, so series shift non-trivially.
+        let t = Tensor::from_fn(&[2, 3, 4], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64);
+        let mut grown = t.clone();
+        grown.extend_time(7, -1.0);
+        assert_eq!(grown.shape(), &[2, 3, 7]);
+        for s in 0..6 {
+            assert_eq!(&grown.series(s)[..4], t.series(s), "series {s} prefix changed");
+            assert!(grown.series(s)[4..].iter().all(|&v| v == -1.0), "series {s} suffix not fill");
+        }
+        // Truncating back recovers the original exactly.
+        assert_eq!(grown.truncated_time(4), t);
+        // Growing to the same length is a no-op.
+        let mut same = t.clone();
+        same.extend_time(4, 9.0);
+        assert_eq!(same, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink the time axis")]
+    fn extend_time_rejects_shrinking() {
+        Tensor::zeros(&[2, 5]).extend_time(3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grow the time axis")]
+    fn truncated_time_rejects_growing() {
+        let _ = Tensor::zeros(&[2, 5]).truncated_time(6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_extend_then_truncate_roundtrips(
+            n in 1usize..5, t_len in 1usize..12, extra in 0usize..9
+        ) {
+            let t = Tensor::from_fn(&[n, t_len], |idx| (idx[0] * 1000 + idx[1]) as f64);
+            let mut grown = t.clone();
+            grown.extend_time(t_len + extra, 0.5);
+            prop_assert_eq!(grown.t_len(), t_len + extra);
+            prop_assert_eq!(grown.truncated_time(t_len), t);
+        }
     }
 
     proptest! {

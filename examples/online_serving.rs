@@ -11,6 +11,7 @@
 //! that re-impute only the affected tail windows.
 
 use deepmvi::{DeepMviConfig, DeepMviModel};
+use mvi_data::dataset::Dataset;
 use mvi_data::generators::{generate_with_shape, DatasetName};
 use mvi_data::metrics::mae;
 use mvi_data::scenarios::Scenario;
@@ -21,10 +22,14 @@ use std::time::Instant;
 const SERIES: usize = 6;
 const T: usize = 400;
 const STREAM_START: usize = 320;
+/// The live stream keeps running past the trained length — the engine grows.
+const T_STREAM: usize = 480;
 
 fn main() {
     // ---- Offline: training over history with a hidden "future" suffix. ----
-    let dataset = generate_with_shape(DatasetName::Electricity, &[SERIES], T, 21);
+    let full = generate_with_shape(DatasetName::Electricity, &[SERIES], T_STREAM, 21);
+    let dataset =
+        Dataset::new("electricity-trained", full.dims.clone(), full.values.truncated_time(T));
     let instance = Scenario::mcar(1.0).apply(&dataset, 13);
     let mut observed = instance.observed();
     for s in 0..SERIES {
@@ -96,8 +101,26 @@ fn main() {
     }
     println!("streaming drain recomputed {refreshed} windows (full tensor would be far more)");
 
+    // ---- Grow: the stream keeps running past the trained length. ----
+    // Appends past `t_len` used to hard-fail with a capacity error; the
+    // engine now grows the live grid and serves the grown tail through the
+    // frozen model's rolling temporal context.
+    for s in 0..SERIES {
+        let wm = engine.watermark(s).expect("watermark");
+        let report =
+            engine.append(s, &full.values.series(s)[wm..T_STREAM]).expect("append past capacity");
+        println!(
+            "append series {s}: grew to {} (trained length {}), {} windows recomputed",
+            report.live_len,
+            engine.trained_len(),
+            report.windows_recomputed
+        );
+    }
+    let tail = engine.query(0, T, T_STREAM).expect("query over the grown region");
+    println!("grown tail of series 0 serves {} values past the trained length", tail.len());
+
     // The served values on the original missing entries stay faithful.
-    let served = engine.cached_values();
+    let served = engine.cached_values().truncated_time(T);
     let err = mae(&dataset.values, &served, &instance.missing);
     println!("MAE on the original hidden entries after streaming: {err:.4}");
 }

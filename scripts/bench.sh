@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Kernel-throughput harness: writes the machine-readable BENCH_1.json artifact
-# tracking the compute-kernel layer's performance trajectory across PRs.
+# Performance-artifact harness: writes the machine-readable BENCH_<n>.json
+# artifacts tracking the performance trajectory across PRs —
+#   BENCH_1.json  compute-kernel throughput (two-build honest baseline),
+#   BENCH_2.json  serving throughput (engine vs naive per-request impute),
+#   BENCH_3.json  growth scenario (appends streaming past the trained t_len).
 #
-#   THREADS=4 OUT=BENCH_1.json scripts/bench.sh
+#   THREADS=4 OUT=BENCH_1.json SERVE_OUT=BENCH_2.json GROWTH_OUT=BENCH_3.json \
+#       scripts/bench.sh
 #
 # Two builds are measured so the speedup is honest:
 #   1. a baseline-codegen build (RUSTFLAGS="", i.e. plain x86-64 — exactly how
@@ -16,6 +20,8 @@ cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-4}"
 OUT="${OUT:-BENCH_1.json}"
+SERVE_OUT="${SERVE_OUT:-BENCH_2.json}"
+GROWTH_OUT="${GROWTH_OUT:-BENCH_3.json}"
 
 echo "== phase 1: baseline-codegen build (seed's original configuration) =="
 RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
@@ -28,4 +34,9 @@ cargo build --release --offline -p mvi-bench --bin kernel_bench
 ./target/release/kernel_bench \
     --threads="$THREADS" --baseline=target/baseline_bench.json --out="$OUT"
 
-echo "bench artifact: $OUT"
+echo "== phase 3: serving + growth harness =="
+cargo build --release --offline -p mvi-bench --bin serve_bench
+./target/release/serve_bench \
+    --threads="$THREADS" --out="$SERVE_OUT" --growth-out="$GROWTH_OUT"
+
+echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT"
