@@ -3,6 +3,7 @@
 use crate::params::{ParamId, ParamStore};
 use mvi_linalg::ops as la;
 use mvi_tensor::{Mask, Tensor};
+use std::sync::Arc;
 
 /// Index of a node on the tape.
 pub type VarId = usize;
@@ -11,8 +12,26 @@ pub type VarId = usize;
 /// parents, produce the gradient contribution for each parent (same order/shapes).
 type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor]) -> Vec<Tensor>>;
 
+/// A node's value: owned for computed intermediates, shared for parameter
+/// leaves (binding a parameter is a refcount bump on the store's `Arc`, not a
+/// tensor clone — the store only copies-on-write at the next optimizer step).
+enum NodeValue {
+    Owned(Tensor),
+    Param(Arc<Tensor>),
+}
+
+impl NodeValue {
+    #[inline]
+    fn get(&self) -> &Tensor {
+        match self {
+            NodeValue::Owned(t) => t,
+            NodeValue::Param(t) => t,
+        }
+    }
+}
+
 struct Node {
-    value: Tensor,
+    value: NodeValue,
     parents: Vec<VarId>,
     backward: Option<BackwardFn>,
 }
@@ -64,7 +83,7 @@ impl Graph {
     fn push(&mut self, value: Tensor, parents: Vec<VarId>, backward: Option<BackwardFn>) -> VarId {
         debug_assert!(value.all_finite(), "non-finite value entered the tape");
         let id = self.nodes.len();
-        self.nodes.push(Node { value, parents, backward });
+        self.nodes.push(Node { value: NodeValue::Owned(value), parents, backward });
         id
     }
 
@@ -86,20 +105,32 @@ impl Graph {
 
     /// Binds a parameter from the store as a leaf, recording the association so
     /// [`Graph::param_grads`] can route its gradient back after `backward`.
+    /// Binding shares the store's tensor (`Arc` clone) — no data is copied,
+    /// no matter how large the parameter or how often it is bound.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
-        let v = self.push(store.value(id).clone(), vec![], None);
+        debug_assert!(
+            store.value(id).all_finite(),
+            "non-finite parameter `{}` entered the tape",
+            store.name(id)
+        );
+        let v = self.nodes.len();
+        self.nodes.push(Node {
+            value: NodeValue::Param(Arc::clone(store.value_arc(id))),
+            parents: vec![],
+            backward: None,
+        });
         self.param_binds.push((v, id));
         v
     }
 
     /// Value of a node.
     pub fn value(&self, id: VarId) -> &Tensor {
-        &self.nodes[id].value
+        self.nodes[id].value.get()
     }
 
     /// Shape of a node's value.
     pub fn shape(&self, id: VarId) -> &[usize] {
-        self.nodes[id].value.shape()
+        self.nodes[id].value.get().shape()
     }
 
     // ==================================================================
@@ -108,19 +139,19 @@ impl Graph {
 
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.zip_map(&self.nodes[b].value, |x, y| x + y);
+        let v = self.nodes[a].value.get().zip_map(self.nodes[b].value.get(), |x, y| x + y);
         self.push(v, vec![a, b], Some(Box::new(|g, _| vec![g.clone(), g.clone()])))
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.zip_map(&self.nodes[b].value, |x, y| x - y);
+        let v = self.nodes[a].value.get().zip_map(self.nodes[b].value.get(), |x, y| x - y);
         self.push(v, vec![a, b], Some(Box::new(|g, _| vec![g.clone(), g.map(|x| -x)])))
     }
 
     /// Elementwise `a * b` (same shape).
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.zip_map(&self.nodes[b].value, |x, y| x * y);
+        let v = self.nodes[a].value.get().zip_map(self.nodes[b].value.get(), |x, y| x * y);
         self.push(
             v,
             vec![a, b],
@@ -133,7 +164,7 @@ impl Graph {
     /// Elementwise `a / b` (same shape). The caller is responsible for keeping `b`
     /// away from zero (use [`Graph::add_scalar`] for an epsilon).
     pub fn div(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.zip_map(&self.nodes[b].value, |x, y| x / y);
+        let v = self.nodes[a].value.get().zip_map(self.nodes[b].value.get(), |x, y| x / y);
         self.push(
             v,
             vec![a, b],
@@ -150,13 +181,13 @@ impl Graph {
 
     /// `a * c` for a compile-time scalar `c`.
     pub fn scale(&mut self, a: VarId, c: f64) -> VarId {
-        let v = self.nodes[a].value.map(|x| x * c);
+        let v = self.nodes[a].value.get().map(|x| x * c);
         self.push(v, vec![a], Some(Box::new(move |g, _| vec![g.map(|x| x * c)])))
     }
 
     /// `a + c` for a compile-time scalar `c`.
     pub fn add_scalar(&mut self, a: VarId, c: f64) -> VarId {
-        let v = self.nodes[a].value.map(|x| x + c);
+        let v = self.nodes[a].value.get().map(|x| x + c);
         self.push(v, vec![a], Some(Box::new(|g, _| vec![g.clone()])))
     }
 
@@ -167,10 +198,10 @@ impl Graph {
 
     /// Broadcast add of a row vector: `a[m,n] + v[n]`.
     pub fn add_rowvec(&mut self, a: VarId, v: VarId) -> VarId {
-        let (m, n) = (self.nodes[a].value.rows(), self.nodes[a].value.cols());
-        assert_eq!(self.nodes[v].value.shape(), &[n], "add_rowvec dim mismatch");
-        let mut out = self.nodes[a].value.clone();
-        let vv = self.nodes[v].value.data().to_vec();
+        let (m, n) = (self.nodes[a].value.get().rows(), self.nodes[a].value.get().cols());
+        assert_eq!(self.nodes[v].value.get().shape(), &[n], "add_rowvec dim mismatch");
+        let mut out = self.nodes[a].value.get().clone();
+        let vv = self.nodes[v].value.get().data().to_vec();
         for i in 0..m {
             for (o, &b) in out.row_mut(i).iter_mut().zip(&vv) {
                 *o += b;
@@ -199,11 +230,11 @@ impl Graph {
 
     /// Scales each row `i` of `a[m,n]` by `v[i]`.
     pub fn mul_colvec(&mut self, a: VarId, v: VarId) -> VarId {
-        let (m, n) = (self.nodes[a].value.rows(), self.nodes[a].value.cols());
-        assert_eq!(self.nodes[v].value.shape(), &[m], "mul_colvec dim mismatch");
-        let mut out = self.nodes[a].value.clone();
+        let (m, n) = (self.nodes[a].value.get().rows(), self.nodes[a].value.get().cols());
+        assert_eq!(self.nodes[v].value.get().shape(), &[m], "mul_colvec dim mismatch");
+        let mut out = self.nodes[a].value.get().clone();
         for i in 0..m {
-            let vi = self.nodes[v].value.at(i);
+            let vi = self.nodes[v].value.get().at(i);
             for o in out.row_mut(i) {
                 *o *= vi;
             }
@@ -234,7 +265,7 @@ impl Graph {
 
     /// Matrix product `a[m,k] · b[k,n]`.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = la::matmul(&self.nodes[a].value, &self.nodes[b].value);
+        let v = la::matmul(self.nodes[a].value.get(), self.nodes[b].value.get());
         self.push(
             v,
             vec![a, b],
@@ -244,14 +275,18 @@ impl Graph {
 
     /// Transpose of a rank-2 value.
     pub fn transpose(&mut self, a: VarId) -> VarId {
-        let v = la::transpose(&self.nodes[a].value);
+        let v = la::transpose(self.nodes[a].value.get());
         self.push(v, vec![a], Some(Box::new(|g, _| vec![la::transpose(g)])))
     }
 
     /// Dot product of two rank-1 values, yielding a `[1]` scalar.
     pub fn dot(&mut self, a: VarId, b: VarId) -> VarId {
-        assert_eq!(self.nodes[a].value.shape(), self.nodes[b].value.shape(), "dot shape");
-        let v: f64 = la::dot(self.nodes[a].value.data(), self.nodes[b].value.data());
+        assert_eq!(
+            self.nodes[a].value.get().shape(),
+            self.nodes[b].value.get().shape(),
+            "dot shape"
+        );
+        let v: f64 = la::dot(self.nodes[a].value.get().data(), self.nodes[b].value.get().data());
         self.push(
             Tensor::scalar(v),
             vec![a, b],
@@ -268,7 +303,7 @@ impl Graph {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: VarId) -> VarId {
-        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        let v = self.nodes[a].value.get().map(|x| x.max(0.0));
         self.push(
             v,
             vec![a],
@@ -278,7 +313,7 @@ impl Graph {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
-        let v = self.nodes[a].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.nodes[a].value.get().map(|x| 1.0 / (1.0 + (-x).exp()));
         let saved = v.clone();
         self.push(
             v,
@@ -289,7 +324,7 @@ impl Graph {
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        let v = self.nodes[a].value.map(f64::tanh);
+        let v = self.nodes[a].value.get().map(f64::tanh);
         let saved = v.clone();
         self.push(
             v,
@@ -300,14 +335,14 @@ impl Graph {
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: VarId) -> VarId {
-        let v = self.nodes[a].value.map(f64::exp);
+        let v = self.nodes[a].value.get().map(f64::exp);
         let saved = v.clone();
         self.push(v, vec![a], Some(Box::new(move |g, _| vec![g.zip_map(&saved, |gi, ei| gi * ei)])))
     }
 
     /// `ln(x + eps)` — epsilon keeps the log finite at zero.
     pub fn ln_eps(&mut self, a: VarId, eps: f64) -> VarId {
-        let v = self.nodes[a].value.map(|x| (x + eps).ln());
+        let v = self.nodes[a].value.get().map(|x| (x + eps).ln());
         self.push(
             v,
             vec![a],
@@ -317,13 +352,13 @@ impl Graph {
 
     /// Elementwise square.
     pub fn square(&mut self, a: VarId) -> VarId {
-        let v = self.nodes[a].value.map(|x| x * x);
+        let v = self.nodes[a].value.get().map(|x| x * x);
         self.push(v, vec![a], Some(Box::new(|g, p| vec![g.zip_map(p[0], |gi, xi| 2.0 * gi * xi)])))
     }
 
     /// `sqrt(x + eps)`.
     pub fn sqrt_eps(&mut self, a: VarId, eps: f64) -> VarId {
-        let v = self.nodes[a].value.map(|x| (x + eps).sqrt());
+        let v = self.nodes[a].value.get().map(|x| (x + eps).sqrt());
         let saved = v.clone();
         self.push(
             v,
@@ -338,8 +373,8 @@ impl Graph {
 
     /// Sum of all elements, `[1]`-shaped.
     pub fn sum(&mut self, a: VarId) -> VarId {
-        let shape = self.nodes[a].value.shape().to_vec();
-        let v = self.nodes[a].value.sum();
+        let shape = self.nodes[a].value.get().shape().to_vec();
+        let v = self.nodes[a].value.get().sum();
         self.push(
             Tensor::scalar(v),
             vec![a],
@@ -349,17 +384,17 @@ impl Graph {
 
     /// Mean of all elements, `[1]`-shaped.
     pub fn mean(&mut self, a: VarId) -> VarId {
-        let n = self.nodes[a].value.len().max(1) as f64;
+        let n = self.nodes[a].value.get().len().max(1) as f64;
         let s = self.sum(a);
         self.scale(s, 1.0 / n)
     }
 
     /// Row sums of `a[m,n]`, yielding `[m]`.
     pub fn sum_axis1(&mut self, a: VarId) -> VarId {
-        let (m, n) = (self.nodes[a].value.rows(), self.nodes[a].value.cols());
+        let (m, n) = (self.nodes[a].value.get().rows(), self.nodes[a].value.get().cols());
         let mut out = vec![0.0; m];
         for i in 0..m {
-            out[i] = self.nodes[a].value.row(i).iter().sum();
+            out[i] = self.nodes[a].value.get().row(i).iter().sum();
         }
         self.push(
             Tensor::from_vec(vec![m], out),
@@ -387,7 +422,7 @@ impl Graph {
         let mut data = Vec::new();
         let mut lens = Vec::with_capacity(parts.len());
         for &p in parts {
-            let v = &self.nodes[p].value;
+            let v = self.nodes[p].value.get();
             assert_eq!(v.ndim(), 1, "concat1d needs rank-1 parts");
             lens.push(v.len());
             data.extend_from_slice(v.data());
@@ -411,12 +446,12 @@ impl Graph {
     /// Concatenates rank-2 values with equal row counts along the column axis.
     pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
         assert!(!parts.is_empty(), "concat_cols of nothing");
-        let m = self.nodes[parts[0]].value.rows();
+        let m = self.nodes[parts[0]].value.get().rows();
         let widths: Vec<usize> = parts
             .iter()
             .map(|&p| {
-                assert_eq!(self.nodes[p].value.rows(), m, "concat_cols row mismatch");
-                self.nodes[p].value.cols()
+                assert_eq!(self.nodes[p].value.get().rows(), m, "concat_cols row mismatch");
+                self.nodes[p].value.get().cols()
             })
             .collect();
         let total: usize = widths.iter().sum();
@@ -425,7 +460,7 @@ impl Graph {
             let orow = out.row_mut(i);
             let mut off = 0;
             for (&p, &w) in parts.iter().zip(&widths) {
-                orow[off..off + w].copy_from_slice(self.nodes[p].value.row(i));
+                orow[off..off + w].copy_from_slice(self.nodes[p].value.get().row(i));
                 off += w;
             }
         }
@@ -450,9 +485,9 @@ impl Graph {
 
     /// Row `i` of a rank-2 value, as a rank-1 value.
     pub fn row(&mut self, a: VarId, i: usize) -> VarId {
-        let (m, n) = (self.nodes[a].value.rows(), self.nodes[a].value.cols());
+        let (m, n) = (self.nodes[a].value.get().rows(), self.nodes[a].value.get().cols());
         assert!(i < m, "row {i} out of {m}");
-        let v = Tensor::from_slice(self.nodes[a].value.row(i));
+        let v = Tensor::from_slice(self.nodes[a].value.get().row(i));
         self.push(
             v,
             vec![a],
@@ -466,9 +501,9 @@ impl Graph {
 
     /// Element `i` of a rank-1 value, as a `[1]` scalar.
     pub fn index1d(&mut self, a: VarId, i: usize) -> VarId {
-        let n = self.nodes[a].value.len();
+        let n = self.nodes[a].value.get().len();
         assert!(i < n, "index {i} out of {n}");
-        let v = Tensor::scalar(self.nodes[a].value.at(i));
+        let v = Tensor::scalar(self.nodes[a].value.get().at(i));
         self.push(
             v,
             vec![a],
@@ -483,11 +518,12 @@ impl Graph {
     /// Gathers rows of `table[v,d]` by index, yielding `[idx.len(), d]`. Backward
     /// scatter-adds, which makes this the embedding-lookup primitive.
     pub fn gather_rows(&mut self, table: VarId, idx: &[usize]) -> VarId {
-        let (vocab, d) = (self.nodes[table].value.rows(), self.nodes[table].value.cols());
+        let (vocab, d) =
+            (self.nodes[table].value.get().rows(), self.nodes[table].value.get().cols());
         let mut out = Tensor::zeros(&[idx.len(), d]);
         for (r, &i) in idx.iter().enumerate() {
             assert!(i < vocab, "gather index {i} out of vocabulary {vocab}");
-            out.row_mut(r).copy_from_slice(self.nodes[table].value.row(i));
+            out.row_mut(r).copy_from_slice(self.nodes[table].value.get().row(i));
         }
         let idx = idx.to_vec();
         self.push(
@@ -510,14 +546,9 @@ impl Graph {
     /// `shift_rows(Y, 1)` yields `Y_{j-1}` at row `j` — the "left window" of Eq 8;
     /// `shift_rows(Y, -1)` yields `Y_{j+1}` — the "right window".
     pub fn shift_rows(&mut self, a: VarId, offset: i64) -> VarId {
-        let (m, n) = (self.nodes[a].value.rows(), self.nodes[a].value.cols());
+        let (m, n) = (self.nodes[a].value.get().rows(), self.nodes[a].value.get().cols());
         let mut out = Tensor::zeros(&[m, n]);
-        for j in 0..m as i64 {
-            let src = j - offset;
-            if src >= 0 && src < m as i64 {
-                out.row_mut(j as usize).copy_from_slice(self.nodes[a].value.row(src as usize));
-            }
-        }
+        crate::vops::shift_rows_into(self.nodes[a].value.get(), offset, &mut out);
         self.push(
             out,
             vec![a],
@@ -536,8 +567,8 @@ impl Graph {
 
     /// Reinterprets the value under a new shape (same volume).
     pub fn reshape(&mut self, a: VarId, new_shape: &[usize]) -> VarId {
-        let old_shape = self.nodes[a].value.shape().to_vec();
-        let v = self.nodes[a].value.clone().reshape(new_shape);
+        let old_shape = self.nodes[a].value.get().shape().to_vec();
+        let v = self.nodes[a].value.get().clone().reshape(new_shape);
         self.push(v, vec![a], Some(Box::new(move |g, _| vec![g.clone().reshape(&old_shape)])))
     }
 
@@ -550,34 +581,11 @@ impl Graph {
     /// `false` produce an all-zero row (and propagate zero gradient), which encodes
     /// "no available key window" (Eq 9).
     pub fn masked_softmax_rows(&mut self, scores: VarId, mask: &Mask) -> VarId {
-        let (m, n) = (self.nodes[scores].value.rows(), self.nodes[scores].value.cols());
-        assert_eq!(mask.shape(), &[m, n], "mask shape mismatch");
+        let (m, n) = (self.nodes[scores].value.get().rows(), self.nodes[scores].value.get().cols());
         let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            let srow = self.nodes[scores].value.row(i);
-            let mrow = &mask.data()[i * n..(i + 1) * n];
-            let mut maxv = f64::NEG_INFINITY;
-            for (&s, &ok) in srow.iter().zip(mrow) {
-                if ok && s > maxv {
-                    maxv = s;
-                }
-            }
-            if !maxv.is_finite() {
-                continue; // fully masked row
-            }
-            let mut denom = 0.0;
-            let orow = out.row_mut(i);
-            for (j, (&s, &ok)) in srow.iter().zip(mrow).enumerate() {
-                if ok {
-                    let e = (s - maxv).exp();
-                    orow[j] = e;
-                    denom += e;
-                }
-            }
-            for o in orow.iter_mut() {
-                *o /= denom;
-            }
-        }
+        // Shared with the value-only evaluator so the two backends cannot
+        // drift (see `crate::vops`).
+        crate::vops::masked_softmax_rows_into(self.nodes[scores].value.get(), mask, &mut out);
         let saved = out.clone();
         self.push(
             out,
@@ -613,7 +621,7 @@ impl Graph {
     /// Reverse pass from a `[1]`-shaped loss node. Returns all accumulated
     /// gradients; leaves keep theirs so parameters and constants can be inspected.
     pub fn backward(&self, loss: VarId) -> Gradients {
-        assert_eq!(self.nodes[loss].value.shape(), &[1], "loss must be a [1] scalar");
+        assert_eq!(self.nodes[loss].value.get().shape(), &[1], "loss must be a [1] scalar");
         let n = self.nodes.len();
         let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
         grads[loss] = Some(Tensor::scalar(1.0));
@@ -622,13 +630,13 @@ impl Graph {
             let Some(backward) = node.backward.as_ref() else { continue };
             let Some(g) = grads[id].take() else { continue };
             let parent_vals: Vec<&Tensor> =
-                node.parents.iter().map(|&p| &self.nodes[p].value).collect();
+                node.parents.iter().map(|&p| self.nodes[p].value.get()).collect();
             let pgrads = backward(&g, &parent_vals);
             debug_assert_eq!(pgrads.len(), node.parents.len());
             for (&p, pg) in node.parents.iter().zip(pgrads) {
                 debug_assert_eq!(
                     pg.shape(),
-                    self.nodes[p].value.shape(),
+                    self.nodes[p].value.get().shape(),
                     "gradient shape mismatch"
                 );
                 match &mut grads[p] {
@@ -648,6 +656,124 @@ impl Graph {
             .iter()
             .filter_map(|&(vid, pid)| grads.get(vid).map(|g| (pid, g.clone())))
             .collect()
+    }
+}
+
+/// The tape is one of the two forward backends (the recording one): model
+/// forward code written against [`crate::eval::Evaluator`] runs on the tape
+/// during training — gaining a backward pass — and on [`crate::eval::Eval`]
+/// during inference, with bitwise-identical values.
+impl crate::eval::Evaluator for Graph {
+    type Var = VarId;
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        Graph::param(self, store, id)
+    }
+
+    fn input(&mut self, shape: &[usize], fill: impl FnOnce(&mut Tensor)) -> VarId {
+        let mut t = Tensor::zeros(shape);
+        fill(&mut t);
+        Graph::constant(self, t)
+    }
+
+    fn scalar(&mut self, v: f64) -> VarId {
+        Graph::scalar(self, v)
+    }
+
+    fn constant_slice(&mut self, v: &[f64]) -> VarId {
+        Graph::constant_slice(self, v)
+    }
+
+    fn value(&self, v: VarId) -> &Tensor {
+        Graph::value(self, v)
+    }
+
+    fn shape(&self, v: VarId) -> &[usize] {
+        Graph::shape(self, v)
+    }
+
+    fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        Graph::add(self, a, b)
+    }
+
+    fn div(&mut self, a: VarId, b: VarId) -> VarId {
+        Graph::div(self, a, b)
+    }
+
+    fn scale(&mut self, a: VarId, c: f64) -> VarId {
+        Graph::scale(self, a, c)
+    }
+
+    fn add_scalar(&mut self, a: VarId, c: f64) -> VarId {
+        Graph::add_scalar(self, a, c)
+    }
+
+    fn add_rowvec(&mut self, a: VarId, v: VarId) -> VarId {
+        Graph::add_rowvec(self, a, v)
+    }
+
+    fn sub_rowvec(&mut self, a: VarId, v: VarId) -> VarId {
+        Graph::sub_rowvec(self, a, v)
+    }
+
+    fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        Graph::matmul(self, a, b)
+    }
+
+    fn transpose(&mut self, a: VarId) -> VarId {
+        Graph::transpose(self, a)
+    }
+
+    fn dot(&mut self, a: VarId, b: VarId) -> VarId {
+        Graph::dot(self, a, b)
+    }
+
+    fn relu(&mut self, a: VarId) -> VarId {
+        Graph::relu(self, a)
+    }
+
+    fn exp(&mut self, a: VarId) -> VarId {
+        Graph::exp(self, a)
+    }
+
+    fn square(&mut self, a: VarId) -> VarId {
+        Graph::square(self, a)
+    }
+
+    fn sum(&mut self, a: VarId) -> VarId {
+        Graph::sum(self, a)
+    }
+
+    fn sum_axis1(&mut self, a: VarId) -> VarId {
+        Graph::sum_axis1(self, a)
+    }
+
+    fn concat1d(&mut self, parts: &[VarId]) -> VarId {
+        Graph::concat1d(self, parts)
+    }
+
+    fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        Graph::concat_cols(self, parts)
+    }
+
+    fn row(&mut self, a: VarId, i: usize) -> VarId {
+        Graph::row(self, a, i)
+    }
+
+    fn gather_rows(&mut self, table: VarId, idx: &[usize]) -> VarId {
+        Graph::gather_rows(self, table, idx)
+    }
+
+    fn shift_rows(&mut self, a: VarId, offset: i64) -> VarId {
+        Graph::shift_rows(self, a, offset)
+    }
+
+    fn reshape(&mut self, a: VarId, new_shape: &[usize]) -> VarId {
+        Graph::reshape(self, a, new_shape)
+    }
+
+    fn masked_softmax_rows(&mut self, scores: VarId, mask: &Mask) -> VarId {
+        Graph::masked_softmax_rows(self, scores, mask)
     }
 }
 

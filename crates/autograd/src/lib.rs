@@ -19,13 +19,23 @@
 //! row softmax for availability-aware attention (Eq 9/11).
 //!
 //! Everything is validated against finite differences by [`check::check_gradients`].
+//!
+//! Inference does not need the tape at all: the [`eval`] module defines the
+//! [`eval::Evaluator`] trait (the forward operator set, implemented by both
+//! [`graph::Graph`] and the tape-free [`eval::Eval`] backend) so the serving
+//! hot path executes the same forward pass value-only, into recycled scratch
+//! buffers, with bitwise-identical results.
 
 pub mod check;
+pub mod eval;
 pub mod graph;
 pub mod nn;
 pub mod params;
+pub(crate) mod vops;
 
 pub use check::check_gradients;
+pub use eval::{Eval, EvalVar, Evaluator};
 pub use graph::{Graph, VarId};
-pub use nn::{glorot, positional_encoding, randn, Embedding, GruCell, Linear};
+pub use nn::{fill_positional_encoding, glorot, positional_encoding, randn};
+pub use nn::{Embedding, GruCell, Linear};
 pub use params::{AdamConfig, ParamId, ParamStore};

@@ -1,5 +1,6 @@
 //! Neural-network building blocks: initializers, layers and the positional encoding.
 
+use crate::eval::Evaluator;
 use crate::graph::{Graph, VarId};
 use crate::params::{ParamId, ParamStore};
 use mvi_tensor::Tensor;
@@ -39,6 +40,28 @@ pub fn positional_encoding(positions: &[usize], dim: usize) -> Tensor {
     })
 }
 
+/// [`positional_encoding`] for the contiguous positions `first..first+rows`,
+/// written into a pre-shaped `[rows, dim]` buffer — the allocation-free form
+/// the forward pass feeds through [`Evaluator::input`]. Same values, bit for
+/// bit, as the allocating variant: the per-column `10000^{r/p}` denominator
+/// is hoisted out of the row loop (it is a pure function of the column), not
+/// reassociated.
+pub fn fill_positional_encoding(out: &mut Tensor, first: usize) {
+    let (rows, dim) = (out.rows(), out.cols());
+    let p = dim as f64;
+    for r in 0..dim {
+        let denom = if r % 2 == 0 {
+            10000f64.powf(r as f64 / p)
+        } else {
+            10000f64.powf((r - 1) as f64 / p)
+        };
+        for i in 0..rows {
+            let t = (first + i) as f64;
+            out.row_mut(i)[r] = if r % 2 == 0 { (t / denom).sin() } else { (t / denom).cos() };
+        }
+    }
+}
+
 /// A dense layer `x ↦ x·W + b` with `W: [in, out]`.
 #[derive(Clone, Copy, Debug)]
 pub struct Linear {
@@ -74,26 +97,19 @@ impl Linear {
         Self { w, b: None }
     }
 
-    /// Applies the layer to a `[m, in]` value, yielding `[m, out]`.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: VarId) -> VarId {
-        let w = g.param(store, self.w);
-        let y = g.matmul(x, w);
-        match self.b {
-            Some(b) => {
-                let bv = g.param(store, b);
-                g.add_rowvec(y, bv)
-            }
-            None => y,
-        }
+    /// Applies the layer to a `[m, in]` value, yielding `[m, out]`. Generic
+    /// over the forward backend: the tape during training, the value-only
+    /// evaluator during inference (which fuses the bias add into the GEMM
+    /// epilogue, bitwise-identically — see [`Evaluator::affine`]).
+    pub fn forward<E: Evaluator>(&self, g: &mut E, store: &ParamStore, x: E::Var) -> E::Var {
+        g.affine(store, self.w, self.b, x)
     }
 
-    /// Applies the layer to a rank-1 `[in]` value, yielding `[out]`.
-    pub fn forward_vec(&self, g: &mut Graph, store: &ParamStore, x: VarId) -> VarId {
-        let in_dim = g.shape(x)[0];
-        let xm = g.reshape(x, &[1, in_dim]);
-        let ym = self.forward(g, store, xm);
-        let out_dim = g.shape(ym)[1];
-        g.reshape(ym, &[out_dim])
+    /// Applies the layer to a rank-1 `[in]` value, yielding `[out]`. Lowers
+    /// to [`Evaluator::affine_vec`], whose value-only backend fuses the whole
+    /// reshape→matmul→bias chain into one pass (bitwise-identically).
+    pub fn forward_vec<E: Evaluator>(&self, g: &mut E, store: &ParamStore, x: E::Var) -> E::Var {
+        g.affine_vec(store, self.w, self.b, x)
     }
 }
 
@@ -120,7 +136,8 @@ impl Embedding {
     }
 
     /// Looks up a batch of member indices, yielding `[idx.len(), dim]`.
-    pub fn lookup(&self, g: &mut Graph, store: &ParamStore, idx: &[usize]) -> VarId {
+    /// Backend-generic like [`Linear::forward`].
+    pub fn lookup<E: Evaluator>(&self, g: &mut E, store: &ParamStore, idx: &[usize]) -> E::Var {
         let t = g.param(store, self.table);
         g.gather_rows(t, idx)
     }

@@ -7,14 +7,20 @@
 
 use mvi_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ParamId(usize);
 
+/// Values live behind an `Arc` so binding a parameter into a forward pass
+/// (tape or value-only) is a reference-count bump instead of a full tensor
+/// clone; the optimizer mutates through `Arc::make_mut`, which is in-place
+/// whenever no forward pass still holds the value (always true between
+/// training steps).
 struct Entry {
     name: String,
-    value: Tensor,
+    value: Arc<Tensor>,
     grad: Tensor,
     m: Tensor,
     v: Tensor,
@@ -60,7 +66,7 @@ impl ParamStore {
         let grad = Tensor::zeros(value.shape());
         let m = Tensor::zeros(value.shape());
         let v = Tensor::zeros(value.shape());
-        self.entries.push(Entry { name: name.into(), value, grad, m, v });
+        self.entries.push(Entry { name: name.into(), value: Arc::new(value), grad, m, v });
         id
     }
 
@@ -89,9 +95,17 @@ impl ParamStore {
         &self.entries[id.0].value
     }
 
+    /// Shared handle to a parameter value — what forward passes bind instead
+    /// of cloning the tensor (see [`crate::Graph::param`] and the value-only
+    /// evaluator in [`crate::eval`]).
+    pub fn value_arc(&self, id: ParamId) -> &Arc<Tensor> {
+        &self.entries[id.0].value
+    }
+
     /// Mutable value access (used by tests and by finite-difference checking).
+    /// Copy-on-write: in-place unless a forward pass still shares the value.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
-        &mut self.entries[id.0].value
+        Arc::make_mut(&mut self.entries[id.0].value)
     }
 
     /// Current accumulated gradient of a parameter.
@@ -148,7 +162,7 @@ impl ParamStore {
             let gdata = e.grad.data();
             let mdata = e.m.data_mut();
             let vdata = e.v.data_mut();
-            let value = e.value.data_mut();
+            let value = Arc::make_mut(&mut e.value).data_mut();
             for i in 0..gdata.len() {
                 let g = gdata[i] * scale * clip;
                 mdata[i] = cfg.beta1 * mdata[i] + (1.0 - cfg.beta1) * g;
@@ -165,30 +179,36 @@ impl ParamStore {
     pub fn sgd_step(&mut self, lr: f64, scale: f64) {
         for e in &mut self.entries {
             let gdata = e.grad.data().to_vec();
-            for (v, g) in e.value.data_mut().iter_mut().zip(gdata) {
+            for (v, g) in Arc::make_mut(&mut e.value).data_mut().iter_mut().zip(gdata) {
                 *v -= lr * g * scale;
             }
         }
         self.zero_grads();
     }
 
-    /// Snapshot of all parameter values (for early-stopping rollback).
-    pub fn snapshot(&self) -> Vec<Tensor> {
-        self.entries.iter().map(|e| e.value.clone()).collect()
+    /// Snapshot of all parameter values (for early-stopping rollback). Shares
+    /// the tensors — O(parameters) refcount bumps, no data copies; the next
+    /// optimizer step's `Arc::make_mut` copies only what it actually updates.
+    pub fn snapshot(&self) -> Vec<Arc<Tensor>> {
+        self.entries.iter().map(|e| Arc::clone(&e.value)).collect()
     }
 
     /// Restores a snapshot taken with [`ParamStore::snapshot`].
-    pub fn restore(&mut self, snap: &[Tensor]) {
+    pub fn restore(&mut self, snap: &[Arc<Tensor>]) {
         assert_eq!(snap.len(), self.entries.len(), "snapshot/store size mismatch");
         for (e, s) in self.entries.iter_mut().zip(snap) {
-            e.value = s.clone();
+            e.value = Arc::clone(s);
         }
     }
 
     /// Exports all parameter values by name (for model persistence).
     pub fn export(&self) -> StoreSnapshot {
         StoreSnapshot {
-            params: self.entries.iter().map(|e| (e.name.clone(), e.value.clone())).collect(),
+            params: self
+                .entries
+                .iter()
+                .map(|e| (e.name.clone(), Tensor::clone(&e.value)))
+                .collect(),
         }
     }
 
@@ -222,7 +242,7 @@ impl ParamStore {
             }
         }
         for (e, (_, value)) in self.entries.iter_mut().zip(&snap.params) {
-            e.value = value.clone();
+            e.value = Arc::new(value.clone());
             e.grad.map_inplace(|_| 0.0);
             e.m.map_inplace(|_| 0.0);
             e.v.map_inplace(|_| 0.0);

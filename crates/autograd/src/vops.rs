@@ -1,0 +1,56 @@
+//! Value-level forward kernels shared by the differentiation tape
+//! ([`crate::Graph`]) and the tape-free evaluator ([`crate::eval::Eval`]).
+//!
+//! Anything with a non-obvious iteration order lives here so the two backends
+//! cannot drift apart numerically: the bitwise tape/eval equivalence that
+//! inference relies on (see `crates/core`'s evaluator tests) holds because
+//! both execute *this* code, not two hand-kept copies.
+
+use mvi_tensor::{Mask, Tensor};
+
+/// Row-wise masked softmax (Eq 9/11): entries where `mask` is `false` get
+/// weight exactly zero, and fully-masked rows stay all-zero. `out` must
+/// arrive zeroed with the same `[m, n]` shape as `scores`.
+pub(crate) fn masked_softmax_rows_into(scores: &Tensor, mask: &Mask, out: &mut Tensor) {
+    let (m, n) = (scores.rows(), scores.cols());
+    assert_eq!(mask.shape(), &[m, n], "mask shape mismatch");
+    debug_assert_eq!(out.shape(), &[m, n], "out shape mismatch");
+    for i in 0..m {
+        let srow = scores.row(i);
+        let mrow = &mask.data()[i * n..(i + 1) * n];
+        let mut maxv = f64::NEG_INFINITY;
+        for (&s, &ok) in srow.iter().zip(mrow) {
+            if ok && s > maxv {
+                maxv = s;
+            }
+        }
+        if !maxv.is_finite() {
+            continue; // fully masked row
+        }
+        let mut denom = 0.0;
+        let orow = out.row_mut(i);
+        for (j, (&s, &ok)) in srow.iter().zip(mrow).enumerate() {
+            if ok {
+                let e = (s - maxv).exp();
+                orow[j] = e;
+                denom += e;
+            }
+        }
+        for o in orow.iter_mut() {
+            *o /= denom;
+        }
+    }
+}
+
+/// Shifts the rows of `a` by `offset` (positive = down), zero-filling rows
+/// that fall off either end. `out` must arrive zeroed at `a`'s shape.
+pub(crate) fn shift_rows_into(a: &Tensor, offset: i64, out: &mut Tensor) {
+    let m = a.rows() as i64;
+    debug_assert_eq!(out.shape(), a.shape());
+    for j in 0..m {
+        let src = j - offset;
+        if src >= 0 && src < m {
+            out.row_mut(j as usize).copy_from_slice(a.row(src as usize));
+        }
+    }
+}

@@ -2,14 +2,19 @@
 //! a **frozen** parameter store.
 //!
 //! Training ([`crate::train`]) builds one differentiation tape per instance and
-//! walks it backwards; serving needs neither gradients nor optimizer state. The
-//! types here expose the same per-window forward pass as a reusable,
-//! allocation-light read path:
+//! walks it backwards; serving needs neither gradients nor optimizer state.
+//! Since the tape-free evaluator landed, the serving path does not touch the
+//! tape at all: [`InferScratch`] wraps an [`mvi_autograd::Eval`] backend whose
+//! recycled slot arena executes the window forward pass with **zero heap
+//! allocation** at steady state — no tape nodes, no boxed backward closures,
+//! no per-op tensors, parameters read by `Arc` share from the frozen store.
 //!
 //! * [`WindowQuery`] — one unit of inference work: "impute these positions of
 //!   window `j` in series `s`".
-//! * [`InferScratch`] — a recycled tape ([`Graph::recycle`]) so evaluating many
-//!   small window passes reuses the tape spine instead of reallocating it.
+//! * [`InferScratch`] — recycled evaluator + forward buffers; one per worker.
+//! * [`TapeScratch`] — the old tape-backed path, kept as the reference
+//!   implementation: differential tests assert the two are **bitwise
+//!   identical**, and `infer_bench` measures the evaluator's speedup over it.
 //! * [`FrozenModel`] — a trained [`DeepMviModel`] sealed for inference: built
 //!   by [`DeepMviModel::freeze`] or rehydrated from an exported parameter
 //!   snapshot with [`FrozenModel::from_snapshot`], shared read-only across
@@ -18,14 +23,21 @@
 //!
 //! [`DeepMviModel::impute`] itself routes through this module, so batch
 //! imputation and online serving exercise the same forward path.
+//! [`DeepMviModel::predict_batch`] additionally **groups** queries by
+//! `(series, window)`: duplicate window requests inside one batch share a
+//! single forward pass (the attention context is computed once per window per
+//! batch), and per-position predictions are independent, so grouping never
+//! changes a result bit.
 
 use crate::config::DeepMviConfig;
-use crate::model::{DeepMviModel, WindowTask};
+use crate::model::{DeepMviModel, ForwardScratch, WindowTask};
 use mvi_autograd::params::StoreSnapshot;
-use mvi_autograd::Graph;
+use mvi_autograd::{Eval, EvalVar, Evaluator, Graph, VarId};
 use mvi_data::dataset::ObservedDataset;
 use mvi_data::windows::WindowGrid;
 use mvi_tensor::Tensor;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// One inference work item: predict the given `positions` (all inside window
 /// `window_j`) of series `s`. Positions are absolute time indices.
@@ -39,14 +51,41 @@ pub struct WindowQuery {
     pub positions: Vec<usize>,
 }
 
-/// Reusable forward-pass scratch. One per worker thread; recycling keeps the
-/// tape's node vector capacity across window passes.
+/// Reusable forward-pass scratch over the tape-free evaluator. One per worker
+/// thread. After the first pass has sized its buffers (warm-up), a
+/// steady-state [`DeepMviModel::predict_window_into`] performs **zero heap
+/// allocations** — every intermediate lands in a recycled evaluator slot and
+/// every index/feature buffer is reused.
 #[derive(Default)]
 pub struct InferScratch {
-    g: Graph,
+    ev: Eval,
+    fs: ForwardScratch<EvalVar>,
+    /// Reusable `(series, window)` duplicate detector for
+    /// [`DeepMviModel::predict_batch_with`]: the engine's steady-state
+    /// batches are pre-deduplicated, and probing them must not allocate.
+    keys: std::collections::HashMap<(usize, usize), usize>,
 }
 
 impl InferScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The tape-backed forward scratch — the pre-evaluator serving path, retained
+/// as the reference implementation. [`DeepMviModel::predict_window_tape`]
+/// runs the identical op sequence through [`mvi_autograd::Graph`]; the
+/// evaluator path is required (and tested) to match it **bitwise**, and
+/// `infer_bench` reports the throughput ratio between the two as
+/// `BENCH_4.json`.
+#[derive(Default)]
+pub struct TapeScratch {
+    g: Graph,
+    fs: ForwardScratch<VarId>,
+}
+
+impl TapeScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         Self::default()
@@ -64,11 +103,48 @@ impl DeepMviModel {
         FrozenModel { model: self }
     }
 
-    /// Value-only forward pass for one query; no tape is retained beyond the
-    /// scratch. Returns one prediction per query position.
+    /// Value-only forward pass for one query through the tape-free evaluator,
+    /// appending one prediction per query position to `out`. With a warm
+    /// scratch and a caller-reused `out` this performs no heap allocation.
+    pub fn predict_window_into(
+        &self,
+        scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        query: &WindowQuery,
+        out: &mut Vec<f64>,
+    ) {
+        scratch.ev.recycle();
+        let task = WindowTask {
+            obs,
+            s: query.s,
+            window_j: query.window_j,
+            positions: &query.positions,
+            synth: None,
+        };
+        self.forward_positions(&self.store, &mut scratch.ev, &mut scratch.fs, &task);
+        out.extend(scratch.fs.preds.iter().map(|&p| scratch.ev.value(p).at(0)));
+    }
+
+    /// Value-only forward pass for one query. Returns one prediction per
+    /// query position (see [`DeepMviModel::predict_window_into`] for the
+    /// allocation-free form).
     pub fn predict_window(
         &self,
         scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        query: &WindowQuery,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(query.positions.len());
+        self.predict_window_into(scratch, obs, query, &mut out);
+        out
+    }
+
+    /// The same forward pass recorded on the differentiation tape — the
+    /// reference path the evaluator is differentially tested (bitwise) and
+    /// benchmarked against. Not used by any serving path.
+    pub fn predict_window_tape(
+        &self,
+        scratch: &mut TapeScratch,
         obs: &ObservedDataset,
         query: &WindowQuery,
     ) -> Vec<f64> {
@@ -80,24 +156,110 @@ impl DeepMviModel {
             positions: &query.positions,
             synth: None,
         };
-        let preds = self.forward_positions(&self.store, &mut scratch.g, &task);
-        preds.into_iter().map(|p| scratch.g.value(p).at(0)).collect()
+        self.forward_positions(&self.store, &mut scratch.g, &mut scratch.fs, &task);
+        scratch.fs.preds.iter().map(|&p| scratch.g.value(p).at(0)).collect()
     }
 
     /// Evaluates a batch of queries data-parallel over `threads` workers (each
     /// worker owns one [`InferScratch`]; the parameter store is shared read
     /// only). Results are returned in query order regardless of thread count,
     /// so the output is deterministic for a fixed model and input.
+    ///
+    /// Queries are first **grouped by `(series, window)`**: when a batch
+    /// carries several queries into the same window, the window's forward
+    /// pass (attention context included) runs once over the union of their
+    /// positions and the per-query results are sliced back out. Per-position
+    /// predictions are mutually independent given the window context, so the
+    /// grouped results are bitwise identical to evaluating each query alone.
     pub fn predict_batch(
         &self,
         obs: &ObservedDataset,
         queries: &[WindowQuery],
         threads: usize,
     ) -> Vec<Vec<f64>> {
+        self.predict_batch_with(&mut InferScratch::new(), obs, queries, threads)
+    }
+
+    /// [`DeepMviModel::predict_batch`] reusing a caller-held scratch for the
+    /// serial path (parallel chunks still warm one scratch per worker; the
+    /// spawn already dwarfs that cost). The serving engine holds one scratch
+    /// for its whole lifetime, so per-append micro-batches run allocation-lean.
+    pub fn predict_batch_with(
+        &self,
+        scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        queries: &[WindowQuery],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        // Fast path: probe for duplicate (series, window) keys with the
+        // scratch's reusable map. The engine's steady-state batches are
+        // deduplicated upstream, so the common case builds no grouping
+        // structures (and, with a warm map, allocates nothing).
+        scratch.keys.clear();
+        let mut duplicates = false;
+        for (qi, q) in queries.iter().enumerate() {
+            if scratch.keys.insert((q.s, q.window_j), qi).is_some() {
+                duplicates = true;
+                break;
+            }
+        }
+        if !duplicates {
+            return self.predict_queries(scratch, obs, queries, threads);
+        }
+
+        // Group by (series, window), preserving first-occurrence order.
+        let mut key_to_group: HashMap<(usize, usize), usize> =
+            HashMap::with_capacity(queries.len());
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            match key_to_group.entry((q.s, q.window_j)) {
+                Entry::Occupied(e) => groups[*e.get()].push(qi),
+                Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push(vec![qi]);
+                }
+            }
+        }
+        let merged: Vec<WindowQuery> = groups
+            .iter()
+            .map(|g| {
+                let first = &queries[g[0]];
+                if g.len() == 1 {
+                    return first.clone();
+                }
+                let mut positions: Vec<usize> =
+                    g.iter().flat_map(|&qi| queries[qi].positions.iter().copied()).collect();
+                positions.sort_unstable();
+                positions.dedup();
+                WindowQuery { s: first.s, window_j: first.window_j, positions }
+            })
+            .collect();
+        let merged_results = self.predict_queries(scratch, obs, &merged, threads);
+        let mut out: Vec<Vec<f64>> =
+            queries.iter().map(|q| Vec::with_capacity(q.positions.len())).collect();
+        for (group, (mq, mr)) in groups.iter().zip(merged.iter().zip(&merged_results)) {
+            for &qi in group {
+                for &t in &queries[qi].positions {
+                    let idx = mq.positions.binary_search(&t).expect("merged positions cover query");
+                    out[qi].push(mr[idx]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates each query exactly once (no grouping), serial on the given
+    /// scratch or fanned out over `threads` workers.
+    fn predict_queries(
+        &self,
+        scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        queries: &[WindowQuery],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
         let threads = threads.max(1).min(queries.len().max(1));
         if threads <= 1 {
-            let mut scratch = InferScratch::new();
-            return queries.iter().map(|q| self.predict_window(&mut scratch, obs, q)).collect();
+            return queries.iter().map(|q| self.predict_window(scratch, obs, q)).collect();
         }
         mvi_parallel::map_chunks(queries, threads, |chunk| {
             let mut scratch = InferScratch::new();
@@ -249,6 +411,29 @@ impl FrozenModel {
         self.model.predict_window(scratch, obs, query)
     }
 
+    /// Allocation-free forward pass into a caller buffer (see
+    /// [`DeepMviModel::predict_window_into`]).
+    pub fn predict_window_into(
+        &self,
+        scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        query: &WindowQuery,
+        out: &mut Vec<f64>,
+    ) {
+        self.model.predict_window_into(scratch, obs, query, out);
+    }
+
+    /// The tape-backed reference forward pass (see
+    /// [`DeepMviModel::predict_window_tape`]).
+    pub fn predict_window_tape(
+        &self,
+        scratch: &mut TapeScratch,
+        obs: &ObservedDataset,
+        query: &WindowQuery,
+    ) -> Vec<f64> {
+        self.model.predict_window_tape(scratch, obs, query)
+    }
+
     /// Parallel batch evaluation (see [`DeepMviModel::predict_batch`]).
     pub fn predict_batch(
         &self,
@@ -257,6 +442,18 @@ impl FrozenModel {
         threads: usize,
     ) -> Vec<Vec<f64>> {
         self.model.predict_batch(obs, queries, threads)
+    }
+
+    /// Batch evaluation reusing a caller-held scratch (see
+    /// [`DeepMviModel::predict_batch_with`]).
+    pub fn predict_batch_with(
+        &self,
+        scratch: &mut InferScratch,
+        obs: &ObservedDataset,
+        queries: &[WindowQuery],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        self.model.predict_batch_with(scratch, obs, queries, threads)
     }
 
     /// Full batch imputation with the frozen weights (identical to

@@ -31,7 +31,7 @@ pub mod train;
 pub mod tune;
 
 pub use config::{DeepMviConfig, KernelMode};
-pub use infer::{FrozenModel, InferScratch, WindowQuery};
+pub use infer::{FrozenModel, InferScratch, TapeScratch, WindowQuery};
 pub use model::DeepMviModel;
 pub use train::TrainReport;
 pub use tune::{grid_search, TuneReport};

@@ -1,10 +1,10 @@
 //! The DeepMVI network (§4): parameters and the per-window forward pass.
 
 use crate::config::{DeepMviConfig, KernelMode};
-use mvi_autograd::{positional_encoding, Embedding, Graph, Linear, ParamStore, VarId};
+use mvi_autograd::{fill_positional_encoding, Embedding, Evaluator, Linear, ParamStore};
 use mvi_data::blocks::BlockSampler;
 use mvi_data::dataset::ObservedDataset;
-use mvi_tensor::{Mask, Tensor};
+use mvi_tensor::Mask;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,6 +46,66 @@ pub(crate) struct SynthMask {
 impl SynthMask {
     fn covers(&self, t: usize) -> bool {
         t >= self.range.0 && t < self.range.1
+    }
+}
+
+/// Reusable buffers for one forward pass, generic over the backend's variable
+/// handle (`VarId` on the tape, `EvalVar` on the value-only evaluator). The
+/// inference hot path keeps one of these per scratch so a steady-state window
+/// pass allocates nothing; training creates them freely (a fresh one is just
+/// a handful of empty vectors).
+///
+/// `preds` receives one `[1]`-shaped prediction handle per requested position
+/// — it is the output channel of [`DeepMviModel::forward_positions`].
+pub(crate) struct ForwardScratch<V> {
+    /// Attention availability mask, rebuilt per window pass (Eq 9).
+    mask: Mask,
+    /// Per-context-window key availability (any missing value voids the key).
+    kmask_cols: Vec<bool>,
+    /// Per-head attention outputs awaiting concatenation (Eq 12).
+    head_outs: Vec<V>,
+    /// Per-position feature parts awaiting concatenation (Eq 6).
+    parts: Vec<V>,
+    /// Kernel-regression `[U, V, W]` features per dimension (Eq 21).
+    kr_parts: Vec<V>,
+    /// Candidate sibling members / their values at the target step.
+    members: Vec<usize>,
+    values: Vec<f64>,
+    /// Scratch for the §4.2 "top L" sibling pre-selection.
+    order: Vec<usize>,
+    sel_members: Vec<usize>,
+    sel_values: Vec<f64>,
+    /// Multi-index buffers for the target series and its siblings.
+    k_index: Vec<usize>,
+    kk: Vec<usize>,
+    /// Positional-encoding cache, indexed by horizon start (`j_start_rel`).
+    /// The encoding is a pure function of that index (ctx length and width
+    /// are fixed per model), and its transcendentals dominate a small window
+    /// pass — a warm scratch turns them into one memcpy. Values are the same
+    /// bits whether cached or recomputed, so both backends use it.
+    pe_cache: Vec<Option<mvi_tensor::Tensor>>,
+    /// One `[1]`-shaped prediction per requested position (the output).
+    pub(crate) preds: Vec<V>,
+}
+
+impl<V> Default for ForwardScratch<V> {
+    fn default() -> Self {
+        Self {
+            mask: Mask::falses(&[0]),
+            kmask_cols: Vec::new(),
+            head_outs: Vec::new(),
+            parts: Vec::new(),
+            kr_parts: Vec::new(),
+            members: Vec::new(),
+            values: Vec::new(),
+            order: Vec::new(),
+            sel_members: Vec::new(),
+            sel_values: Vec::new(),
+            k_index: Vec::new(),
+            kk: Vec::new(),
+            pe_cache: Vec::new(),
+            preds: Vec::new(),
+        }
     }
 }
 
@@ -242,8 +302,15 @@ impl DeepMviModel {
     }
 
     /// Forward pass for one window task against an explicit parameter store view
-    /// (shared read-only across worker threads). Returns one `[1]`-shaped
-    /// prediction node per requested position.
+    /// (shared read-only across worker threads). Writes one `[1]`-shaped
+    /// prediction handle per requested position into `fs.preds`.
+    ///
+    /// Generic over the execution backend ([`Evaluator`]): training runs it on
+    /// the differentiation tape ([`mvi_autograd::Graph`]) and gets a backward
+    /// pass; inference runs it on the value-only evaluator
+    /// ([`mvi_autograd::Eval`]) — same op order, same kernels, bitwise
+    /// identical values, but no tape nodes, no boxed closures, parameters
+    /// bound by borrow, and zero heap allocation once the scratch is warm.
     ///
     /// The task's dataset may be *longer* than the series length the model was
     /// trained on (`task.obs.t_len() >= self.t_len`): a window beyond the
@@ -256,12 +323,14 @@ impl DeepMviModel {
     /// fixed-length path. The fine-grained local mean (±`w` around the target)
     /// and the kernel regression (sibling values at the target step) are
     /// position-relative already and extend unchanged.
-    pub(crate) fn forward_positions(
+    pub(crate) fn forward_positions<E: Evaluator>(
         &self,
         store: &ParamStore,
-        g: &mut Graph,
+        g: &mut E,
+        fs: &mut ForwardScratch<E::Var>,
         task: &WindowTask<'_>,
-    ) -> Vec<VarId> {
+    ) {
+        fs.preds.clear();
         let p = self.cfg.p;
         let w = self.w;
         let j0 = task.window_j;
@@ -279,51 +348,65 @@ impl DeepMviModel {
         let jc = j0 - j_start; // target window's row inside the context
 
         // Per-position hidden vectors from the temporal transformer.
-        let tt_rows: Option<VarId> = self.tt.as_ref().map(|tt| {
+        let tt_rows: Option<E::Var> = self.tt.as_ref().map(|tt| {
             let series_vals = task.obs.values.series(task.s);
-            let mut xw = Tensor::zeros(&[ctx, w]);
-            let mut kmask_cols = vec![true; ctx];
-            for j in 0..ctx {
-                let wj = j_start + j;
-                for o in 0..w {
-                    let t = wj * w + o;
-                    if t < live_t && task.avail(t) {
-                        xw.set_m(j, o, series_vals[t]);
-                    } else {
-                        kmask_cols[j] = false; // Eq 9: any missing value voids the key
-                    }
-                }
-            }
-            let mask = {
-                let mut m = Mask::falses(&[ctx, ctx]);
-                for row in 0..ctx {
-                    for (col, &ok) in kmask_cols.iter().enumerate() {
-                        if ok {
-                            m.set(&[row, col], true);
+            fs.kmask_cols.clear();
+            fs.kmask_cols.resize(ctx, true);
+            let kmask_cols = &mut fs.kmask_cols;
+            let xv = g.input(&[ctx, w], |xw| {
+                for j in 0..ctx {
+                    let wj = j_start + j;
+                    for o in 0..w {
+                        let t = wj * w + o;
+                        if t < live_t && task.avail(t) {
+                            xw.set_m(j, o, series_vals[t]);
+                        } else {
+                            kmask_cols[j] = false; // Eq 9: any missing value voids the key
                         }
                     }
                 }
-                m
-            };
+            });
+            // Every mask row is the same key-availability vector: fill row 0,
+            // broadcast it.
+            fs.mask.reset_falses(&[ctx, ctx]);
+            let mdata = fs.mask.data_mut();
+            for (col, &ok) in fs.kmask_cols.iter().enumerate() {
+                mdata[col] = ok;
+            }
+            for row in 1..ctx {
+                mdata.copy_within(0..ctx, row * ctx);
+            }
 
-            let xv = g.constant(xw);
             let y = tt.wf.forward(g, store, xv); // Eq 7: [ctx, p]
             let yprev = g.shift_rows(y, 1);
             let ynext = g.shift_rows(y, -1);
             let neighbours = g.concat_cols(&[yprev, ynext]); // [ctx, 2p]
-            let pe = {
-                // Horizon-relative window positions: identical to absolute
-                // indices inside the trained range (h0 == 0), and rolled back
-                // into the trained positional range for grown windows.
-                let positions: Vec<usize> = (j_start_rel..j_start_rel + ctx).collect();
-                g.constant(positional_encoding(&positions, 2 * p))
-            };
+                                                             // Horizon-relative window positions: identical to absolute
+                                                             // indices inside the trained range (h0 == 0), and rolled back
+                                                             // into the trained positional range for grown windows. Cached by
+                                                             // horizon start in the scratch (same bits either way).
+            if fs.pe_cache.len() <= j_start_rel {
+                fs.pe_cache.resize_with(j_start_rel + 1, || None);
+            }
+            let pe_slot = &mut fs.pe_cache[j_start_rel];
+            let pe = g.input(&[ctx, 2 * p], |t| match pe_slot {
+                // The shape guard keys the cache to this model's [ctx, 2p]:
+                // a scratch handed to a differently-shaped model refills
+                // instead of serving a misshaped (or misread) encoding.
+                Some(cached) if cached.shape() == t.shape() => {
+                    t.data_mut().copy_from_slice(cached.data());
+                }
+                slot => {
+                    fill_positional_encoding(t, j_start_rel);
+                    *slot = Some(t.clone());
+                }
+            });
             // Fig 7's "No Context Window" ablation: keys/queries see only the
             // positional encoding, exactly dropping the contextual information.
             let qk_in = if self.cfg.use_context_window { g.add(neighbours, pe) } else { pe };
 
             let scale = 1.0 / ((2 * p) as f64).sqrt();
-            let mut head_outs = Vec::with_capacity(tt.heads.len());
+            fs.head_outs.clear();
             for head in &tt.heads {
                 let q = head.wq.forward(g, store, qk_in); // Eq 8
                 let k = head.wk.forward(g, store, qk_in); // Eq 9 (masking via softmax)
@@ -331,10 +414,11 @@ impl DeepMviModel {
                 let kt = g.transpose(k);
                 let scores_raw = g.matmul(q, kt);
                 let scores = g.scale(scores_raw, scale);
-                let attn = g.masked_softmax_rows(scores, &mask); // Eq 11
-                head_outs.push(g.matmul(attn, v));
+                let attn = g.masked_softmax_rows(scores, &fs.mask); // Eq 11
+                let head_out = g.matmul(attn, v);
+                fs.head_outs.push(head_out);
             }
-            let h = g.concat_cols(&head_outs); // Eq 12: [ctx, n_heads·p]
+            let h = g.concat_cols(&fs.head_outs); // Eq 12: [ctx, n_heads·p]
             let h = g.relu(h);
             let h = tt.d1.forward(g, store, h);
             let h = g.relu(h);
@@ -347,12 +431,12 @@ impl DeepMviModel {
         });
 
         // Assemble per-position predictions.
-        let mut preds = Vec::with_capacity(task.positions.len());
         for &t in task.positions {
             debug_assert_eq!(t / w, j0, "position {t} not inside window {j0}");
-            let mut parts: Vec<VarId> = Vec::with_capacity(3);
+            fs.parts.clear();
             if let Some(rows) = tt_rows {
-                parts.push(g.row(rows, t - j0 * w));
+                let part = g.row(rows, t - j0 * w);
+                fs.parts.push(part);
             }
             // Fine-grained local signal (Eq 15 / §4.1.1): masked mean over the
             // immediate ±w neighbourhood of t. (A window-local mean would be
@@ -371,104 +455,117 @@ impl DeepMviModel {
                     }
                 }
                 let mean = if count > 0 { sum / count as f64 } else { 0.0 };
-                parts.push(g.scalar(mean));
+                let part = g.scalar(mean);
+                fs.parts.push(part);
             }
             if let Some(kr) = &self.kr {
-                parts.push(self.kernel_regression(store, g, kr, task, t));
+                let part = self.kernel_regression(store, g, fs, kr, task, t);
+                fs.parts.push(part);
             }
-            let feat = if parts.len() == 1 { parts[0] } else { g.concat1d(&parts) };
-            preds.push(self.out.forward_vec(g, store, feat)); // Eq 6
+            let feat = if fs.parts.len() == 1 { fs.parts[0] } else { g.concat1d(&fs.parts) };
+            let pred = self.out.forward_vec(g, store, feat); // Eq 6
+            fs.preds.push(pred);
         }
-        preds
     }
 
     /// The kernel-regression features `[U, V, W]` per dimension at time `t`
-    /// (Eq 17–21), concatenated into a `[3n]` vector.
-    fn kernel_regression(
+    /// (Eq 17–21), concatenated into a `[3n]` vector. Uses (and may clobber)
+    /// every `fs` buffer except `parts`/`head_outs`/`preds`, which belong to
+    /// the enclosing [`DeepMviModel::forward_positions`] position loop.
+    fn kernel_regression<E: Evaluator>(
         &self,
         store: &ParamStore,
-        g: &mut Graph,
+        g: &mut E,
+        fs: &mut ForwardScratch<E::Var>,
         kr: &KrParams,
         task: &WindowTask<'_>,
         t: usize,
-    ) -> VarId {
-        let k_index = mvi_tensor::shape::unflatten(&self.series_shape, task.s);
-        let mut parts = Vec::with_capacity(3 * self.series_shape.len());
+    ) -> E::Var {
+        mvi_tensor::shape::unflatten_into(&self.series_shape, task.s, &mut fs.k_index);
+        fs.kr_parts.clear();
         for (dim, &extent) in self.series_shape.iter().enumerate() {
             // Available siblings along this dimension with their values at t.
-            let mut members: Vec<usize> = Vec::new();
-            let mut values: Vec<f64> = Vec::new();
-            let mut kk = k_index.clone();
+            fs.members.clear();
+            fs.values.clear();
+            fs.kk.clear();
+            fs.kk.extend_from_slice(&fs.k_index);
             for m in 0..extent {
-                if m == k_index[dim] {
+                if m == fs.k_index[dim] {
                     continue;
                 }
-                kk[dim] = m;
-                let sib = mvi_tensor::shape::flat_index(&self.series_shape, &kk);
+                fs.kk[dim] = m;
+                let sib = mvi_tensor::shape::flat_index(&self.series_shape, &fs.kk);
                 if task.sibling_avail(dim, m, sib, t) {
-                    members.push(m);
-                    values.push(task.obs.values.series(sib)[t]);
+                    fs.members.push(m);
+                    fs.values.push(task.obs.values.series(sib)[t]);
                 }
             }
-            kk[dim] = k_index[dim];
 
-            if members.is_empty() {
+            if fs.members.is_empty() {
                 // No cross-series signal at t (e.g. Blackout): zero features.
                 let z = g.scalar(0.0);
-                parts.extend([z, z, z]);
+                fs.kr_parts.extend([z, z, z]);
                 continue;
             }
 
             // §4.2 "top L" pre-selection for large dimensions, by current kernel
             // similarity (computed outside the graph; selection is not differentiated).
-            if members.len() > self.cfg.max_siblings {
+            if fs.members.len() > self.cfg.max_siblings {
                 let table = store.value(kr.tables[dim].table);
-                let own = table.row(k_index[dim]).to_vec();
-                let mut order: Vec<usize> = (0..members.len()).collect();
+                let own = table.row(fs.k_index[dim]);
+                fs.order.clear();
+                fs.order.extend(0..fs.members.len());
+                let members = &fs.members;
                 let dist = |m: usize| -> f64 {
-                    table.row(m).iter().zip(&own).map(|(&a, &b)| (a - b) * (a - b)).sum()
+                    table.row(m).iter().zip(own).map(|(&a, &b)| (a - b) * (a - b)).sum()
                 };
-                order.sort_by(|&a, &b| dist(members[a]).partial_cmp(&dist(members[b])).unwrap());
-                order.truncate(self.cfg.max_siblings);
-                members = order.iter().map(|&i| members[i]).collect();
-                values = order.iter().map(|&i| values[i]).collect();
+                fs.order.sort_unstable_by(|&a, &b| {
+                    dist(members[a]).partial_cmp(&dist(members[b])).unwrap()
+                });
+                fs.order.truncate(self.cfg.max_siblings);
+                fs.sel_members.clear();
+                fs.sel_values.clear();
+                for &i in &fs.order {
+                    fs.sel_members.push(fs.members[i]);
+                    fs.sel_values.push(fs.values[i]);
+                }
+                std::mem::swap(&mut fs.members, &mut fs.sel_members);
+                std::mem::swap(&mut fs.values, &mut fs.sel_values);
             }
 
             // Kernel weights K(k_i, k'_i) = exp(-γ‖E[k_i] − E[k'_i]‖²) (Eq 17).
-            let own_e = kr.tables[dim].lookup(g, store, &[k_index[dim]]);
+            let own_idx = [fs.k_index[dim]];
+            let own_e = kr.tables[dim].lookup(g, store, &own_idx);
             let own_vec = {
                 let width = g.shape(own_e)[1];
                 g.reshape(own_e, &[width])
             };
-            let sib_e = kr.tables[dim].lookup(g, store, &members);
-            let diff = g.sub_rowvec(sib_e, own_vec);
-            let sq = g.square(diff);
-            let dists = g.sum_axis1(sq);
-            let scaled = g.scale(dists, -kr.gamma);
-            let sim = g.exp(scaled);
+            let sib_e = kr.tables[dim].lookup(g, store, &fs.members);
+            let sim = g.rbf_similarities(sib_e, own_vec, kr.gamma);
 
             // U: kernel-weighted mean of sibling values (Eq 18).
-            let vals = g.constant_slice(&values);
+            let vals = g.constant_slice(&fs.values);
             let num = g.dot(sim, vals);
             let wsum = g.sum(sim); // Eq 19
             let den = g.add_scalar(wsum, 1e-9);
             let u = g.div(num, den);
             // V: variance of the sibling values (Eq 20) — data-only, no gradient.
             let var = {
-                let n = values.len() as f64;
-                let mean = values.iter().sum::<f64>() / n;
-                values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
+                let n = fs.values.len() as f64;
+                let mean = fs.values.iter().sum::<f64>() / n;
+                fs.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
             };
             let v = g.scalar(var);
-            parts.extend([u, v, wsum]); // Eq 21
+            fs.kr_parts.extend([u, v, wsum]); // Eq 21
         }
-        g.concat1d(&parts)
+        g.concat1d(&fs.kr_parts)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mvi_autograd::Graph;
     use mvi_data::dataset::{Dataset, DimSpec};
     use mvi_data::scenarios::Scenario;
     use mvi_tensor::Tensor;
@@ -497,9 +594,10 @@ mod tests {
         let task =
             WindowTask { obs: &obs, s: 1, window_j: 4, positions: &[40, 43, 47], synth: None };
         let mut g = Graph::new();
-        let preds = model.forward_positions(&model.store, &mut g, &task);
-        assert_eq!(preds.len(), 3);
-        for p in preds {
+        let mut fs = ForwardScratch::default();
+        model.forward_positions(&model.store, &mut g, &mut fs, &task);
+        assert_eq!(fs.preds.len(), 3);
+        for &p in &fs.preds {
             assert_eq!(g.shape(p), &[1]);
             assert!(g.value(p).all_finite());
         }
@@ -514,9 +612,13 @@ mod tests {
         let masked =
             WindowTask { obs: &obs, s: 0, window_j: 3, positions: &[32], synth: Some(&synth) };
         let mut g1 = Graph::new();
-        let p1 = model.forward_positions(&model.store, &mut g1, &base)[0];
+        let mut fs1 = ForwardScratch::default();
+        model.forward_positions(&model.store, &mut g1, &mut fs1, &base);
+        let p1 = fs1.preds[0];
         let mut g2 = Graph::new();
-        let p2 = model.forward_positions(&model.store, &mut g2, &masked)[0];
+        let mut fs2 = ForwardScratch::default();
+        model.forward_positions(&model.store, &mut g2, &mut fs2, &masked);
+        let p2 = fs2.preds[0];
         // Hiding the target window must change the prediction inputs (the fine
         // grained mean and attention mask change).
         assert_ne!(g1.value(p1).at(0), g2.value(p2).at(0));
@@ -546,7 +648,9 @@ mod tests {
         let task =
             WindowTask { obs: &obs, s: 2, window_j: 5, positions: &[52], synth: Some(&synth) };
         let mut g = Graph::new();
-        let pred = model.forward_positions(&model.store, &mut g, &task)[0];
+        let mut fs = ForwardScratch::default();
+        model.forward_positions(&model.store, &mut g, &mut fs, &task);
+        let pred = fs.preds[0];
         let loss = g.mse(pred, &Tensor::scalar(0.7));
         let grads = g.backward(loss);
         let pgrads = g.param_grads(&grads);

@@ -1,9 +1,9 @@
 //! Training (likelihood maximization over synthetic missing blocks, §3) and
 //! inference (imputation of the real missing blocks).
 
-use crate::model::{DeepMviModel, WindowTask};
+use crate::model::{DeepMviModel, ForwardScratch, WindowTask};
 use crate::sampling::{sample_instance, TrainInstance};
-use mvi_autograd::{AdamConfig, Graph, ParamStore};
+use mvi_autograd::{AdamConfig, Graph, ParamStore, VarId};
 use mvi_data::dataset::ObservedDataset;
 use mvi_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -100,7 +100,8 @@ impl DeepMviModel {
         inst: &TrainInstance,
     ) -> Vec<(mvi_autograd::ParamId, Tensor)> {
         let mut g = Graph::new();
-        let loss = self.instance_loss(&self.store, &mut g, obs, inst);
+        let mut fs = ForwardScratch::default();
+        let loss = self.instance_loss(&self.store, &mut g, &mut fs, obs, inst);
         let grads = g.backward(loss);
         g.param_grads(&grads)
     }
@@ -110,9 +111,10 @@ impl DeepMviModel {
         &self,
         store: &ParamStore,
         g: &mut Graph,
+        fs: &mut ForwardScratch<VarId>,
         obs: &ObservedDataset,
         inst: &TrainInstance,
-    ) -> mvi_autograd::VarId {
+    ) -> VarId {
         let task = WindowTask {
             obs,
             s: inst.s,
@@ -120,11 +122,11 @@ impl DeepMviModel {
             positions: &inst.positions,
             synth: Some(&inst.synth),
         };
-        let preds = self.forward_positions(store, g, &task);
-        let mut errs = Vec::with_capacity(preds.len());
-        for (pred, &target) in preds.iter().zip(&inst.targets) {
+        self.forward_positions(store, g, fs, &task);
+        let mut errs = Vec::with_capacity(fs.preds.len());
+        for (&pred, &target) in fs.preds.iter().zip(&inst.targets) {
             let t = g.scalar(target);
-            let d = g.sub(*pred, t);
+            let d = g.sub(pred, t);
             errs.push(g.square(d));
         }
         let stacked = g.concat1d(&errs);
@@ -134,9 +136,10 @@ impl DeepMviModel {
     /// Mean validation MSE over a fixed instance set (no gradients).
     fn evaluate(&self, obs: &ObservedDataset, val_set: &[TrainInstance]) -> f64 {
         let mut total = 0.0;
+        let mut fs = ForwardScratch::default();
         for inst in val_set {
             let mut g = Graph::new();
-            let loss = self.instance_loss(&self.store, &mut g, obs, inst);
+            let loss = self.instance_loss(&self.store, &mut g, &mut fs, obs, inst);
             total += g.value(loss).at(0);
         }
         total / val_set.len() as f64

@@ -348,8 +348,24 @@ fn serial_matmul_tn(
 // GEMM: C += A · Bᵀ
 // ---------------------------------------------------------------------------
 
-/// `C += A · Bᵀ` for row-major `A: [m,k]`, `B: [n,k]`, `C: [m,n]`, without
-/// materializing `Bᵀ` (dot products over contiguous rows of both operands).
+/// Multiply-add flops above which `matmul_nt` packs `Bᵀ` into a scratch panel
+/// and runs the register-accumulator NN microkernels instead of the 2×2
+/// dot-product tile. The dot-product form cannot keep accumulators in SIMD
+/// registers across `k` (each output needs a horizontal reduction), which
+/// pinned it near ~10 GFLOP/s while `matmul`/`matmul_tn` ran 4× faster; the
+/// O(k·n) transpose pack is noise against O(m·k·n) compute once shapes leave
+/// toy territory. Below the threshold (or when the row count cannot fill a
+/// tile) the pack + buffer would dominate, so the dot path stays.
+pub const NT_PACK_FLOPS: usize = 1 << 15;
+
+/// `C += A · Bᵀ` for row-major `A: [m,k]`, `B: [n,k]`, `C: [m,n]`.
+///
+/// Large shapes pack `Bᵀ` once ([`NT_PACK_FLOPS`]) and reuse the tiled NN
+/// GEMM drivers — including the AVX-512 microkernel — so the backward-pass
+/// matmuls that lower here (attention gradients) run at the same per-core
+/// throughput as the forward kernels. Small shapes keep the pack-free
+/// 2×2 dot tile. The path choice depends only on the shape, so results stay
+/// deterministic and thread-count invariant.
 pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
     assert_eq!(a.len(), m * k, "matmul_nt: A buffer/shape mismatch");
     assert_eq!(b.len(), n * k, "matmul_nt: B buffer/shape mismatch");
@@ -358,11 +374,43 @@ pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f6
         return;
     }
     let threads = threads_for(m * k * n);
+    if m * k * n >= NT_PACK_FLOPS && m >= MR {
+        let mut bt = vec![0.0; k * n];
+        pack_transpose(n, k, b, &mut bt);
+        mvi_parallel::for_row_spans_mut(c, n, threads, |first_row, c_span| {
+            let rows = c_span.len() / n;
+            let a_span = &a[first_row * k..(first_row + rows) * k];
+            serial_matmul_nn(rows, k, n, a_span, &bt, c_span);
+        });
+        return;
+    }
     mvi_parallel::for_row_spans_mut(c, n, threads, |first_row, c_span| {
         let rows = c_span.len() / n;
         let a_span = &a[first_row * k..(first_row + rows) * k];
         serial_matmul_nt(rows, k, n, a_span, b, c_span);
     });
+}
+
+/// Writes `Bᵀ` of a row-major `B: [n,k]` into `bt: [k,n]`
+/// (`bt[kk·n + j] = b[j·k + kk]`), in 8×8 blocks so both sides stream through
+/// cache lines instead of one of them striding.
+fn pack_transpose(n: usize, k: usize, b: &[f64], bt: &mut [f64]) {
+    const TB: usize = 8;
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + TB).min(n);
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + TB).min(k);
+            for j in j0..j1 {
+                for kk in k0..k1 {
+                    bt[kk * n + j] = b[j * k + kk];
+                }
+            }
+            k0 = k1;
+        }
+        j0 = j1;
+    }
 }
 
 /// Serial 2×2-tiled `C += A · Bᵀ` on a row span: each 2×2 output tile shares

@@ -60,7 +60,7 @@
 //! invalidates the rest of the series for lazy healing, exactly mirroring the
 //! append consistency contract.
 
-use deepmvi::{FrozenModel, WindowQuery};
+use deepmvi::{FrozenModel, InferScratch, WindowQuery};
 use mvi_data::dataset::ObservedDataset;
 use mvi_data::windows::WindowGrid;
 use mvi_tensor::Tensor;
@@ -191,6 +191,11 @@ struct EngineState {
     /// Per-series write watermark: where the next append lands (one past the
     /// last observed entry).
     watermark: Vec<usize>,
+    /// Warm forward-pass scratch for the tape-free evaluator: serial
+    /// micro-batches (the append/backfill hot path) reuse its recycled
+    /// buffers across the engine's whole lifetime instead of re-warming per
+    /// batch.
+    scratch: InferScratch,
 }
 
 impl EngineState {
@@ -243,7 +248,8 @@ impl ImputationEngine {
             .collect();
         let imputed = obs.values.clone();
         let fresh = vec![vec![false; grid.n_windows()]; n_series];
-        let state = EngineState { obs, grid, imputed, fresh, watermark };
+        let state =
+            EngineState { obs, grid, imputed, fresh, watermark, scratch: InferScratch::new() };
         Ok(Self { model, n_series, state: Mutex::new(state), counters: Counters::default() })
     }
 
@@ -636,12 +642,17 @@ impl ImputationEngine {
     /// slack past the live length is all-missing, so evaluating against the
     /// capacity-padded observed state is bitwise identical to evaluating
     /// against the live prefix.
+    ///
+    /// Runs through the tape-free evaluator with the engine's long-lived
+    /// scratch, so the serial cold-window path (small per-append
+    /// micro-batches) stays allocation-lean after the first touch.
     fn compute_and_fill(&self, state: &mut EngineState, queries: &[WindowQuery]) {
         if queries.is_empty() {
             return;
         }
         let threads = mvi_parallel::current_threads();
-        let results = self.model.predict_batch(&state.obs, queries, threads);
+        let EngineState { scratch, obs, .. } = state;
+        let results = self.model.predict_batch_with(scratch, obs, queries, threads);
         for (q, vals) in queries.iter().zip(&results) {
             let series = state.imputed.series_mut(q.s);
             for (&t, &v) in q.positions.iter().zip(vals) {

@@ -30,6 +30,19 @@ impl Mask {
         Self::full(shape, false)
     }
 
+    /// Re-shapes the mask in place to `shape` with every entry `false`,
+    /// reusing the shape and data allocations (no heap traffic once the
+    /// buffer has seen its largest shape). Scratch-reuse counterpart of
+    /// [`crate::Tensor::reset_zeroed`] for the attention availability mask
+    /// rebuilt on every window forward pass.
+    pub fn reset_falses(&mut self, shape: &[usize]) {
+        let vol = shape::num_elements(shape);
+        self.data.clear();
+        self.data.resize(vol, false);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
     /// Mask from a shape and backing data.
     ///
     /// # Panics
@@ -61,6 +74,12 @@ impl Mask {
     #[inline]
     pub fn data(&self) -> &[bool] {
         &self.data
+    }
+
+    /// Mutable view of the backing buffer (bulk fills on hot paths).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [bool] {
+        &mut self.data
     }
 
     /// Entry at a multi-index.

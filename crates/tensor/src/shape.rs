@@ -42,15 +42,23 @@ pub fn flat_index(shape: &[usize], idx: &[usize]) -> usize {
 }
 
 /// Inverse of [`flat_index`]: the multi-index corresponding to a flat offset.
-pub fn unflatten(shape: &[usize], mut flat: usize) -> Vec<usize> {
-    let mut idx = vec![0usize; shape.len()];
+pub fn unflatten(shape: &[usize], flat: usize) -> Vec<usize> {
+    let mut idx = Vec::new();
+    unflatten_into(shape, flat, &mut idx);
+    idx
+}
+
+/// [`unflatten`] into a caller-provided buffer (cleared first), so hot paths
+/// can reuse one index vector instead of allocating per call.
+pub fn unflatten_into(shape: &[usize], mut flat: usize, idx: &mut Vec<usize>) {
+    idx.clear();
+    idx.resize(shape.len(), 0);
     for axis in (0..shape.len()).rev() {
         let extent = shape[axis];
         idx[axis] = flat % extent;
         flat /= extent;
     }
     debug_assert_eq!(flat, 0, "flat offset exceeded shape volume");
-    idx
 }
 
 /// Iterator over all multi-indices of `shape` in row-major order.

@@ -120,6 +120,27 @@ impl Tensor {
         self.data[flat]
     }
 
+    /// Re-shapes the tensor in place for reuse as a scratch buffer, leaving
+    /// the element values **unspecified** (whatever the previous use left
+    /// behind, zero-extended if the buffer grows). Reuses both the shape and
+    /// data allocations, so once a buffer has seen its largest shape this
+    /// never touches the heap — the recycling primitive behind the value-only
+    /// forward evaluator's slot arena. Callers must overwrite every element
+    /// (or use [`Tensor::reset_zeroed`]).
+    pub fn reset_for_overwrite(&mut self, shape: &[usize]) {
+        let vol = shape::num_elements(shape);
+        self.data.resize(vol, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Like [`Tensor::reset_for_overwrite`], but leaves the buffer all-zero
+    /// (the required starting state for accumulating kernels like GEMM).
+    pub fn reset_zeroed(&mut self, shape: &[usize]) {
+        self.reset_for_overwrite(shape);
+        self.data.fill(0.0);
+    }
+
     /// Reinterprets the tensor under a new shape with the same volume.
     ///
     /// # Panics

@@ -3,10 +3,11 @@
 # artifacts tracking the performance trajectory across PRs —
 #   BENCH_1.json  compute-kernel throughput (two-build honest baseline),
 #   BENCH_2.json  serving throughput (engine vs naive per-request impute),
-#   BENCH_3.json  growth scenario (appends streaming past the trained t_len).
+#   BENCH_3.json  growth scenario (appends streaming past the trained t_len),
+#   BENCH_4.json  tape-free inference (value-only evaluator vs the tape path).
 #
 #   THREADS=4 OUT=BENCH_1.json SERVE_OUT=BENCH_2.json GROWTH_OUT=BENCH_3.json \
-#       scripts/bench.sh
+#       INFER_OUT=BENCH_4.json scripts/bench.sh
 #
 # Two builds are measured so the speedup is honest:
 #   1. a baseline-codegen build (RUSTFLAGS="", i.e. plain x86-64 — exactly how
@@ -22,6 +23,7 @@ THREADS="${THREADS:-4}"
 OUT="${OUT:-BENCH_1.json}"
 SERVE_OUT="${SERVE_OUT:-BENCH_2.json}"
 GROWTH_OUT="${GROWTH_OUT:-BENCH_3.json}"
+INFER_OUT="${INFER_OUT:-BENCH_4.json}"
 
 echo "== phase 1: baseline-codegen build (seed's original configuration) =="
 RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
@@ -39,4 +41,8 @@ cargo build --release --offline -p mvi-bench --bin serve_bench
 ./target/release/serve_bench \
     --threads="$THREADS" --out="$SERVE_OUT" --growth-out="$GROWTH_OUT"
 
-echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT"
+echo "== phase 4: tape-free inference harness =="
+cargo build --release --offline -p mvi-bench --bin infer_bench
+./target/release/infer_bench --threads="$THREADS" --out="$INFER_OUT"
+
+echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT"

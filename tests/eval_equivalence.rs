@@ -1,0 +1,144 @@
+//! Differential tests for the tape-free forward evaluator: the value-only
+//! `Eval` backend must be **bitwise identical** to the differentiation-tape
+//! path over randomized models, datasets and windows — including windows past
+//! the trained length (rolled temporal horizon) and grouped batches. CI runs
+//! this suite under `MVI_THREADS=1` and the default thread budget, so the
+//! guarantee holds across worker splits too.
+
+use deepmvi::{DeepMviConfig, DeepMviModel, InferScratch, KernelMode, TapeScratch, WindowQuery};
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::scenarios::Scenario;
+use proptest::prelude::*;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn config_case(
+    variant: u8,
+    p: usize,
+    n_heads: usize,
+    ctx_windows: usize,
+    seed: u64,
+) -> DeepMviConfig {
+    let mut cfg = DeepMviConfig {
+        p,
+        n_heads,
+        ctx_windows,
+        embed_dim: 4,
+        max_siblings: 3, // small enough that the top-L pre-selection triggers
+        seed,
+        ..DeepMviConfig::tiny()
+    };
+    // Sweep the ablation space so every forward component (and its absence)
+    // is covered: transformer, context window, fine-grained mean, kernel
+    // regression in all three modes.
+    match variant % 5 {
+        0 => {}
+        1 => cfg.kernel_mode = KernelMode::Off,
+        2 => {
+            cfg.use_temporal_transformer = false;
+            cfg.kernel_mode = KernelMode::Flattened;
+        }
+        3 => cfg.use_context_window = false,
+        _ => {
+            cfg.use_fine_grained = false;
+        }
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The core contract of the serving hot path: for every missing-window
+    /// query of a random model/dataset, the tape-free evaluator reproduces
+    /// the tape's predictions bit for bit — in-range windows, rolled-horizon
+    /// windows past the trained length, and scratch reuse across queries.
+    #[test]
+    fn eval_backend_is_bitwise_identical_to_the_tape(
+        n_series in 2usize..5,
+        t_len in 6usize..14, // in windows of 10
+        variant in 0u8..5,
+        p_small in 0u8..2,
+        n_heads in 1usize..3,
+        ctx_windows in 4usize..12,
+        seed in 0u64..500,
+    ) {
+        let t_len = t_len * 10;
+        let p = if p_small == 0 { 4usize } else { 8 };
+        let ds = generate_with_shape(DatasetName::Chlorine, &[n_series], t_len, seed);
+        let mut obs = Scenario::mcar(1.0).apply(&ds, seed % 17).observed();
+        let cfg = config_case(variant, p, n_heads, ctx_windows, seed);
+        let model = DeepMviModel::new(&cfg, &obs);
+        let w = model.window();
+
+        // Grow the dataset past the trained length so rolled-horizon windows
+        // are part of every run: one observed window, one missing window.
+        obs.extend_time(t_len + 2 * w);
+        for s in 0..n_series {
+            let vals: Vec<f64> =
+                (0..w).map(|i| ((t_len + i) as f64 / 7.0 + s as f64).sin()).collect();
+            obs.record_range(s, t_len, &vals);
+        }
+
+        let queries = model.missing_queries(&obs);
+        prop_assert!(!queries.is_empty(), "fixture lost its missing values");
+        prop_assert!(
+            queries.iter().any(|q| q.positions.iter().any(|&t| t >= t_len)),
+            "no rolled-horizon queries in the grown region"
+        );
+
+        let mut tape = TapeScratch::new();
+        let mut eval = InferScratch::new();
+        let mut out = Vec::new();
+        for q in &queries {
+            let expect = model.predict_window_tape(&mut tape, &obs, q);
+            out.clear();
+            model.predict_window_into(&mut eval, &obs, q, &mut out);
+            prop_assert!(
+                bits(&expect) == bits(&out),
+                "tape and eval diverged on s={} window={}",
+                q.s,
+                q.window_j
+            );
+        }
+    }
+}
+
+#[test]
+fn grouped_batches_match_per_query_evaluation_bitwise() {
+    let ds = generate_with_shape(DatasetName::Gas, &[4], 120, 11);
+    let obs = Scenario::mcar(1.0).apply(&ds, 5).observed();
+    let model = DeepMviModel::new(&DeepMviConfig::tiny(), &obs);
+    let base = model.missing_queries(&obs);
+    assert!(!base.is_empty());
+
+    // A batch with heavy (series, window) duplication: the full query, a
+    // prefix, a suffix, and a reversed-order duplicate of each base query.
+    let mut batch: Vec<WindowQuery> = Vec::new();
+    for q in &base {
+        batch.push(q.clone());
+        let half = q.positions.len().div_ceil(2);
+        batch.push(WindowQuery {
+            s: q.s,
+            window_j: q.window_j,
+            positions: q.positions[..half].to_vec(),
+        });
+        batch.push(WindowQuery {
+            s: q.s,
+            window_j: q.window_j,
+            positions: q.positions[q.positions.len() - half..].to_vec(),
+        });
+    }
+
+    let grouped = model.predict_batch(&obs, &batch, 1);
+    let mut scratch = InferScratch::new();
+    for (q, got) in batch.iter().zip(&grouped) {
+        let solo = model.predict_window(&mut scratch, &obs, q);
+        assert_eq!(bits(&solo), bits(got), "grouping changed s={} w={}", q.s, q.window_j);
+    }
+
+    // Thread fan-out over the duplicated batch is equally invariant.
+    assert_eq!(grouped, model.predict_batch(&obs, &batch, 4), "thread count changed grouping");
+}

@@ -1,0 +1,107 @@
+//! Allocation-regression smoke for the serving hot path: once an
+//! [`deepmvi::InferScratch`] is warm, `predict_window_into` must perform
+//! **zero heap allocations** — the whole window forward pass (attention
+//! context, kernel regression, output head) runs in recycled evaluator slots
+//! and reused scratch buffers, with parameters read by `Arc` share.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting global allocator.
+
+use deepmvi::{DeepMviConfig, DeepMviModel, InferScratch};
+use mvi_data::generators::{generate_with_shape, DatasetName};
+use mvi_data::scenarios::Scenario;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Forwards to the system allocator, counting allocations while armed.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+static LAST_SIZE: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LAST_SIZE.store(layout.size(), Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LAST_SIZE.store(layout.size(), Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LAST_SIZE.store(new_size, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_predict_window_performs_zero_heap_allocations() {
+    // Untrained weights are fine: allocation behaviour depends on shapes and
+    // control flow, not parameter values. `max_siblings: 2` forces the top-L
+    // sibling pre-selection onto the measured path too.
+    let ds = generate_with_shape(DatasetName::Electricity, &[5], 120, 3);
+    let obs = Scenario::mcar(1.0).apply(&ds, 7).observed();
+    let cfg = DeepMviConfig { max_siblings: 2, ..DeepMviConfig::tiny() };
+    let model = DeepMviModel::new(&cfg, &obs);
+    let queries = model.missing_queries(&obs);
+    assert!(queries.len() >= 4, "fixture needs a spread of windows");
+
+    let mut scratch = InferScratch::new();
+    let mut out = Vec::new();
+    // Warm-up: two full sweeps size every recycled buffer to its steady state.
+    let mut warm = Vec::new();
+    for sweep in 0..2 {
+        for q in &queries {
+            out.clear();
+            model.predict_window_into(&mut scratch, &obs, q, &mut out);
+            assert_eq!(out.len(), q.positions.len());
+            if sweep == 0 {
+                warm.extend(out.iter().map(|v| v.to_bits()));
+            }
+        }
+    }
+
+    // Measured sweep: same queries, allocator armed strictly around each
+    // forward call (the claim under test is the hot call itself; the harness
+    // and bookkeeping between calls are not part of it).
+    ALLOCS.store(0, Ordering::SeqCst);
+    let mut measured = Vec::with_capacity(warm.len());
+    let mut per_query = Vec::with_capacity(queries.len());
+    for q in &queries {
+        out.clear();
+        let before = ALLOCS.load(Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        model.predict_window_into(&mut scratch, &obs, q, &mut out);
+        ARMED.store(false, Ordering::SeqCst);
+        per_query.push(ALLOCS.load(Ordering::SeqCst) - before);
+        measured.extend(out.iter().map(|v| v.to_bits()));
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(measured, warm, "scratch reuse changed predictions");
+    assert!(
+        per_query.iter().all(|&n| n == 0) && allocs == 0,
+        "steady-state predict_window_into allocated {allocs} times (last size {}); per query: \
+         {per_query:?}",
+        LAST_SIZE.load(Ordering::SeqCst)
+    );
+}
