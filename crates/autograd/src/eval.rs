@@ -30,7 +30,7 @@
 //! [`crate::Graph`] op (elementwise maps use identical expressions,
 //! reductions identical iteration order, matmuls the identical
 //! `mvi_kernels` GEMMs, and order-sensitive ops like the masked softmax are
-//! literally the same function — see [`crate::vops`]). Inference through
+//! literally the same function — see \[`crate::vops`\]). Inference through
 //! `Eval` is therefore **bitwise identical** to inference through the tape,
 //! which is what lets the serving engine switch backends without touching
 //! its 1e-9 consistency and determinism guarantees.

@@ -1,4 +1,4 @@
-//! CDRec [11]: missing-block recovery via iterative truncated centroid
+//! CDRec \[11\]: missing-block recovery via iterative truncated centroid
 //! decomposition (Khayati, Cudré-Mauroux, Böhlen) — the strongest conventional
 //! baseline in the paper's comparison.
 

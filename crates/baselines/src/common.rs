@@ -7,7 +7,7 @@ use mvi_tensor::{Mask, Tensor};
 /// The flattened `series × time` matrix view used by all matrix-based baselines,
 /// with missing entries pre-filled by per-series linear interpolation (the paper
 /// notes CDRec "first uses interpolation/extrapolation to initialize the missing
-/// values"; the SVD family does the same in the benchmark of [12]).
+/// values"; the SVD family does the same in the benchmark of \[12\]).
 pub struct MatrixTask {
     /// Interpolation-initialized matrix `[n_series, T]`.
     pub init: Tensor,
@@ -114,7 +114,7 @@ pub fn pearson_co_observed(a: &[f64], b: &[f64], avail_a: &[bool], avail_b: &[bo
 }
 
 /// Default factorization rank used by the SVD/CD family: a third of the smaller
-/// matrix dimension, clamped to `[1, 10]` (the regime the benchmark of [12] tunes
+/// matrix dimension, clamped to `[1, 10]` (the regime the benchmark of \[12\] tunes
 /// these methods in).
 pub fn default_rank(m: usize, n: usize) -> usize {
     (m.min(n) / 3).clamp(1, 10)

@@ -1,4 +1,4 @@
-//! DynaMMO [14]: mining and summarization of co-evolving sequences with missing
+//! DynaMMO \[14\]: mining and summarization of co-evolving sequences with missing
 //! values (Li, McCann, Pollard, Faloutsos).
 //!
 //! Groups similar series, fits a linear dynamical system per group with

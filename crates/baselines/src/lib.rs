@@ -4,16 +4,16 @@
 //! `series × time` matrix, exactly as the paper notes ("all these prior methods are
 //! for single-dimensional series", §2.2):
 //!
-//! * [`svdimp`] — SVDImp [24]: iterative truncated-SVD refinement.
-//! * [`softimpute`] — SoftImpute [19]: iterative soft-thresholded SVD.
-//! * [`svt`] — SVT [2]: singular value thresholding on a gradient sweep.
-//! * [`cdrec`] — CDRec [11]: iterative truncated centroid decomposition.
-//! * [`trmf`] — TRMF [28]: matrix factorization with autoregressive temporal
+//! * [`svdimp`] — SVDImp \[24\]: iterative truncated-SVD refinement.
+//! * [`softimpute`] — SoftImpute \[19\]: iterative soft-thresholded SVD.
+//! * [`svt`] — SVT \[2\]: singular value thresholding on a gradient sweep.
+//! * [`cdrec`] — CDRec \[11\]: iterative truncated centroid decomposition.
+//! * [`trmf`] — TRMF \[28\]: matrix factorization with autoregressive temporal
 //!   regularization, solved by alternating ridge regressions.
 //! * [`stmvl`] — STMVL: four-view spatio-temporal collaborative filtering with a
 //!   least-squares view combiner (correlation-derived distances replace the missing
 //!   sensor coordinates; see `DESIGN.md` §2).
-//! * [`dynammo`] — DynaMMO [14]: Kalman-filter/EM over groups of co-evolving series
+//! * [`dynammo`] — DynaMMO \[14\]: Kalman-filter/EM over groups of co-evolving series
 //!   with missing-aware observations.
 //!
 //! [`common`] holds shared machinery (interpolation init, Pearson correlation on

@@ -1,4 +1,4 @@
-//! SoftImpute [19]: spectral-regularized matrix completion via iterative
+//! SoftImpute \[19\]: spectral-regularized matrix completion via iterative
 //! soft-thresholded SVD (Mazumder, Hastie, Tibshirani).
 
 use crate::common::{refresh_missing, MatrixTask};

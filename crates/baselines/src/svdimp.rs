@@ -1,4 +1,4 @@
-//! SVDImp [24]: iterative truncated-SVD imputation (Troyanskaya et al.).
+//! SVDImp \[24\]: iterative truncated-SVD imputation (Troyanskaya et al.).
 
 use crate::common::{default_rank, refresh_missing, MatrixTask};
 use mvi_data::dataset::ObservedDataset;

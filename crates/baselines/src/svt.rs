@@ -1,4 +1,4 @@
-//! SVT [2]: singular value thresholding for matrix completion (Cai, Candès, Shen).
+//! SVT \[2\]: singular value thresholding for matrix completion (Cai, Candès, Shen).
 
 use crate::common::MatrixTask;
 use mvi_data::dataset::ObservedDataset;

@@ -1,4 +1,4 @@
-//! TRMF [28]: temporal regularized matrix factorization (Yu, Rao, Dhillon).
+//! TRMF \[28\]: temporal regularized matrix factorization (Yu, Rao, Dhillon).
 //!
 //! Factorizes the observed matrix as `X ≈ F · Hᵀ` (`F`: series factors `[m,k]`,
 //! `H`: temporal embeddings `[T,k]`) while constraining each temporal factor to an

@@ -20,10 +20,23 @@
 //! engine, reported as `BENCH_3.json` — append latency percentiles, values/s,
 //! windows recomputed, and the tail-query sweep over the grown region.
 //!
+//! A fourth scenario (`--only=retention`, phase 5 of `scripts/bench.sh`)
+//! measures the **retention ring**: a stream 20× the retention window long
+//! runs through a bounded engine — the harness asserts resident storage
+//! *never* exceeds the ring cap while logical time advances unboundedly —
+//! followed by a **warm restart**: the engine snapshots its cache (wire v3),
+//! a second engine restores from JSON, and the full retained query sweep is
+//! answered with **zero forward passes** (asserted via the engine's
+//! window-evaluation counter), timed against a cold restart that recomputes.
+//! Reported as `BENCH_5.json`.
+//!
+//! All `BENCH_<n>.json` schemas and host-comparability rules are documented
+//! in `PERFORMANCE.md`.
+//!
 //! ```text
 //! cargo run -p mvi-bench --release --bin serve_bench -- \
 //!     [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
-//!     [--growth-out=PATH] [--quick]
+//!     [--growth-out=PATH] [--retention-out=PATH] [--only=retention] [--quick]
 //! ```
 
 use deepmvi::{DeepMviConfig, DeepMviModel};
@@ -40,6 +53,11 @@ const T: usize = 400;
 /// Ground truth extends this far past the trained length — the stream source
 /// for the growth scenario.
 const GROWTH_MAX: usize = 240;
+/// Retention window of the bounded-memory scenario (time steps).
+const RETENTION: usize = 150;
+/// The long-stream scenario appends this many multiples of the retention
+/// window past the trained length (the acceptance floor is 20×).
+const RETENTION_STREAM_X: usize = 20;
 
 struct ArmResult {
     name: &'static str,
@@ -100,6 +118,8 @@ fn request_trace(n: usize) -> Vec<(usize, usize, usize)> {
 fn main() {
     let mut out_path = String::from("BENCH_2.json");
     let mut growth_out_path = String::from("BENCH_3.json");
+    let mut retention_out_path = String::from("BENCH_5.json");
+    let mut retention_only = false;
     let mut quick = false;
     let mut clients = 4usize;
     let mut n_requests = 400usize;
@@ -132,12 +152,16 @@ fn main() {
             out_path = v.to_string();
         } else if let Some(v) = arg.strip_prefix("--growth-out=") {
             growth_out_path = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--retention-out=") {
+            retention_out_path = v.to_string();
+        } else if arg == "--only=retention" {
+            retention_only = true;
         } else if arg == "--quick" {
             quick = true;
         } else {
             eprintln!(
                 "usage: serve_bench [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
-                 [--growth-out=PATH] [--quick]"
+                 [--growth-out=PATH] [--retention-out=PATH] [--only=retention] [--quick]"
             );
             std::process::exit(2);
         }
@@ -166,6 +190,11 @@ fn main() {
     let train_secs = t_train.elapsed().as_secs_f64();
     eprintln!("trained in {train_secs:.2}s; missing fraction {:.3}", inst.missing_fraction());
     let trace = request_trace(n_requests);
+
+    if retention_only {
+        run_retention_scenario(&model, &obs, quick, threads, &retention_out_path);
+        return;
+    }
 
     // ---- Arm 1: naive per-request full impute (sequential server loop). ----
     // Charitably few requests: full imputes are slow, so the naive arm runs a
@@ -333,4 +362,164 @@ fn main() {
     gjson.push_str("}\n");
     std::fs::write(&growth_out_path, &gjson).expect("write growth bench json");
     eprintln!("wrote {growth_out_path}");
+}
+
+/// Scenario 4 (`BENCH_5.json`): bounded-memory streaming through the
+/// retention ring, then a warm restart from a v3 cache snapshot.
+///
+/// The harness *asserts* the two headline claims rather than merely reporting
+/// them: storage capacity never exceeds the ring cap across a stream ≥ 20×
+/// the retention window (quick mode shortens the stream but still evicts),
+/// and the warm-restarted engine answers the full retained query sweep with
+/// zero window evaluations.
+fn run_retention_scenario(
+    model: &DeepMviModel,
+    obs: &mvi_data::dataset::ObservedDataset,
+    quick: bool,
+    threads: usize,
+    out_path: &str,
+) {
+    let stream_x = if quick { 2 } else { RETENTION_STREAM_X };
+    let stream_len = stream_x * RETENTION;
+    let target = T + stream_len;
+    // A fresh ground-truth horizon long enough to feed the whole stream.
+    let full = generate_with_shape(DatasetName::Electricity, &[SERIES], target, 7);
+
+    let frozen = ServeSnapshot::capture(model, obs).restore(obs).expect("restore");
+    let engine =
+        ImputationEngine::with_retention(frozen, obs.clone(), RETENTION).expect("ring engine");
+    let ring_cap = engine.ring_capacity().expect("bounded engine");
+    engine.warm_up();
+    // One series goes dark at the trained end (a dead sensor): its retained
+    // window is pure imputation work forever, so the ring always holds
+    // missing entries — the realistic serving shape, and what makes the
+    // warm-vs-cold restart comparison non-vacuous.
+    let dark = SERIES - 1;
+    eprintln!(
+        "retention: {SERIES}x{T} trained, retention {RETENTION} (ring cap {ring_cap}), \
+         streaming {stream_len} steps ({stream_x}x retention) per series (series {dark} dark)"
+    );
+
+    // ---- Long stream: capacity must stay flat while logical time runs. ----
+    let chunk = 9usize;
+    let mut append_lat = Vec::new();
+    let mut max_capacity = engine.storage_capacity();
+    let t0 = Instant::now();
+    loop {
+        let mut all_done = true;
+        for s in 0..dark {
+            let wm = engine.watermark(s).expect("watermark");
+            if wm >= target {
+                continue;
+            }
+            all_done = false;
+            let end = (wm + chunk).min(target);
+            let t = Instant::now();
+            engine.append(s, &full.values.series(s)[wm..end]).expect("append");
+            append_lat.push(t.elapsed().as_secs_f64() * 1e3);
+            max_capacity = max_capacity.max(engine.storage_capacity());
+        }
+        if all_done {
+            break;
+        }
+    }
+    let stream_wall = t0.elapsed().as_secs_f64();
+    assert!(
+        max_capacity <= ring_cap,
+        "resident storage ({max_capacity}) exceeded the ring cap ({ring_cap})"
+    );
+    assert_eq!(engine.live_len(), target);
+    let stats = engine.stats();
+    assert!(stats.evictions > 0, "the long stream must evict");
+    let (base, live) = (engine.retained_start(), engine.live_len());
+    append_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p99) = (percentile(&append_lat, 0.50), percentile(&append_lat, 0.99));
+    eprintln!(
+        "stream: {} appends ({} values) in {stream_wall:.3}s = {:.0} values/s, p50 {p50:.3} ms \
+         p99 {p99:.3} ms; {} evictions ({} steps), storage flat at <= {max_capacity} of cap \
+         {ring_cap}, live {live} retained from {base}",
+        stats.appends,
+        stats.values_appended,
+        stats.values_appended as f64 / stream_wall,
+        stats.evictions,
+        stats.steps_evicted
+    );
+
+    // ---- Warm restart: snapshot the healed cache, restore, replay. ----
+    for s in 0..SERIES {
+        engine.query(s, base, live).expect("healing sweep");
+    }
+    let t_snap = Instant::now();
+    let json = engine.snapshot().to_json();
+    let snapshot_secs = t_snap.elapsed().as_secs_f64();
+    let snapshot_bytes = json.len();
+
+    let t_restore = Instant::now();
+    let snap = ServeSnapshot::from_json(&json).expect("v3 parses");
+    let warm = ImputationEngine::from_snapshot(&snap).expect("warm restart");
+    let warm_restore_secs = t_restore.elapsed().as_secs_f64();
+    let t_sweep = Instant::now();
+    for s in 0..SERIES {
+        warm.query(s, base, live).expect("warm sweep");
+    }
+    let warm_sweep_secs = t_sweep.elapsed().as_secs_f64();
+    let warm_windows = warm.stats().windows_computed;
+    assert_eq!(warm_windows, 0, "warm restart evaluated windows it had cached");
+
+    // ---- Cold restart (the pre-v3 world): model-only restore, recompute. ----
+    let t_cold = Instant::now();
+    let cold_model = snap.restore(&engine.observed()).expect("model-only restore");
+    let cold = ImputationEngine::with_retention(cold_model, engine.observed(), RETENTION)
+        .expect("cold engine");
+    let cold_restore_secs = t_cold.elapsed().as_secs_f64();
+    let cold_base = cold.retained_start();
+    let t_cold_sweep = Instant::now();
+    for s in 0..SERIES {
+        // The cold engine's dataset is the retained span standalone, so its
+        // logical time starts at zero.
+        cold.query(s, cold_base, cold_base + (live - base)).expect("cold sweep");
+    }
+    let cold_sweep_secs = t_cold_sweep.elapsed().as_secs_f64();
+    let cold_windows = cold.stats().windows_computed;
+    assert!(cold_windows > 0, "cold restart must recompute (else the comparison is vacuous)");
+    let sweep_speedup = cold_sweep_secs / warm_sweep_secs.max(1e-9);
+    eprintln!(
+        "warm restart: {snapshot_bytes} B snapshot, restore {warm_restore_secs:.4}s, retained \
+         sweep {warm_sweep_secs:.4}s with 0 window passes; cold restart sweep \
+         {cold_sweep_secs:.4}s with {cold_windows} passes = {sweep_speedup:.1}x"
+    );
+
+    let mut json =
+        String::from("{\n  \"bench\": 5,\n  \"scenario\": \"retention_ring_long_stream\",\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"series\": {SERIES}, \"trained_t_len\": {T}, \"retention_len\": \
+         {RETENTION}, \"ring_cap\": {ring_cap}, \"stream_multiple_of_retention\": {stream_x}}},\n  \
+         \"threads_used\": {threads},\n  \"chunk\": {chunk},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"stream\": {{\"final_live_len\": {live}, \"retained_start\": {base}, \"appends\": \
+         {}, \"values_appended\": {}, \"evictions\": {}, \"steps_evicted\": {}, \"wall_secs\": \
+         {stream_wall:.6}, \"values_per_sec\": {:.2}, \"append_p50_ms\": {p50:.4}, \
+         \"append_p99_ms\": {p99:.4}, \"max_storage_capacity\": {max_capacity}, \
+         \"storage_within_ring_cap\": true}},",
+        stats.appends,
+        stats.values_appended,
+        stats.evictions,
+        stats.steps_evicted,
+        stats.values_appended as f64 / stream_wall
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_restart\": {{\"snapshot_bytes\": {snapshot_bytes}, \"snapshot_secs\": \
+         {snapshot_secs:.6}, \"restore_secs\": {warm_restore_secs:.6}, \"sweep_secs\": \
+         {warm_sweep_secs:.6}, \"windows_computed\": {warm_windows}, \"cold_restore_secs\": \
+         {cold_restore_secs:.6}, \"cold_sweep_secs\": {cold_sweep_secs:.6}, \
+         \"cold_windows_computed\": {cold_windows}, \"warm_sweep_speedup_vs_cold\": \
+         {sweep_speedup:.3}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).expect("write retention bench json");
+    eprintln!("wrote {out_path}");
 }

@@ -40,7 +40,18 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// One inference work item: predict the given `positions` (all inside window
-/// `window_j`) of series `s`. Positions are absolute time indices.
+/// `window_j`) of series `s`. Positions are time indices into the dataset the
+/// query is evaluated against.
+///
+/// A query carries no notion of absolute stream time: window `j` is simply
+/// `positions t with t / w == j` of whatever dataset is handed to the predict
+/// call. That indifference is what lets the serving engine's **retention
+/// ring** reuse this enumeration unchanged — the engine issues queries in
+/// *storage* coordinates (its bounded buffer viewed as a standalone dataset),
+/// and because the ring origin is window-aligned and the rolling attention
+/// horizon of the forward pass is position-relative, evaluating the retained
+/// suffix this way is bitwise identical to evaluating the same windows of
+/// the full unbounded stream whenever their context lies inside the ring.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WindowQuery {
     /// Flat series id.
@@ -64,12 +75,25 @@ pub struct InferScratch {
     /// [`DeepMviModel::predict_batch_with`]: the engine's steady-state
     /// batches are pre-deduplicated, and probing them must not allocate.
     keys: std::collections::HashMap<(usize, usize), usize>,
+    /// Window forward passes executed through this scratch (monotonic).
+    passes: u64,
 }
 
 impl InferScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// How many window forward passes this scratch has executed — the
+    /// evaluator-level counter behind zero-recompute assertions (e.g. a
+    /// warm-restarted serving engine must answer cached queries without
+    /// moving it). Parallel batch paths warm one scratch per worker, so for
+    /// cross-thread totals prefer the serving engine's
+    /// `windows_computed` statistic; this counter is exact for the serial
+    /// paths that share one scratch.
+    pub fn forward_passes(&self) -> u64 {
+        self.passes
     }
 }
 
@@ -114,6 +138,7 @@ impl DeepMviModel {
         out: &mut Vec<f64>,
     ) {
         scratch.ev.recycle();
+        scratch.passes += 1;
         let task = WindowTask {
             obs,
             s: query.s,
@@ -503,11 +528,14 @@ mod tests {
         let seq = model.predict_batch(&obs, &queries, 1);
         let par = model.predict_batch(&obs, &queries, 4);
         assert_eq!(seq, par, "thread count changed inference results");
-        // Scratch reuse does not leak state between queries.
+        // Scratch reuse does not leak state between queries, and the
+        // forward-pass counter accounts for exactly one pass per query.
         let mut scratch = InferScratch::new();
+        assert_eq!(scratch.forward_passes(), 0);
         for (q, expect) in queries.iter().zip(&seq) {
             assert_eq!(&model.predict_window(&mut scratch, &obs, q), expect);
         }
+        assert_eq!(scratch.forward_passes(), queries.len() as u64);
     }
 
     #[test]

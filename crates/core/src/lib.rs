@@ -23,6 +23,8 @@
 //! switches for every module live on [`config::DeepMviConfig`] and drive the §5.5
 //! experiments.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod infer;
 pub mod model;

@@ -197,6 +197,20 @@ impl ObservedDataset {
         self.available.extend_time(new_t_len, false);
     }
 
+    /// Drops the *oldest* time steps in place, keeping the last `t_len` steps
+    /// of every series (values and availability together) — the eviction
+    /// primitive of the serving engine's retention ring. Pair with
+    /// [`ObservedDataset::extend_time`] to slide a bounded storage window
+    /// along an unbounded stream: retain the newest span, then re-open the
+    /// vacated capacity as an all-missing suffix.
+    ///
+    /// # Panics
+    /// Panics if `t_len` exceeds the current length.
+    pub fn retain_latest(&mut self, t_len: usize) {
+        self.values.retain_latest(t_len);
+        self.available.retain_latest(t_len);
+    }
+
     /// A copy truncated to the first `t_len` time steps of every series — the
     /// live prefix of capacity-padded storage, or the trained-geometry view a
     /// model restore needs when the serving state has grown past it.
@@ -353,6 +367,30 @@ mod tests {
         assert_eq!(back.values, original.values);
         assert_eq!(back.available, original.available);
         assert_eq!(back.dims, original.dims);
+    }
+
+    #[test]
+    fn retain_latest_slides_the_storage_window() {
+        let ds = toy();
+        let mut missing = Mask::falses(&[2, 3, 4]);
+        missing.set(&[0, 0, 0], true); // oldest step: evicted below
+        missing.set(&[0, 0, 3], true); // newest step: retained
+        let mut obs = ds.with_missing(missing).observed();
+        let original = obs.clone();
+
+        obs.retain_latest(2);
+        assert_eq!(obs.t_len(), 2);
+        for s in 0..obs.n_series() {
+            assert_eq!(obs.values.series(s), &original.values.series(s)[2..]);
+            assert_eq!(obs.available.series(s), &original.available.series(s)[2..]);
+        }
+        assert!(!obs.available.series(0)[1], "the retained missing entry survives");
+
+        // Re-opening capacity gives an all-missing suffix ready for appends.
+        obs.extend_time(4);
+        assert!(obs.available.series(0)[2..].iter().all(|&a| !a));
+        obs.record_range(0, 2, &[7.0, 8.0]);
+        assert_eq!(obs.values.series(0)[2..], [7.0, 8.0]);
     }
 
     #[test]

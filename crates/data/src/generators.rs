@@ -8,7 +8,7 @@
 //! cluster structure in Chlorine, sporadic spikes in Climate, anomalies in Meteo,
 //! synchronized irregular trends in BAFU, promotions in JanataHack, intermittent
 //! demand in M5). Every series is z-score normalized, as in the imputation
-//! benchmark of [12], so MAE values are on the same scale as the paper's.
+//! benchmark of \[12\], so MAE values are on the same scale as the paper's.
 
 use crate::dataset::{Dataset, DimSpec};
 use mvi_tensor::Tensor;

@@ -9,21 +9,46 @@
 
 use std::ops::Range;
 
-/// A fixed-width, non-overlapping partition of `[0, t_len)` into windows of
-/// length `w` (the last window may be shorter).
+/// A fixed-width, non-overlapping partition of `[origin, t_len)` into windows
+/// of length `w` (the last window may be shorter; the origin is always
+/// window-aligned, so every other window is full-width).
 ///
 /// The time axis may *grow* ([`WindowGrid::grow_to`]): the serving engine
 /// tracks a live series length that extends past the trained one as appends
 /// arrive, and `n_windows` / `tail_windows_for` / `windows_overlapping`
-/// always answer for the current length.
+/// always answer for the current span.
+///
+/// The grid may also act as a **retention ring** over a long-lived stream
+/// ([`WindowGrid::retain_from`]): the origin advances in whole windows as the
+/// oldest data is evicted, while window indices stay *logical* (window `j`
+/// always covers `[j·w, (j+1)·w)` of absolute stream time, forever). The
+/// mapping from a live logical window onto bounded physical storage is
+/// [`WindowGrid::slot`]: slot `0` is the ring origin, so evicting the oldest
+/// span shifts every retained window down by the number of windows dropped.
+/// A freshly built grid has origin `0` — logical and storage indices coincide
+/// until something is evicted.
+///
+/// ```
+/// use mvi_data::windows::WindowGrid;
+///
+/// let mut g = WindowGrid::new(10, 60);
+/// assert_eq!(g.n_windows(), 6);
+/// g.retain_from(20); // evict the two oldest windows
+/// assert_eq!(g.first_window(), 2);
+/// assert_eq!(g.n_windows(), 4, "only retained windows remain");
+/// assert_eq!(g.slot(2), 0, "the oldest retained window maps to storage 0");
+/// assert_eq!(g.windows_overlapping(0, 35), 2..4, "evicted time clamps away");
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WindowGrid {
     w: usize,
     t_len: usize,
+    origin: usize,
 }
 
 impl WindowGrid {
-    /// Builds a grid of `w`-wide windows over a series of length `t_len`.
+    /// Builds a grid of `w`-wide windows over a series of length `t_len`,
+    /// with the ring origin at `0` (nothing evicted).
     ///
     /// # Panics
     /// Panics on degenerate geometry: `w == 0` (every index computation here
@@ -32,7 +57,7 @@ impl WindowGrid {
     pub fn new(w: usize, t_len: usize) -> Self {
         assert!(w > 0, "window width must be positive (got w = 0)");
         assert!(t_len > 0, "window grid needs a non-empty series (got t_len = 0)");
-        Self { w, t_len }
+        Self { w, t_len, origin: 0 }
     }
 
     /// Grows the time axis to `new_t_len`, keeping the window width: existing
@@ -41,7 +66,8 @@ impl WindowGrid {
     ///
     /// # Panics
     /// Panics if `new_t_len` is smaller than the current length (windows
-    /// never shrink — a grid indexes data that has already arrived).
+    /// never shrink from the *end* — a grid indexes data that has already
+    /// arrived; the *front* is evicted with [`WindowGrid::retain_from`]).
     pub fn grow_to(&mut self, new_t_len: usize) {
         assert!(
             new_t_len >= self.t_len,
@@ -51,36 +77,113 @@ impl WindowGrid {
         self.t_len = new_t_len;
     }
 
+    /// Advances the ring origin to `new_origin`, evicting every window before
+    /// it: logical window indices are unchanged, but evicted time is clamped
+    /// out of [`WindowGrid::windows_overlapping`] and storage
+    /// [`WindowGrid::slot`]s shift down by the windows dropped.
+    ///
+    /// # Panics
+    /// Panics if `new_origin` is not window-aligned (the ring evicts whole
+    /// windows), moves backwards (evicted data cannot return), or would leave
+    /// an empty grid (`new_origin >= t_len`).
+    pub fn retain_from(&mut self, new_origin: usize) {
+        assert!(
+            new_origin.is_multiple_of(self.w),
+            "ring origin {new_origin} must be a multiple of the window width {}",
+            self.w
+        );
+        assert!(
+            new_origin >= self.origin,
+            "ring origin cannot move backwards ({} -> {new_origin})",
+            self.origin
+        );
+        assert!(
+            new_origin < self.t_len,
+            "ring origin {new_origin} would evict the whole grid (t_len {})",
+            self.t_len
+        );
+        self.origin = new_origin;
+    }
+
     /// Window width `w`.
     pub fn window_len(&self) -> usize {
         self.w
     }
 
-    /// Series length `T`.
+    /// The live end of the time axis `T` (logical: absolute stream time).
     pub fn t_len(&self) -> usize {
         self.t_len
     }
 
-    /// Number of windows (`⌈T / w⌉`).
-    pub fn n_windows(&self) -> usize {
-        self.t_len.div_ceil(self.w)
+    /// The ring origin: the oldest retained time position (window-aligned,
+    /// `0` until something is evicted). Time before this is gone.
+    pub fn origin(&self) -> usize {
+        self.origin
     }
 
-    /// Index of the window containing time `t`.
+    /// Number of retained time steps, `t_len - origin` — the span physical
+    /// storage must hold.
+    pub fn retained_len(&self) -> usize {
+        self.t_len - self.origin
+    }
+
+    /// Index of the oldest retained window (`origin / w`).
+    pub fn first_window(&self) -> usize {
+        self.origin / self.w
+    }
+
+    /// Number of *retained* windows (`⌈T/w⌉ - origin/w`). With the origin at
+    /// `0` this is the total window count `⌈T/w⌉`.
+    pub fn n_windows(&self) -> usize {
+        self.t_len.div_ceil(self.w) - self.first_window()
+    }
+
+    /// The retained logical window indices,
+    /// `first_window .. first_window + n_windows`.
+    pub fn window_range(&self) -> Range<usize> {
+        self.first_window()..self.first_window() + self.n_windows()
+    }
+
+    /// Storage slot of retained logical window `j`: its index relative to the
+    /// ring origin. Slot `0` holds the oldest retained window, and because
+    /// the origin is window-aligned, a window's slot is exactly its index on
+    /// the grid of the retained span viewed as a standalone series.
+    pub fn slot(&self, j: usize) -> usize {
+        debug_assert!(
+            self.window_range().contains(&j),
+            "window {j} outside the retained range {:?}",
+            self.window_range()
+        );
+        j - self.first_window()
+    }
+
+    /// Index of the window containing time `t` (must be retained).
     pub fn window_of(&self, t: usize) -> usize {
-        debug_assert!(t < self.t_len, "t={t} out of series length {}", self.t_len);
+        debug_assert!(
+            t >= self.origin && t < self.t_len,
+            "t={t} outside the retained span [{}, {})",
+            self.origin,
+            self.t_len
+        );
         t / self.w
     }
 
-    /// Time bounds `[start, end)` of window `j`, clipped to the series length.
+    /// Time bounds `[start, end)` of retained window `j`, clipped to the
+    /// series length.
     pub fn bounds(&self, j: usize) -> (usize, usize) {
-        debug_assert!(j < self.n_windows(), "window {j} out of {}", self.n_windows());
+        debug_assert!(
+            self.window_range().contains(&j),
+            "window {j} outside the retained range {:?}",
+            self.window_range()
+        );
         (j * self.w, ((j + 1) * self.w).min(self.t_len))
     }
 
-    /// Indices of every window intersecting the time range `[start, end)`
-    /// (empty for an empty range).
+    /// Indices of every retained window intersecting the time range
+    /// `[start, end)` (empty for an empty range). Time before the ring origin
+    /// is clamped away — evicted windows are never enumerated.
     pub fn windows_overlapping(&self, start: usize, end: usize) -> Range<usize> {
+        let start = start.max(self.origin);
         let end = end.min(self.t_len);
         if start >= end {
             return 0..0;
@@ -88,11 +191,11 @@ impl WindowGrid {
         start / self.w..(end - 1) / self.w + 1
     }
 
-    /// The suffix of windows affected by a change to `[start, t_len)`, widened
-    /// left by one window width: the fine-grained local mean of a position in
-    /// the *previous* window can reach up to `w` steps forward into the changed
-    /// range, so tail re-imputation must start one window early to reproduce a
-    /// full batch re-impute on the affected region.
+    /// The suffix of retained windows affected by a change to `[start, t_len)`,
+    /// widened left by one window width: the fine-grained local mean of a
+    /// position in the *previous* window can reach up to `w` steps forward into
+    /// the changed range, so tail re-imputation must start one window early to
+    /// reproduce a full batch re-impute on the affected region.
     pub fn tail_windows_for(&self, start: usize) -> Range<usize> {
         self.windows_overlapping(start.saturating_sub(self.w), self.t_len)
     }
@@ -176,5 +279,57 @@ mod tests {
     #[should_panic(expected = "cannot shrink")]
     fn grow_rejects_shrinking() {
         WindowGrid::new(10, 50).grow_to(49);
+    }
+
+    #[test]
+    fn retain_from_advances_the_origin_and_keeps_logical_indices() {
+        let mut g = WindowGrid::new(10, 75);
+        assert_eq!(g.origin(), 0);
+        assert_eq!(g.window_range(), 0..8);
+        g.retain_from(30);
+        assert_eq!(g.origin(), 30);
+        assert_eq!(g.retained_len(), 45);
+        assert_eq!(g.first_window(), 3);
+        assert_eq!(g.n_windows(), 5);
+        assert_eq!(g.window_range(), 3..8);
+        // Logical bounds are unchanged; storage slots shift down.
+        assert_eq!(g.bounds(3), (30, 40));
+        assert_eq!(g.bounds(7), (70, 75));
+        assert_eq!(g.slot(3), 0);
+        assert_eq!(g.slot(7), 4);
+        // Evicted time clamps out of the overlap enumeration.
+        assert_eq!(g.windows_overlapping(0, 75), 3..8);
+        assert_eq!(g.windows_overlapping(0, 25), 0..0, "fully evicted range is empty");
+        assert_eq!(g.tail_windows_for(0), 3..8);
+        assert_eq!(g.window_of(30), 3);
+        // Growth and retention compose: the ring keeps sliding forward.
+        g.grow_to(100);
+        g.retain_from(60);
+        assert_eq!(g.window_range(), 6..10);
+        assert_eq!(g.slot(6), 0);
+        assert_eq!(g.retained_len(), 40);
+        // Same-origin retention is a no-op.
+        g.retain_from(60);
+        assert_eq!(g.n_windows(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the window width")]
+    fn retain_from_rejects_unaligned_origins() {
+        WindowGrid::new(10, 50).retain_from(15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn retain_from_rejects_moving_backwards() {
+        let mut g = WindowGrid::new(10, 50);
+        g.retain_from(20);
+        g.retain_from(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "evict the whole grid")]
+    fn retain_from_rejects_evicting_everything() {
+        WindowGrid::new(10, 50).retain_from(50);
     }
 }

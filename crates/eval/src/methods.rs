@@ -44,27 +44,27 @@ impl MethodBudget {
 /// ablations of §5.5.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Method {
-    /// CDRec [11] — iterative centroid decomposition.
+    /// CDRec \[11\] — iterative centroid decomposition.
     CdRec,
-    /// DynaMMO [14] — Kalman/EM over series groups.
+    /// DynaMMO \[14\] — Kalman/EM over series groups.
     DynaMmo,
-    /// TRMF [28] — AR-regularized matrix factorization.
+    /// TRMF \[28\] — AR-regularized matrix factorization.
     Trmf,
-    /// SVDImp [24] — iterative truncated SVD.
+    /// SVDImp \[24\] — iterative truncated SVD.
     SvdImp,
-    /// SoftImpute [19] — soft-thresholded SVD.
+    /// SoftImpute \[19\] — soft-thresholded SVD.
     SoftImpute,
-    /// SVT [2] — singular value thresholding.
+    /// SVT \[2\] — singular value thresholding.
     Svt,
     /// STMVL — four-view spatio-temporal CF.
     Stmvl,
-    /// BRITS [4] — bidirectional recurrent imputation.
+    /// BRITS \[4\] — bidirectional recurrent imputation.
     Brits,
-    /// GP-VAE [8] — latent-path variational autoencoder (simplified).
+    /// GP-VAE \[8\] — latent-path variational autoencoder (simplified).
     GpVae,
-    /// MRNN [27] — multi-directional recurrent imputation (§2.4).
+    /// MRNN \[27\] — multi-directional recurrent imputation (§2.4).
     Mrnn,
-    /// Vanilla Transformer [25] with per-point tokens.
+    /// Vanilla Transformer \[25\] with per-point tokens.
     Transformer,
     /// DeepMVI — the paper's method.
     DeepMvi,

@@ -38,7 +38,7 @@ pub const MR: usize = 4;
 /// accumulators — eight AVX2 vectors, leaving registers for the `B` row and
 /// the broadcast `A` coefficients; measured faster than both a 6×8 tile and
 /// 512-bit *autovectorized* codegen — the AVX-512 win needed the
-/// hand-written microkernel in [`avx512`]).
+/// hand-written microkernel in \[`avx512`\]).
 pub const NR: usize = 8;
 
 /// Minimum multiply-add flops of work per worker thread before the outer loop

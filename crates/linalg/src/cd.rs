@@ -1,6 +1,6 @@
 //! Centroid decomposition (CD) with the greedy sign-vector search.
 //!
-//! CDRec [11] recovers missing blocks by iterating a truncated *centroid
+//! CDRec \[11\] recovers missing blocks by iterating a truncated *centroid
 //! decomposition* `X ≈ L · Rᵀ`. Each component is found by searching for the sign
 //! vector `z ∈ {−1, +1}^m` that maximizes `‖Xᵀ z‖`; the centroid direction is then
 //! `r = Xᵀ z / ‖Xᵀ z‖` and the loading `l = X r`, after which the rank-one term is

@@ -6,13 +6,13 @@
 //!
 //! * [`ops`] — matmul (plain / transposed variants), matvec, transpose, identity,
 //!   vector helpers.
-//! * [`qr`] — Householder QR.
-//! * [`svd`] — one-sided Jacobi singular value decomposition (used by SVDImp [24],
-//!   SoftImpute [19] and SVT [2]).
+//! * [`qr`](mod@qr) — Householder QR.
+//! * [`svd`](mod@svd) — one-sided Jacobi singular value decomposition (used by SVDImp \[24\],
+//!   SoftImpute \[19\] and SVT \[2\]).
 //! * [`solve`] — Cholesky and partially-pivoted LU solves (used by TRMF's ridge
 //!   regressions and DynaMMO's Kalman/EM updates).
 //! * [`cd`] — the centroid decomposition with the greedy sign-vector search used by
-//!   CDRec [11].
+//!   CDRec \[11\].
 
 pub mod cd;
 pub mod ops;

@@ -1,4 +1,4 @@
-//! BRITS [4]: bidirectional recurrent imputation for time series (Cao et al.).
+//! BRITS \[4\]: bidirectional recurrent imputation for time series (Cao et al.).
 
 use mvi_autograd::{AdamConfig, Graph, GruCell, Linear, ParamStore, VarId};
 use mvi_data::dataset::ObservedDataset;

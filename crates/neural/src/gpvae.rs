@@ -1,4 +1,4 @@
-//! GP-VAE [8] (simplified): deep probabilistic imputation with a latent path prior
+//! GP-VAE \[8\] (simplified): deep probabilistic imputation with a latent path prior
 //! (Fortuin et al.). See `DESIGN.md` §2: the structured GP prior across time is
 //! replaced by a first-order Ornstein–Uhlenbeck smoothness prior on the latent
 //! means, keeping the defining behaviour (temporally correlated latents, imputation

@@ -1,4 +1,4 @@
-//! MRNN [27]: multi-directional recurrent imputation (Yoon, Zame, van der Schaar)
+//! MRNN \[27\]: multi-directional recurrent imputation (Yoon, Zame, van der Schaar)
 //! — the earliest deep MVI method the paper discusses (§2.4).
 //!
 //! Two-block architecture, reproduced at its published structure:
@@ -11,7 +11,7 @@
 //!    time step that refines the interpolation estimates using the concurrently
 //!    observed values of the other streams.
 //!
-//! The empirical study of [12] found MRNN to be both slow and surprisingly weak;
+//! The empirical study of \[12\] found MRNN to be both slow and surprisingly weak;
 //! this reproduction exists so that comparison can be made rather than assumed.
 
 use mvi_autograd::{AdamConfig, Graph, GruCell, Linear, ParamStore, VarId};

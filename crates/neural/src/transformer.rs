@@ -1,4 +1,4 @@
-//! The vanilla Transformer baseline [25] of §5.4: per-point tokens with full
+//! The vanilla Transformer baseline \[25\] of §5.4: per-point tokens with full
 //! self-attention, trained by masked-value reconstruction (§2.3.2).
 //!
 //! Each position of a series becomes a token `[value, availability]` embedded to

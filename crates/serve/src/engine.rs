@@ -47,6 +47,39 @@
 //! encodings), so a grown engine still matches a batch re-impute of the
 //! equivalently extended dataset to 1e-9 — see `deepmvi::FrozenModel::t_len`.
 //!
+//! ## Bounded memory: the retention ring
+//!
+//! An unbounded stream grows resident storage forever. An engine built with
+//! [`ImputationEngine::with_retention`] instead keeps a **retention ring**: a
+//! configurable number of the *newest* time steps stays resident, and an
+//! append that would run past the ring capacity first **evicts the oldest
+//! window-aligned span**. Logical time keeps advancing — window indices,
+//! watermarks, query ranges and reports all stay absolute — but physical
+//! storage is a bounded buffer whose origin ([`ImputationEngine::retained_start`])
+//! slides forward with the stream:
+//!
+//! * storage capacity never exceeds the **ring cap**
+//!   `w · (⌈retention_len / w⌉ + 1)` (one window of slack keeps the retained
+//!   span ≥ `retention_len` through window-aligned eviction), and the
+//!   retained span always holds at least the newest `retention_len` steps;
+//! * queries (and backfills) touching evicted time fail with the typed
+//!   [`ServeError::Evicted`] instead of silently serving wrong data;
+//! * eviction invalidates only what it actually changes: the evicted windows
+//!   leave with their storage, and the first trained-horizon's worth of
+//!   retained windows are marked stale because their rolling attention
+//!   context (and, for the origin window, the ±`w` fine-grained reach) no
+//!   longer sees the evicted data. Deeper retained windows keep their cache
+//!   — their context is entirely inside the ring, so their imputations are
+//!   unchanged.
+//!
+//! The consistency oracle under retention is the **truncated batch
+//! re-impute**: the engine serves exactly what `FrozenModel::impute` over the
+//! retained span (as a standalone dataset — [`ImputationEngine::observed`])
+//! produces, to 1e-9 (bitwise at a fixed thread count). Windows whose rolling
+//! horizon lies entirely inside the ring additionally match the *unbounded*
+//! engine bitwise, because the horizon-relative forward pass sees identical
+//! inputs either way. `tests/serve_retention.rs` holds both as properties.
+//!
 //! ## Watermarks and interior gaps
 //!
 //! Each series has one **write watermark**: the position just past the last
@@ -75,12 +108,39 @@ pub enum ServeError {
     /// Model/dataset geometry mismatch (wrong dims, series length, weights).
     Geometry(String),
     /// Series id outside the dataset.
-    Series { s: usize, n_series: usize },
+    Series {
+        /// The requested series id.
+        s: usize,
+        /// How many series the dataset holds.
+        n_series: usize,
+    },
     /// Time range outside the live series length or inverted.
-    Range { start: usize, end: usize, t_len: usize },
+    Range {
+        /// Requested range start (inclusive).
+        start: usize,
+        /// Requested range end (exclusive).
+        end: usize,
+        /// Live series length the range was validated against.
+        t_len: usize,
+    },
+    /// The range touches time the retention ring has already evicted: the
+    /// data is gone, so the engine refuses rather than serve silently-wrong
+    /// values. Only engines built with [`ImputationEngine::with_retention`]
+    /// produce this.
+    Evicted {
+        /// Requested range start (inclusive).
+        start: usize,
+        /// Requested range end (exclusive).
+        end: usize,
+        /// Oldest retained time position; everything before it is evicted.
+        retained_start: usize,
+    },
     /// A restored snapshot carries NaN/±inf weights; serving them would
     /// silently answer every query with NaN.
-    NonFiniteWeights { param: String },
+    NonFiniteWeights {
+        /// Name of the offending parameter tensor.
+        param: String,
+    },
     /// Snapshot parse/restore failure.
     Snapshot(String),
     /// The serving executor shut down before answering (transient: the
@@ -97,6 +157,13 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Range { start, end, t_len } => {
                 write!(f, "range {start}..{end} invalid for live series length {t_len}")
+            }
+            ServeError::Evicted { start, end, retained_start } => {
+                write!(
+                    f,
+                    "range {start}..{end} touches evicted time (the retention ring starts at \
+                     {retained_start})"
+                )
             }
             ServeError::NonFiniteWeights { param } => {
                 write!(f, "snapshot parameter `{param}` contains non-finite weights")
@@ -137,6 +204,12 @@ pub struct AppendReport {
     /// Live series length after the mutation (appends may grow it past the
     /// trained length; backfills never do).
     pub live_len: usize,
+    /// Oldest retained time position after the mutation (`0` on unbounded
+    /// engines; advances when an append pushes the retention ring forward).
+    /// If the mutation evicted, `recorded.0` may exceed the pre-append
+    /// watermark: values destined for time the eviction consumed are dropped
+    /// immediately rather than recorded.
+    pub retained_start: usize,
 }
 
 /// Monotonic serving counters (lock-free reads; see
@@ -151,6 +224,8 @@ struct Counters {
     values_appended: AtomicU64,
     backfills: AtomicU64,
     values_backfilled: AtomicU64,
+    evictions: AtomicU64,
+    steps_evicted: AtomicU64,
 }
 
 /// Point-in-time copy of the engine counters.
@@ -174,22 +249,57 @@ pub struct EngineStats {
     pub backfills: u64,
     /// Total values recorded by backfills.
     pub values_backfilled: u64,
+    /// Retention-ring evictions (always `0` on unbounded engines).
+    pub evictions: u64,
+    /// Total time steps evicted from the front of the ring, summed over all
+    /// evictions (per series; multiply by the series count for cell counts).
+    pub steps_evicted: u64,
+}
+
+/// The validated warm state the snapshot layer hands to
+/// [`ImputationEngine::from_parts`] on a warm restart: physical storage
+/// (`obs`/`imputed` with time `0` = `retained_start`) plus the ring/serving
+/// bookkeeping.
+pub(crate) struct RestoredParts {
+    pub obs: ObservedDataset,
+    pub imputed: Tensor,
+    pub fresh: Vec<Vec<bool>>,
+    pub watermark: Vec<usize>,
+    pub retained_start: usize,
+    pub live_t_len: usize,
+    pub retention: Option<usize>,
 }
 
 /// Mutable serving state, guarded by the engine mutex.
+///
+/// Time coordinates come in two flavours here:
+///
+/// * **logical** — absolute stream time, what the public API speaks. The
+///   grid, watermarks, request ranges and reports are all logical.
+/// * **physical** — offsets into the bounded storage buffers (`obs`,
+///   `imputed`). Physical `0` is the ring origin `grid.origin()`, so
+///   `physical = logical - origin`; with no retention configured the origin
+///   stays `0` and the two coincide. Because the origin is window-aligned, a
+///   retained logical window's storage slot ([`WindowGrid::slot`]) equals its
+///   window index on the grid of the physical buffer viewed standalone —
+///   which is exactly the grid the frozen model evaluates, so
+///   [`deepmvi::WindowQuery`] is issued in physical coordinates.
 struct EngineState {
-    /// Observed values/mask at storage *capacity*; everything in
-    /// `[grid.t_len(), obs.t_len())` is missing by construction.
+    /// Observed values/mask at storage *capacity*, physical coordinates;
+    /// everything in `[grid.retained_len(), obs.t_len())` is missing by
+    /// construction.
     obs: ObservedDataset,
-    /// The live window grid: `grid.t_len()` is the live series length.
+    /// The live window grid (logical): `grid.t_len()` is the live series
+    /// length, `grid.origin()` the retention-ring origin.
     grid: WindowGrid,
-    /// Full-tensor cache at storage capacity: observed values + the latest
-    /// imputations.
+    /// Full-tensor cache at storage capacity (physical): observed values +
+    /// the latest imputations.
     imputed: Tensor,
-    /// Freshness per series, one flag per live window.
+    /// Freshness per series, one flag per retained window, indexed by storage
+    /// slot ([`WindowGrid::slot`]).
     fresh: Vec<Vec<bool>>,
-    /// Per-series write watermark: where the next append lands (one past the
-    /// last observed entry).
+    /// Per-series write watermark (logical): where the next append lands
+    /// (one past the last observed entry, never before the ring origin).
     watermark: Vec<usize>,
     /// Warm forward-pass scratch for the tape-free evaluator: serial
     /// micro-batches (the append/backfill hot path) reuse its recycled
@@ -199,9 +309,15 @@ struct EngineState {
 }
 
 impl EngineState {
-    /// Live series length (capacity slack excluded).
+    /// Live series length (logical end of the stream; capacity slack
+    /// excluded).
     fn live_t(&self) -> usize {
         self.grid.t_len()
+    }
+
+    /// The ring origin: oldest retained logical time (`0` when unbounded).
+    fn base(&self) -> usize {
+        self.grid.origin()
     }
 }
 
@@ -210,6 +326,12 @@ impl EngineState {
 pub struct ImputationEngine {
     model: FrozenModel,
     n_series: usize,
+    /// Configured retention window in time steps (`None` = unbounded).
+    retention: Option<usize>,
+    /// Storage bound derived from `retention`: `w · (⌈retention/w⌉ + 1)`.
+    /// The extra window of slack keeps the retained span ≥ `retention`
+    /// through window-aligned eviction.
+    ring_cap: Option<usize>,
     state: Mutex<EngineState>,
     counters: Counters,
 }
@@ -224,21 +346,99 @@ impl ImputationEngine {
     /// that already grew past training, e.g. restored from a snapshot of a
     /// long-running deployment); it can never be shorter.
     ///
+    /// Storage grows without bound as the stream runs — see
+    /// [`ImputationEngine::with_retention`] for the bounded-memory variant.
+    ///
     /// # Errors
     /// [`ServeError::Geometry`] when `obs` does not match the geometry the
     /// model was built for.
     pub fn new(model: FrozenModel, obs: ObservedDataset) -> Result<Self, ServeError> {
-        if obs.series_shape() != model.series_shape() || obs.t_len() < model.t_len() {
+        Self::build(model, obs, None)
+    }
+
+    /// Like [`ImputationEngine::new`], but with a **retention ring**: resident
+    /// storage is bounded by the ring cap `w · (⌈retention_len/w⌉ + 1)` time
+    /// steps per series, and at least the newest `retention_len` steps are
+    /// always retained. Appends past the cap evict the oldest window-aligned
+    /// span ([`EngineStats::evictions`]); queries and backfills touching
+    /// evicted time fail with [`ServeError::Evicted`].
+    ///
+    /// If `obs` already exceeds the cap, its oldest span is evicted
+    /// immediately — the engine starts with [`ImputationEngine::retained_start`]
+    /// past zero and never allocates beyond the cap. Unlike
+    /// [`ImputationEngine::new`], `obs` may also be *shorter* than the
+    /// trained length: a bounded engine's natural input is a retained window
+    /// of history (e.g. the observed span of a ring snapshot restored cold),
+    /// and the forward pass clips to the live data it has.
+    ///
+    /// ```
+    /// use deepmvi::{DeepMviConfig, DeepMviModel};
+    /// use mvi_data::generators::{generate_with_shape, DatasetName};
+    /// use mvi_data::scenarios::Scenario;
+    /// use mvi_serve::{ImputationEngine, ServeError};
+    ///
+    /// let ds = generate_with_shape(DatasetName::Gas, &[2], 60, 4);
+    /// let obs = Scenario::mcar(1.0).apply(&ds, 1).observed();
+    /// let cfg = DeepMviConfig { max_steps: 2, ..DeepMviConfig::tiny() };
+    /// let mut model = DeepMviModel::new(&cfg, &obs);
+    /// model.fit(&obs);
+    ///
+    /// // Keep (at least) the newest 30 steps; storage is capped near that.
+    /// let engine = ImputationEngine::with_retention(model.freeze(), obs, 30).unwrap();
+    /// let cap = engine.ring_capacity().unwrap();
+    /// for chunk in 0..50 {
+    ///     engine.append(0, &[chunk as f64; 5]).unwrap();
+    ///     assert!(engine.storage_capacity() <= cap); // resident memory stays flat
+    /// }
+    /// let (start, live) = (engine.retained_start(), engine.live_len());
+    /// assert_eq!(live, 60 + 250);              // logical time kept advancing
+    /// assert!(live - start >= 30);             // the retention floor holds
+    /// assert!(engine.query(0, start, live).is_ok());
+    /// // Evicted time answers with a typed error, never silently-wrong data.
+    /// assert!(matches!(
+    ///     engine.query(0, start - 1, live),
+    ///     Err(ServeError::Evicted { .. })
+    /// ));
+    /// ```
+    ///
+    /// # Errors
+    /// [`ServeError::Geometry`] on a model/dataset mismatch (as in
+    /// [`ImputationEngine::new`]) or a zero `retention_len`.
+    pub fn with_retention(
+        model: FrozenModel,
+        obs: ObservedDataset,
+        retention_len: usize,
+    ) -> Result<Self, ServeError> {
+        if retention_len == 0 {
+            return Err(ServeError::Geometry(
+                "retention window must be at least one time step".into(),
+            ));
+        }
+        Self::build(model, obs, Some(retention_len))
+    }
+
+    fn build(
+        model: FrozenModel,
+        obs: ObservedDataset,
+        retention: Option<usize>,
+    ) -> Result<Self, ServeError> {
+        // A bounded engine accepts any history length (its input is a
+        // retained window); an unbounded one must cover the trained span.
+        let too_short = retention.is_none() && obs.t_len() < model.t_len();
+        if obs.series_shape() != model.series_shape() || too_short {
             return Err(ServeError::Geometry(format!(
                 "observed dataset {:?}x{} does not match model {:?}x{} (series shapes must \
-                 match and the dataset can only be longer than the trained length)",
+                 match and an unbounded engine's dataset can only be longer than the trained \
+                 length)",
                 obs.series_shape(),
                 obs.t_len(),
                 model.series_shape(),
                 model.t_len()
             )));
         }
-        let grid = WindowGrid::new(model.grid().window_len(), obs.t_len());
+        let w = model.grid().window_len();
+        let grid = WindowGrid::new(w, obs.t_len());
+        let ring_cap = retention.map(|r| w * (r.div_ceil(w) + 1));
         let n_series = obs.n_series();
         let watermark = (0..n_series)
             .map(|s| {
@@ -247,10 +447,69 @@ impl ImputationEngine {
             })
             .collect();
         let imputed = obs.values.clone();
-        let fresh = vec![vec![false; grid.n_windows()]; n_series];
+        let mut state = EngineState {
+            obs,
+            grid,
+            imputed,
+            fresh: Vec::new(),
+            watermark,
+            scratch: InferScratch::new(),
+        };
+
+        // A dataset already past the ring cap starts with its oldest span
+        // evicted: storage is rebuilt at the cap, so memory never exceeds it
+        // even transiently after construction.
+        if let Some(cap) = ring_cap {
+            let live = state.grid.t_len();
+            if live > cap {
+                let new_base = (live - cap).div_ceil(w) * w;
+                let span = live - new_base;
+                state.obs.retain_latest(span);
+                state.obs.extend_time(cap);
+                state.imputed.retain_latest(span);
+                state.imputed.extend_time(cap, 0.0);
+                state.grid.retain_from(new_base);
+                for wm in &mut state.watermark {
+                    *wm = (*wm).max(new_base);
+                }
+            }
+        }
+        state.fresh = vec![vec![false; state.grid.n_windows()]; n_series];
+        Ok(Self {
+            model,
+            n_series,
+            retention,
+            ring_cap,
+            state: Mutex::new(state),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Assembles an engine directly from restored parts (the snapshot
+    /// warm-restart path): the caller has already validated geometry and the
+    /// state is taken as-is — `parts.obs`/`parts.imputed` are physical
+    /// storage whose position `0` is logical time `parts.retained_start`.
+    pub(crate) fn from_parts(model: FrozenModel, parts: RestoredParts) -> Self {
+        let RestoredParts { obs, imputed, fresh, watermark, retained_start, live_t_len, retention } =
+            parts;
+        let w = model.grid().window_len();
+        let mut grid = WindowGrid::new(w, live_t_len);
+        if retained_start > 0 {
+            grid.retain_from(retained_start);
+        }
+        let ring_cap = retention.map(|r| w * (r.div_ceil(w) + 1));
+        let n_series = obs.n_series();
+        debug_assert_eq!(obs.t_len(), grid.retained_len(), "physical span mismatch");
         let state =
             EngineState { obs, grid, imputed, fresh, watermark, scratch: InferScratch::new() };
-        Ok(Self { model, n_series, state: Mutex::new(state), counters: Counters::default() })
+        Self {
+            model,
+            n_series,
+            retention,
+            ring_cap,
+            state: Mutex::new(state),
+            counters: Counters::default(),
+        }
     }
 
     /// The frozen model this engine serves.
@@ -275,14 +534,42 @@ impl ImputationEngine {
         self.model.t_len()
     }
 
+    /// The configured retention window in time steps, or `None` for an
+    /// unbounded engine.
+    pub fn retention(&self) -> Option<usize> {
+        self.retention
+    }
+
+    /// The oldest retained logical time position: `0` on unbounded engines,
+    /// advancing (window-aligned) as the retention ring evicts. Queries
+    /// before this fail with [`ServeError::Evicted`].
+    pub fn retained_start(&self) -> usize {
+        self.state.lock().expect("engine poisoned").base()
+    }
+
+    /// The hard per-series storage bound in time steps,
+    /// `w · (⌈retention_len/w⌉ + 1)`, or `None` for an unbounded engine.
+    /// [`ImputationEngine::storage_capacity`] never exceeds this.
+    pub fn ring_capacity(&self) -> Option<usize> {
+        self.ring_cap
+    }
+
+    /// Current *physical* storage capacity in time steps per series — the
+    /// resident-memory footprint of the series buffers. Grows geometrically
+    /// on an unbounded engine; capped at [`ImputationEngine::ring_capacity`]
+    /// under retention (the long-stream bench asserts this stays flat).
+    pub fn storage_capacity(&self) -> usize {
+        self.state.lock().expect("engine poisoned").obs.t_len()
+    }
+
     /// Computes every stale window with missing entries now, so subsequent
     /// queries are pure cache reads. Returns the number of windows computed.
     pub fn warm_up(&self) -> usize {
         let mut state = self.state.lock().expect("engine poisoned");
         let mut queries = Vec::new();
-        let live_t = state.live_t();
+        let (base, live_t) = (state.base(), state.live_t());
         for s in 0..self.n_series {
-            self.collect_stale(&state, s, 0, live_t, &mut queries);
+            self.collect_stale(&state, s, base, live_t, &mut queries);
         }
         self.compute_and_fill(&mut state, &queries);
         queries.len()
@@ -298,16 +585,17 @@ impl ImputationEngine {
     }
 
     /// Serves a micro-batch of requests: validates each against the live
-    /// series length, coalesces the stale windows the batch needs
-    /// (deduplicated across overlapping requests), evaluates them in one
-    /// data-parallel pass, then answers every request from the refreshed
-    /// cache. Per-request errors do not poison the batch.
+    /// series length (and, under retention, the evicted boundary), coalesces
+    /// the stale windows the batch needs (deduplicated across overlapping
+    /// requests), evaluates them in one data-parallel pass, then answers
+    /// every request from the refreshed cache. Per-request errors do not
+    /// poison the batch.
     pub fn query_batch(&self, requests: &[ImputeRequest]) -> Vec<Result<Vec<f64>, ServeError>> {
         self.counters.requests.fetch_add(requests.len() as u64, Ordering::Relaxed);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
 
         let mut state = self.state.lock().expect("engine poisoned");
-        let live_t = state.live_t();
+        let (base, live_t) = (state.base(), state.live_t());
         let validity: Vec<Result<(), ServeError>> = requests
             .iter()
             .map(|r| {
@@ -315,6 +603,8 @@ impl ImputationEngine {
                     Err(ServeError::Series { s: r.s, n_series: self.n_series })
                 } else if r.start > r.end || r.end > live_t {
                     Err(ServeError::Range { start: r.start, end: r.end, t_len: live_t })
+                } else if r.start < base {
+                    Err(ServeError::Evicted { start: r.start, end: r.end, retained_start: base })
                 } else {
                     Ok(())
                 }
@@ -342,7 +632,9 @@ impl ImputationEngine {
         requests
             .iter()
             .zip(validity)
-            .map(|(r, ok)| ok.map(|()| state.imputed.series(r.s)[r.start..r.end].to_vec()))
+            .map(|(r, ok)| {
+                ok.map(|()| state.imputed.series(r.s)[r.start - base..r.end - base].to_vec())
+            })
             .collect()
     }
 
@@ -352,7 +644,11 @@ impl ImputationEngine {
     /// the series: the live grid extends, storage grows geometrically when
     /// capacity is exhausted, and windows past the trained length are served
     /// through the frozen model's rolling temporal context — streaming never
-    /// hits a capacity wall. Returns what was recorded and recomputed.
+    /// hits a capacity wall. Under retention, growth past the ring cap
+    /// instead **evicts the oldest window-aligned span** first, so resident
+    /// storage stays bounded while the stream runs forever (an append larger
+    /// than the ring records only its newest retained tail). Returns what was
+    /// recorded and recomputed.
     ///
     /// # Errors
     /// [`ServeError::Series`] for a bad id.
@@ -370,25 +666,34 @@ impl ImputationEngine {
                 positions_refreshed: 0,
                 windows_invalidated: 0,
                 live_len: state.live_t(),
+                retained_start: state.base(),
             });
         }
+        let mut evicted_stale = 0usize;
         if end > state.live_t() {
-            self.grow(&mut state, end);
+            evicted_stale = self.grow(&mut state, end);
         }
-        self.record(&mut state, s, wm, values);
+        // Eviction may have advanced the ring past the watermark (a huge
+        // append, or a series that idled while siblings streamed on): the
+        // prefix of `values` destined for evicted time is dropped immediately.
+        let start = wm.max(state.base());
+        self.record(&mut state, s, start, &values[start - wm..]);
         state.watermark[s] = end;
 
         // Eager set: the whole tail from one window before the append (the
         // fine-grained mean reaches `w` steps across a window boundary). When
         // the append grew the series, every window holding newly-live
-        // positions overlaps `[wm, end)` — the appended range ends at the new
-        // live end — so extended windows of *all* series are refreshed or
+        // positions overlaps `[start, end)` — the appended range ends at the
+        // new live end — so extended windows of *all* series are refreshed or
         // invalidated by the shared plumbing below too.
-        let tail = state.grid.tail_windows_for(wm);
-        let report = self.refresh_after_record(&mut state, s, wm, end, tail);
+        let tail = state.grid.tail_windows_for(start);
+        let mut report = self.refresh_after_record(&mut state, s, start, end, tail);
+        report.windows_invalidated += evicted_stale;
 
         self.counters.appends.fetch_add(1, Ordering::Relaxed);
-        self.counters.values_appended.fetch_add(values.len() as u64, Ordering::Relaxed);
+        // Count what was *recorded*: a prefix the eviction consumed (start
+        // past the old watermark) was dropped, not recorded.
+        self.counters.values_appended.fetch_add((end - start) as u64, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -405,12 +710,38 @@ impl ImputationEngine {
     /// re-impute of the current state.
     ///
     /// The watermark only moves if the filled range ends past it; filling an
-    /// interior gap leaves streaming appends unaffected.
+    /// interior gap leaves streaming appends unaffected:
+    ///
+    /// ```
+    /// # use deepmvi::{DeepMviConfig, DeepMviModel};
+    /// # use mvi_data::generators::{generate_with_shape, DatasetName};
+    /// # use mvi_data::scenarios::Scenario;
+    /// # use mvi_serve::ImputationEngine;
+    /// # let ds = generate_with_shape(DatasetName::Gas, &[2], 60, 4);
+    /// # let mut obs = Scenario::mcar(1.0).apply(&ds, 1).observed();
+    /// // A hidden interior range with observed data after it: the watermark
+    /// // starts at the series end, past the gap.
+    /// obs.hide_range(0, 20, 30);
+    /// # let cfg = DeepMviConfig { max_steps: 2, ..DeepMviConfig::tiny() };
+    /// # let mut model = DeepMviModel::new(&cfg, &obs);
+    /// # model.fit(&obs);
+    /// let engine = ImputationEngine::new(model.freeze(), obs).unwrap();
+    /// assert_eq!(engine.watermark(0).unwrap(), 60);
+    ///
+    /// // Backfilling the gap records the late data without moving the cursor…
+    /// engine.fill_range(0, 20, &[1.5; 10]).unwrap();
+    /// assert_eq!(engine.watermark(0).unwrap(), 60);
+    /// assert_eq!(engine.query(0, 20, 30).unwrap(), vec![1.5; 10]);
+    /// // …so the next streaming append still lands at the series end.
+    /// assert_eq!(engine.append(0, &[2.0]).unwrap().recorded, (60, 61));
+    /// ```
     ///
     /// # Errors
     /// [`ServeError::Series`] for a bad id, [`ServeError::Range`] when the
     /// range leaves the live series (backfill never grows a series — that is
-    /// `append`'s job).
+    /// `append`'s job), [`ServeError::Evicted`] when the range touches time
+    /// the retention ring has already dropped (backfill cannot resurrect
+    /// evicted history).
     pub fn fill_range(
         &self,
         s: usize,
@@ -426,6 +757,9 @@ impl ImputationEngine {
         if start > live_t || end > live_t {
             return Err(ServeError::Range { start, end, t_len: live_t });
         }
+        if start < state.base() {
+            return Err(ServeError::Evicted { start, end, retained_start: state.base() });
+        }
         if values.is_empty() {
             return Ok(AppendReport {
                 recorded: (start, start),
@@ -433,12 +767,14 @@ impl ImputationEngine {
                 positions_refreshed: 0,
                 windows_invalidated: 0,
                 live_len: live_t,
+                retained_start: state.base(),
             });
         }
         self.record(&mut state, s, start, values);
         state.watermark[s] = state.watermark[s].max(end);
 
-        // Eager set: windows within the ±w local reach of the filled range.
+        // Eager set: windows within the ±w local reach of the filled range
+        // (clamped to the ring origin by the grid).
         let w = state.grid.window_len();
         let eager = state.grid.windows_overlapping(start.saturating_sub(w), (end + w).min(live_t));
         let report = self.refresh_after_record(&mut state, s, start, end, eager);
@@ -466,19 +802,20 @@ impl ImputationEngine {
         eager: Range<usize>,
     ) -> AppendReport {
         let overlap = state.grid.windows_overlapping(start, end);
+        let first = state.grid.first_window();
         let mut invalidated = 0usize;
-        for j in 0..state.grid.n_windows() {
+        for j in state.grid.window_range() {
             if eager.contains(&j) {
-                state.fresh[s][j] = false;
-            } else if state.fresh[s][j] {
-                state.fresh[s][j] = false;
+                state.fresh[s][j - first] = false;
+            } else if state.fresh[s][j - first] {
+                state.fresh[s][j - first] = false;
                 invalidated += 1;
             }
         }
         for sib in 0..self.n_series {
             if sib != s {
                 for j in overlap.clone() {
-                    state.fresh[sib][j] = false;
+                    state.fresh[sib][j - first] = false;
                 }
             }
         }
@@ -504,6 +841,7 @@ impl ImputationEngine {
             positions_refreshed,
             windows_invalidated: invalidated,
             live_len: state.live_t(),
+            retained_start: state.base(),
         }
     }
 
@@ -521,19 +859,43 @@ impl ImputationEngine {
         Ok(self.state.lock().expect("engine poisoned").watermark[s])
     }
 
-    /// A copy of the full live imputation cache (observed values + latest
-    /// imputations, truncated to the live length). Primarily for tests and
+    /// A copy of the full retained imputation cache (observed values + latest
+    /// imputations over the retained span). On an unbounded engine this is
+    /// the whole live series; under retention the tensor's time axis starts
+    /// at [`ImputationEngine::retained_start`]. Primarily for tests and
     /// offline comparison.
     pub fn cached_values(&self) -> Tensor {
         let state = self.state.lock().expect("engine poisoned");
-        state.imputed.truncated_time(state.live_t())
+        state.imputed.truncated_time(state.grid.retained_len())
     }
 
-    /// A copy of the current observed state the engine serves, at the live
-    /// length (capacity slack excluded).
+    /// A copy of the current observed state the engine serves, over the
+    /// retained span (capacity slack excluded; the time axis starts at
+    /// [`ImputationEngine::retained_start`]). Viewed as a standalone dataset
+    /// this is exactly the truncated-batch-re-impute oracle the retention
+    /// consistency contract is stated against.
     pub fn observed(&self) -> ObservedDataset {
         let state = self.state.lock().expect("engine poisoned");
-        state.obs.truncated(state.live_t())
+        state.obs.truncated(state.grid.retained_len())
+    }
+
+    /// A consistent copy of the warm serving state for
+    /// [`ImputationEngine::snapshot`], taken under one lock acquisition:
+    /// `(cache, dims, live_t_len, retained_start)`.
+    pub(crate) fn cache_snapshot(
+        &self,
+    ) -> (crate::snapshot::CacheSnapshot, Vec<mvi_data::dataset::DimSpec>, usize, usize) {
+        let state = self.state.lock().expect("engine poisoned");
+        let span = state.grid.retained_len();
+        let cache = crate::snapshot::CacheSnapshot {
+            name: state.obs.name.clone(),
+            values: state.obs.values.truncated_time(span),
+            available: state.obs.available.truncated_time(span),
+            imputed: state.imputed.truncated_time(span),
+            fresh: state.fresh.clone(),
+            watermark: state.watermark.clone(),
+        };
+        (cache, state.obs.dims.clone(), state.grid.t_len(), state.base())
     }
 
     /// Point-in-time serving counters.
@@ -547,40 +909,120 @@ impl ImputationEngine {
             values_appended: self.counters.values_appended.load(Ordering::Relaxed),
             backfills: self.counters.backfills.load(Ordering::Relaxed),
             values_backfilled: self.counters.values_backfilled.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            steps_evicted: self.counters.steps_evicted.load(Ordering::Relaxed),
         }
     }
 
     /// Extends the live length to `live_needed`, growing the backing storage
     /// geometrically (≥1.5×, window-aligned) when capacity runs out so a
     /// stream of small appends moves each element O(1) times amortized. The
-    /// slack `[live, capacity)` stays all-missing, which the forward pass
-    /// treats exactly like data that does not exist.
-    fn grow(&self, state: &mut EngineState, live_needed: usize) {
+    /// slack `[retained span, capacity)` stays all-missing, which the forward
+    /// pass treats exactly like data that does not exist.
+    ///
+    /// Under retention, growth past the ring cap evicts first
+    /// ([`ImputationEngine::evict_to`]) and capacity is clamped at the cap,
+    /// so resident storage never exceeds it. Returns the number of
+    /// previously-fresh windows the eviction invalidated (0 without one).
+    fn grow(&self, state: &mut EngineState, live_needed: usize) -> usize {
+        state.grid.grow_to(live_needed);
+        let mut evicted_stale = 0usize;
+        if let Some(cap) = self.ring_cap {
+            let base = state.base();
+            if live_needed - base > cap {
+                let w = state.grid.window_len();
+                let new_base = (live_needed - cap).div_ceil(w) * w;
+                evicted_stale = self.evict_to(state, new_base);
+            }
+        }
+        let span = state.grid.retained_len();
         let capacity = state.obs.t_len();
-        if live_needed > capacity {
+        if span > capacity {
             let w = state.grid.window_len();
-            let target = live_needed.max(capacity + capacity / 2);
-            let new_capacity = target.div_ceil(w) * w;
+            let target = span.max(capacity + capacity / 2);
+            let mut new_capacity = target.div_ceil(w) * w;
+            if let Some(cap) = self.ring_cap {
+                new_capacity = new_capacity.min(cap);
+            }
             state.obs.extend_time(new_capacity);
             state.imputed.extend_time(new_capacity, 0.0);
         }
-        state.grid.grow_to(live_needed);
         let n_windows = state.grid.n_windows();
         for fresh in &mut state.fresh {
             fresh.resize(n_windows, false);
         }
+        evicted_stale
+    }
+
+    /// Advances the retention ring to `new_base` (window-aligned, past the
+    /// current origin): the oldest `new_base - origin` steps of every series
+    /// leave physical storage (each buffer slides left in place; capacity is
+    /// unchanged and the vacated suffix re-opens as all-missing slack), the
+    /// per-window freshness vectors drop their evicted slots, and watermarks
+    /// are clamped so no series can write into evicted time.
+    ///
+    /// Retained windows whose forward inputs reached the evicted span are
+    /// marked stale: the first `trained-horizon − 1` retained windows (their
+    /// rolling attention context started before `new_base`; the origin
+    /// window's ±`w` fine-grained reach is inside that prefix too — except
+    /// when the horizon is a single window, where the fine-grained reach
+    /// alone stales the origin window). Everything deeper keeps its cache:
+    /// its context lies entirely inside the ring, so a recompute would
+    /// reproduce it bitwise. Returns how many previously-fresh windows were
+    /// invalidated.
+    fn evict_to(&self, state: &mut EngineState, new_base: usize) -> usize {
+        let w = state.grid.window_len();
+        let drop = new_base - state.base();
+        debug_assert!(drop > 0 && drop.is_multiple_of(w), "eviction must drop whole windows");
+        let capacity = state.obs.t_len();
+        if drop < capacity {
+            state.obs.retain_latest(capacity - drop);
+            state.obs.extend_time(capacity);
+            state.imputed.retain_latest(capacity - drop);
+            state.imputed.extend_time(capacity, 0.0);
+        } else {
+            // One append jumped past the whole ring: every resident step is
+            // evicted. Reset storage to all-missing in place.
+            for s in 0..self.n_series {
+                state.obs.hide_range(s, 0, capacity);
+            }
+            state.imputed.data_mut().fill(0.0);
+        }
+        state.grid.retain_from(new_base);
+        for wm in &mut state.watermark {
+            *wm = (*wm).max(new_base);
+        }
+
+        let drop_w = drop / w;
+        let horizon_w = self.model.t_len().div_ceil(w);
+        let stale_reach = horizon_w.saturating_sub(1).max(1);
+        let mut invalidated = 0usize;
+        for fresh in &mut state.fresh {
+            let evicted = drop_w.min(fresh.len());
+            fresh.drain(..evicted);
+            for f in fresh.iter_mut().take(stale_reach) {
+                if *f {
+                    *f = false;
+                    invalidated += 1;
+                }
+            }
+        }
+        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        self.counters.steps_evicted.fetch_add(drop as u64, Ordering::Relaxed);
+        invalidated
     }
 
     /// Writes `values` into the observed state and the imputation cache at
-    /// `[start, start + len)` of series `s` (both live by the caller's
-    /// validation/growth).
+    /// logical `[start, start + len)` of series `s` (retained and live by the
+    /// caller's validation/growth).
     fn record(&self, state: &mut EngineState, s: usize, start: usize, values: &[f64]) {
-        state.obs.record_range(s, start, values);
-        state.imputed.series_mut(s)[start..start + values.len()].copy_from_slice(values);
+        let p = start - state.base();
+        state.obs.record_range(s, p, values);
+        state.imputed.series_mut(s)[p..p + values.len()].copy_from_slice(values);
     }
 
     /// Appends the stale windows with missing entries of series `s` inside
-    /// `[start, end)` to `queries` (no dedup across calls).
+    /// logical `[start, end)` to `queries` (no dedup across calls).
     fn collect_stale(
         &self,
         state: &EngineState,
@@ -605,6 +1047,10 @@ impl ImputationEngine {
     /// window and zero allocation. Queries always carry the full window's
     /// missing positions (the request range may clip the window, but the
     /// freshness bit covers all of it).
+    ///
+    /// `start`/`end` are logical; the produced [`WindowQuery`]s are
+    /// **physical** (storage slots and storage positions) — precisely the
+    /// coordinates the frozen model evaluates the bounded storage buffer in.
     fn collect_stale_dedup(
         &self,
         state: &EngineState,
@@ -615,33 +1061,36 @@ impl ImputationEngine {
         queries: &mut Vec<WindowQuery>,
     ) -> usize {
         let avail = state.obs.available.series(s);
+        let base = state.base();
         let mut fresh_hits = 0usize;
         for wj in state.grid.windows_overlapping(start, end) {
             let (lo, hi) = state.grid.bounds(wj);
-            if state.fresh[s][wj] {
+            let (plo, phi) = (lo - base, hi - base);
+            let slot = state.grid.slot(wj);
+            if state.fresh[s][slot] {
                 // Fully observed windows carry no imputations: not a hit.
-                if avail[lo..hi].iter().any(|&a| !a) {
+                if avail[plo..phi].iter().any(|&a| !a) {
                     fresh_hits += 1;
                 }
                 continue;
             }
-            if !needed.contains(&(s, wj)) {
-                let positions: Vec<usize> = (lo..hi).filter(|&t| !avail[t]).collect();
+            if !needed.contains(&(s, slot)) {
+                let positions: Vec<usize> = (plo..phi).filter(|&t| !avail[t]).collect();
                 if positions.is_empty() {
                     continue; // fully observed, nothing to impute
                 }
-                needed.insert((s, wj));
-                queries.push(WindowQuery { s, window_j: wj, positions });
+                needed.insert((s, slot));
+                queries.push(WindowQuery { s, window_j: slot, positions });
             }
         }
         fresh_hits
     }
 
-    /// Evaluates `queries` data-parallel over the frozen model, writes the
-    /// predictions into the cache and marks the windows fresh. The capacity
-    /// slack past the live length is all-missing, so evaluating against the
-    /// capacity-padded observed state is bitwise identical to evaluating
-    /// against the live prefix.
+    /// Evaluates `queries` (physical coordinates) data-parallel over the
+    /// frozen model, writes the predictions into the cache and marks the
+    /// windows fresh. The capacity slack past the retained span is
+    /// all-missing, so evaluating against the capacity-padded observed state
+    /// is bitwise identical to evaluating against the retained span alone.
     ///
     /// Runs through the tape-free evaluator with the engine's long-lived
     /// scratch, so the serial cold-window path (small per-append
@@ -840,6 +1289,97 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.appends, 90);
         assert_eq!(stats.values_appended, 90);
+    }
+
+    #[test]
+    fn retention_ring_bounds_storage_and_rejects_evicted_queries() {
+        let ds = generate_with_shape(DatasetName::Gas, &[3], 100, 2);
+        let obs = Scenario::mcar(1.0).apply(&ds, 5).observed();
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let w = model.window();
+        let retention = 3 * w; // three windows of history
+        let engine = ImputationEngine::with_retention(model.freeze(), obs, retention).unwrap();
+        let cap = engine.ring_capacity().unwrap();
+        assert_eq!(cap, 4 * w, "three retained windows + one of slack");
+        // Construction already evicted the 100-step dataset down to the cap.
+        assert_eq!(engine.storage_capacity(), cap);
+        assert_eq!(engine.retained_start(), 100 - cap);
+        assert_eq!(engine.live_len(), 100);
+        let initial_base = engine.retained_start();
+
+        // Stream far past the cap: storage stays flat, logical time advances.
+        for i in 0..30 {
+            let vals: Vec<f64> = (0..7).map(|k| ((i * 7 + k) as f64 / 13.0).sin()).collect();
+            let report = engine.append(0, &vals).unwrap();
+            assert!(report.live_len - report.retained_start <= cap, "retained span blew the cap");
+            assert!(engine.storage_capacity() <= cap, "storage grew past the ring cap");
+        }
+        let live = engine.live_len();
+        let base = engine.retained_start();
+        assert_eq!(live, 100 + 30 * 7);
+        assert!(live - base >= retention, "retention floor violated");
+        assert!(engine.stats().evictions > 0);
+        // Construction-time trimming is not a streaming eviction; everything
+        // since is accounted for step by step.
+        assert_eq!(engine.stats().steps_evicted as usize, base - initial_base);
+        assert_eq!(engine.watermark(0).unwrap(), live);
+        // Sibling watermarks were dragged past the evicted span.
+        assert!(engine.watermark(1).unwrap() >= base);
+
+        // Retained queries serve; evicted time is a typed error, not data.
+        let tail = engine.query(0, live - retention, live).unwrap();
+        assert_eq!(tail.len(), retention);
+        assert!(tail.iter().all(|v| v.is_finite()));
+        let err = engine.query(0, base.saturating_sub(1), live).unwrap_err();
+        assert_eq!(err, ServeError::Evicted { start: base - 1, end: live, retained_start: base });
+        assert!(matches!(
+            engine.fill_range(0, base - w, &[0.0; 2]),
+            Err(ServeError::Evicted { .. })
+        ));
+        // The observed view is the retained span viewed standalone.
+        let observed = engine.observed();
+        assert_eq!(observed.t_len(), live - base);
+
+        // The ring engine's cache over the retained span equals a batch
+        // re-impute of that span as a standalone dataset (after healing).
+        for s in 0..3 {
+            engine.query(s, base, live).unwrap();
+        }
+        let healed = engine.cached_values();
+        let oracle = engine.model().impute(&engine.observed());
+        assert_eq!(healed.shape(), oracle.shape());
+        for (a, b) in healed.data().iter().zip(oracle.data()) {
+            assert!((a - b).abs() < 1e-9, "ring cache diverged from truncated re-impute");
+        }
+    }
+
+    #[test]
+    fn retention_smaller_than_one_window_still_works() {
+        let ds = generate_with_shape(DatasetName::Gas, &[2], 60, 4);
+        let obs = Scenario::mcar(1.0).apply(&ds, 9).observed();
+        let cfg = DeepMviConfig { max_steps: 5, ..DeepMviConfig::tiny() };
+        let mut model = DeepMviModel::new(&cfg, &obs);
+        model.fit(&obs);
+        let w = model.window();
+        // Zero retention is rejected up front.
+        let snap = crate::snapshot::ServeSnapshot::capture(&model, &obs);
+        let spare = snap.restore(&obs).unwrap();
+        assert!(matches!(
+            ImputationEngine::with_retention(spare, obs.clone(), 0),
+            Err(ServeError::Geometry(_))
+        ));
+        let engine = ImputationEngine::with_retention(model.freeze(), obs, 1).unwrap();
+        assert_eq!(engine.ring_capacity(), Some(2 * w), "sub-window retention rounds to 2w");
+        for i in 0..5 * w {
+            engine.append(0, &[(i as f64 / 5.0).cos()]).unwrap();
+            let span = engine.live_len() - engine.retained_start();
+            assert!((1..=2 * w).contains(&span));
+        }
+        let live = engine.live_len();
+        let got = engine.query(0, live - 1, live).unwrap();
+        assert_eq!(got.len(), 1);
     }
 
     #[test]

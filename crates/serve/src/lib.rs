@@ -7,8 +7,11 @@
 //! engine.
 //!
 //! * [`ServeSnapshot`] — self-describing persistence: config + dataset
-//!   geometry (trained *and* live length) + weights (base64-packed, versioned)
-//!   + trained std-dev, geometry-checked and finiteness-checked on restore.
+//!   geometry (trained, live *and* retained lengths) + weights
+//!   (base64-packed, versioned v1–v3) + trained std-dev, geometry-checked and
+//!   finiteness-checked on restore; optionally the whole **warm serving
+//!   cache**, so [`ImputationEngine::from_snapshot`] restarts a process that
+//!   serves cached queries with zero forward passes.
 //! * [`ImputationEngine`] — the serving core: a full-tensor imputation cache
 //!   with per-window freshness, coalesced micro-batch queries
 //!   ([`ImputationEngine::query_batch`]), a streaming
@@ -16,7 +19,11 @@
 //!   windows instead of the full tensor — and **grows** the series when the
 //!   stream runs past the trained length (rolling-horizon inference, no
 //!   capacity wall) — plus [`ImputationEngine::fill_range`] for backfilling
-//!   interior gaps the append watermark has already passed.
+//!   interior gaps the append watermark has already passed. Built
+//!   [`ImputationEngine::with_retention`], it becomes a **bounded-memory
+//!   ring**: the newest `retention_len` steps stay resident, appends past the
+//!   cap evict the oldest span, and evicted time answers with the typed
+//!   [`engine::ServeError::Evicted`].
 //! * [`MicroBatcher`] / [`BatchClient`] — a thread front door: concurrent
 //!   callers funnel into one executor that drains pending requests into
 //!   coalesced batches.
@@ -58,9 +65,15 @@
 //! ```
 //!
 //! For concurrent callers, wrap the engine in a [`MicroBatcher`] and hand each
-//! thread a [`BatchClient`]; see the `online_serving` example for an
-//! end-to-end tour and `serve_bench` for the throughput methodology behind
-//! `BENCH_2.json` (documented in `PERFORMANCE.md`).
+//! thread a [`BatchClient`]. For bounded memory on unbounded streams, build
+//! with [`ImputationEngine::with_retention`]; for warm restarts, persist
+//! [`ImputationEngine::snapshot`] and rebuild with
+//! [`ImputationEngine::from_snapshot`]. See the `online_serving` example for
+//! an end-to-end tour, `ARCHITECTURE.md` for where the engine sits in the
+//! system, and `serve_bench` for the methodology behind `BENCH_2.json`,
+//! `BENCH_3.json` and `BENCH_5.json` (documented in `PERFORMANCE.md`).
+
+#![warn(missing_docs)]
 
 pub mod batch;
 pub mod engine;

@@ -10,30 +10,42 @@
 //!
 //! ## Wire format
 //!
-//! The current format is **version 2**: a `version` field, both the *trained*
-//! series length and the *live* length the serving state had reached when the
-//! snapshot was taken (a long-running deployment grows past training — both
-//! are geometry-checked on restore), the resolved window width `w` (so the
-//! model rebuilds identically even though the live data's missing-block
-//! statistics have drifted since training), and the weight tensors packed as
-//! **base64 little-endian f64** instead of JSON float arrays — bit-exact and
-//! several times smaller than the decimal dump. Version-1 snapshots (no
-//! `version` field, plain float arrays, single length) still load.
+//! The current format is **version 3**: everything version 2 carried — a
+//! `version` field, both the *trained* series length and the *live* length
+//! the serving state had reached when the snapshot was taken (a long-running
+//! deployment grows past training — both are geometry-checked on restore),
+//! the resolved window width `w` (so the model rebuilds identically even
+//! though the live data's missing-block statistics have drifted since
+//! training), the weight tensors packed as **base64 little-endian f64** —
+//! plus the retention-ring geometry (`retained_start`, the configured
+//! `retention` window) and an optional **warm-cache section**: the retained
+//! observed values and availability mask, the imputation cache, the
+//! per-`(series, window)` freshness bits and the write watermarks, packed
+//! the same way as the weights (f64 buffers base64, boolean buffers
+//! bit-packed base64). A snapshot carrying the cache section restores
+//! straight into a serving engine ([`crate::ImputationEngine::from_snapshot`])
+//! that answers every previously-cached query with **zero forward passes** —
+//! a warm restart instead of a cold recompute.
+//!
+//! Version-2 snapshots (no retention fields, no cache) and version-1
+//! snapshots (no `version` field, plain float arrays, single length) still
+//! load, with the ring origin at `0` and no cache.
 //!
 //! Restore additionally rejects snapshots carrying NaN/±inf weights
 //! ([`ServeError::NonFiniteWeights`]): JSON renders non-finite floats as
 //! `null`, which reads back as NaN, and a model restored that way would
-//! silently answer every query with NaN.
+//! silently answer every query with NaN. Cache sections are held to the same
+//! standard — non-finite cached values refuse to load.
 
 use crate::engine::ServeError;
 use deepmvi::{DeepMviConfig, DeepMviModel, FrozenModel};
 use mvi_autograd::params::StoreSnapshot;
 use mvi_data::dataset::{DimSpec, ObservedDataset};
-use mvi_tensor::Tensor;
+use mvi_tensor::{Mask, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Wire-format version written by [`ServeSnapshot::to_json`].
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// A complete, self-describing dump of a trained model for serving.
 #[derive(Clone, Debug)]
@@ -54,10 +66,74 @@ pub struct ServeSnapshot {
     /// snapshots written before version 2: restore falls back to the config's
     /// window rule, which is safe there because v1 states never grew).
     pub window: usize,
+    /// Oldest retained time position of the captured serving state (the
+    /// retention-ring origin; `0` on unbounded engines and in pre-v3
+    /// snapshots). The retained span `[retained_start, live_t_len)` is what
+    /// physical storage — and the cache section, if present — covers.
+    pub retained_start: usize,
+    /// The retention window the engine was configured with, if any (`None`
+    /// in pre-v3 snapshots and for unbounded engines).
+    pub retention: Option<usize>,
     /// Trained shared imputation std-dev (§4), if training captured one.
     pub shared_std: Option<f64>,
     /// The weights.
     pub params: StoreSnapshot,
+    /// Optional warm-cache section ([`CacheSnapshot`]): present when the
+    /// snapshot was taken from a live engine with
+    /// [`crate::ImputationEngine::snapshot`], absent from model-only captures
+    /// ([`ServeSnapshot::capture`]) and pre-v3 snapshots.
+    pub cache: Option<CacheSnapshot>,
+}
+
+/// The serving engine's warm state over the retained span
+/// `[retained_start, live_t_len)`: everything
+/// [`crate::ImputationEngine::from_snapshot`] needs to resume serving without
+/// recomputing a single window. All tensors are in physical (ring-relative)
+/// layout — time position `0` is `retained_start`.
+#[derive(Clone, Debug)]
+pub struct CacheSnapshot {
+    /// Dataset name of the serving state.
+    pub name: String,
+    /// Observed values over the retained span (missing entries zero).
+    pub values: Tensor,
+    /// Availability mask over the retained span.
+    pub available: Mask,
+    /// The imputation cache: observed values + latest imputations.
+    pub imputed: Tensor,
+    /// Per-series window freshness, indexed by storage slot.
+    pub fresh: Vec<Vec<bool>>,
+    /// Per-series write watermarks (logical time).
+    pub watermark: Vec<usize>,
+}
+
+/// Version-3 wire layout: v2 plus ring geometry and the optional cache.
+#[derive(Serialize, Deserialize)]
+struct WireSnapshotV3 {
+    version: u32,
+    config: DeepMviConfig,
+    dims: Vec<DimSpec>,
+    t_len: usize,
+    live_t_len: usize,
+    window: usize,
+    retained_start: usize,
+    retention: Option<usize>,
+    shared_std: Option<f64>,
+    params: Vec<WireParam>,
+    cache: Option<WireCache>,
+}
+
+/// Wire form of [`CacheSnapshot`]: f64 buffers packed like the weights,
+/// boolean buffers bit-packed (LSB-first) then base64'd. Shapes are implied
+/// by the snapshot geometry (`dims × retained span`, freshness `series ×
+/// retained windows`) and validated on decode.
+#[derive(Serialize, Deserialize)]
+struct WireCache {
+    name: String,
+    values: String,
+    available: String,
+    imputed: String,
+    fresh: String,
+    watermark: Vec<usize>,
 }
 
 /// Version-2 wire layout (weights packed, both lengths explicit).
@@ -112,23 +188,35 @@ impl ServeSnapshot {
             t_len: model.t_len(),
             live_t_len: obs.t_len(),
             window: model.window(),
+            retained_start: 0,
+            retention: None,
             shared_std: model.shared_std(),
             params: model.export_params(),
+            cache: None,
         }
+    }
+
+    /// The retained span `live_t_len - retained_start` — the series length a
+    /// dataset handed to [`ServeSnapshot::restore`] must have, and the time
+    /// extent of the cache section if one is present.
+    pub fn retained_len(&self) -> usize {
+        self.live_t_len - self.retained_start
     }
 
     /// Rehydrates a frozen model against `obs`, validating that the dataset
     /// geometry matches what the snapshot describes: same dimensions, and a
-    /// length equal to the captured *live* length. The model itself is rebuilt
-    /// at the *trained* length (with the pinned window width), so a snapshot
-    /// of a grown deployment restores with the exact rolling-horizon behaviour
-    /// it was serving.
+    /// length equal to the captured *retained span* (the full live length
+    /// unless the serving state ran under a retention ring). The model itself
+    /// is rebuilt at the *trained* length (with the pinned window width), so
+    /// a snapshot of a grown deployment restores with the exact
+    /// rolling-horizon behaviour it was serving.
     ///
     /// # Errors
     /// [`ServeError::Geometry`] on a dimension/length mismatch or a weight
     /// snapshot that does not fit the rebuilt parameter layout;
     /// [`ServeError::NonFiniteWeights`] when any weight is NaN/±inf.
     pub fn restore(&self, obs: &ObservedDataset) -> Result<FrozenModel, ServeError> {
+        self.check_lengths()?;
         if obs.dims != self.dims {
             return Err(ServeError::Geometry(format!(
                 "dataset dims {:?} do not match snapshot dims {:?}",
@@ -136,34 +224,74 @@ impl ServeSnapshot {
                 self.dims.iter().map(|d| (d.name.as_str(), d.len())).collect::<Vec<_>>(),
             )));
         }
-        if self.live_t_len < self.t_len {
-            return Err(ServeError::Snapshot(format!(
-                "snapshot live length {} is shorter than its trained length {} — a serving \
-                 state never shrinks, so the snapshot is corrupt",
-                self.live_t_len, self.t_len
-            )));
-        }
-        if obs.t_len() != self.live_t_len {
+        if obs.t_len() != self.retained_len() {
             return Err(ServeError::Geometry(format!(
-                "dataset t_len {} does not match snapshot live length {} (trained length {})",
+                "dataset t_len {} does not match snapshot retained span {} (live length {}, \
+                 retained from {}, trained length {})",
                 obs.t_len(),
+                self.retained_len(),
                 self.live_t_len,
+                self.retained_start,
                 self.t_len
             )));
         }
+        self.rebuild_model(obs)
+    }
+
+    /// Internal sanity of the persisted lengths (shared by every restore
+    /// path).
+    fn check_lengths(&self) -> Result<(), ServeError> {
+        // An *unbounded* serving state never shrinks below the trained
+        // length; a bounded engine may legitimately have been built over a
+        // retained window shorter than the trained span, so the check only
+        // applies without retention.
+        if self.retention.is_none() && self.live_t_len < self.t_len {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot live length {} is shorter than its trained length {} — an unbounded \
+                 serving state never shrinks, so the snapshot is corrupt",
+                self.live_t_len, self.t_len
+            )));
+        }
+        if self.retained_start >= self.live_t_len {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot retained start {} leaves no retained span (live length {})",
+                self.retained_start, self.live_t_len
+            )));
+        }
+        if self.window > 0 && !self.retained_start.is_multiple_of(self.window) {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot retained start {} is not aligned to the window width {}",
+                self.retained_start, self.window
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the frozen model from the weights, taking dataset geometry
+    /// (dims, series shape) from `geometry_source`, whose time extent may be
+    /// anything — the model is rebuilt at the trained length: the truncated
+    /// prefix view when the source is longer (a grown state), an all-missing
+    /// extension when shorter (a retention ring smaller than the trained
+    /// span; only shapes matter because the window width is pinned).
+    fn rebuild_model(&self, geometry_source: &ObservedDataset) -> Result<FrozenModel, ServeError> {
         for (name, tensor) in &self.params.params {
             if !tensor.all_finite() {
                 return Err(ServeError::NonFiniteWeights { param: name.clone() });
             }
         }
-        // Rebuild at trained geometry: the truncated prefix view when the
-        // state has grown, with the window width pinned so post-growth block
-        // statistics cannot flip the §4.3 window rule and break the layout.
+        // Rebuild at trained geometry, with the window width pinned so
+        // post-growth block statistics cannot flip the §4.3 window rule and
+        // break the layout.
         let trained_view;
-        let geometry = if obs.t_len() == self.t_len {
-            obs
+        let geometry = if geometry_source.t_len() == self.t_len {
+            geometry_source
+        } else if geometry_source.t_len() > self.t_len {
+            trained_view = geometry_source.truncated(self.t_len);
+            &trained_view
         } else {
-            trained_view = obs.truncated(self.t_len);
+            let mut extended = geometry_source.clone();
+            extended.extend_time(self.t_len);
+            trained_view = extended;
             &trained_view
         };
         let config = if self.window > 0 {
@@ -175,8 +303,8 @@ impl ServeSnapshot {
             .map_err(ServeError::Geometry)
     }
 
-    /// Serializes to version-2 JSON (weights base64-packed; see the module
-    /// docs for the layout).
+    /// Serializes to version-3 JSON (weights — and the cache section, if
+    /// present — packed; see the module docs for the layout).
     pub fn to_json(&self) -> String {
         let params = self
             .params
@@ -188,28 +316,42 @@ impl ServeSnapshot {
                 data: base64_encode(&pack_f64_le(tensor.data())),
             })
             .collect();
-        let wire = WireSnapshotV2 {
+        let cache = self.cache.as_ref().map(|c| WireCache {
+            name: c.name.clone(),
+            values: base64_encode(&pack_f64_le(c.values.data())),
+            available: base64_encode(&pack_bits(c.available.data())),
+            imputed: base64_encode(&pack_f64_le(c.imputed.data())),
+            fresh: {
+                let flat: Vec<bool> = c.fresh.iter().flatten().copied().collect();
+                base64_encode(&pack_bits(&flat))
+            },
+            watermark: c.watermark.clone(),
+        });
+        let wire = WireSnapshotV3 {
             version: SNAPSHOT_VERSION,
             config: self.config.clone(),
             dims: self.dims.clone(),
             t_len: self.t_len,
             live_t_len: self.live_t_len,
             window: self.window,
+            retained_start: self.retained_start,
+            retention: self.retention,
             shared_std: self.shared_std,
             params,
+            cache,
         };
         serde_json::to_string(&wire).expect("snapshot serialization cannot fail")
     }
 
     /// Parses a snapshot serialized with [`ServeSnapshot::to_json`] — the
-    /// current version-2 layout or the legacy version-1 float-array layout.
+    /// current version-3 layout or the legacy version-2 / version-1 layouts.
     ///
     /// # Errors
-    /// [`ServeError::Snapshot`] when the JSON parses as neither version, the
-    /// version is unknown, or a packed weight buffer does not decode to its
-    /// declared shape.
+    /// [`ServeError::Snapshot`] when the JSON parses as no known version, the
+    /// version is unknown, or a packed buffer does not decode to its declared
+    /// shape.
     pub fn from_json(json: &str) -> Result<Self, ServeError> {
-        let v2_err = match serde_json::from_str::<WireSnapshotV2>(json) {
+        let v3_err = match serde_json::from_str::<WireSnapshotV3>(json) {
             Ok(wire) => {
                 if wire.version != SNAPSHOT_VERSION {
                     return Err(ServeError::Snapshot(format!(
@@ -217,34 +359,30 @@ impl ServeSnapshot {
                         wire.version
                     )));
                 }
-                let mut params = Vec::with_capacity(wire.params.len());
-                for p in wire.params {
-                    let bytes = base64_decode(&p.data).map_err(|e| {
-                        ServeError::Snapshot(format!("parameter `{}`: {e}", p.name))
-                    })?;
-                    let expected: usize = p.shape.iter().product();
-                    if bytes.len() != 8 * expected {
-                        return Err(ServeError::Snapshot(format!(
-                            "parameter `{}`: {} bytes do not fill shape {:?}",
-                            p.name,
-                            bytes.len(),
-                            p.shape
-                        )));
-                    }
-                    params.push((p.name, Tensor::from_vec(p.shape, unpack_f64_le(&bytes))));
-                }
-                return Ok(Self {
-                    config: wire.config,
-                    dims: wire.dims,
-                    t_len: wire.t_len,
-                    live_t_len: wire.live_t_len,
-                    window: wire.window,
-                    shared_std: wire.shared_std,
-                    params: StoreSnapshot { params },
-                });
+                return Self::from_wire_v3(wire);
             }
             Err(e) => e,
         };
+        if let Ok(wire) = serde_json::from_str::<WireSnapshotV2>(json) {
+            if wire.version != 2 {
+                return Err(ServeError::Snapshot(format!(
+                    "unsupported snapshot version {} (this build reads 1..={SNAPSHOT_VERSION})",
+                    wire.version
+                )));
+            }
+            return Ok(Self {
+                config: wire.config,
+                dims: wire.dims,
+                t_len: wire.t_len,
+                live_t_len: wire.live_t_len,
+                window: wire.window,
+                retained_start: 0,
+                retention: None,
+                shared_std: wire.shared_std,
+                params: StoreSnapshot { params: unpack_params(wire.params)? },
+                cache: None,
+            });
+        }
         match serde_json::from_str::<WireSnapshotV1>(json) {
             Ok(wire) => Ok(Self {
                 config: wire.config,
@@ -252,14 +390,276 @@ impl ServeSnapshot {
                 t_len: wire.t_len,
                 live_t_len: wire.t_len,
                 window: 0,
+                retained_start: 0,
+                retention: None,
                 shared_std: wire.shared_std,
                 params: wire.params,
+                cache: None,
             }),
             Err(v1_err) => Err(ServeError::Snapshot(format!(
-                "not a v{SNAPSHOT_VERSION} snapshot ({v2_err:?}) and not a v1 snapshot \
+                "not a v{SNAPSHOT_VERSION} snapshot ({v3_err:?}) and not a v1 snapshot \
                  ({v1_err:?})"
             ))),
         }
+    }
+
+    /// Decodes a parsed v3 wire structure, validating every packed buffer
+    /// against the snapshot geometry.
+    fn from_wire_v3(wire: WireSnapshotV3) -> Result<Self, ServeError> {
+        let params = unpack_params(wire.params)?;
+        if wire.retained_start >= wire.live_t_len {
+            return Err(ServeError::Snapshot(format!(
+                "retained start {} leaves no retained span (live length {})",
+                wire.retained_start, wire.live_t_len
+            )));
+        }
+        let span = wire.live_t_len - wire.retained_start;
+        let series_shape: Vec<usize> = wire.dims.iter().map(DimSpec::len).collect();
+        let n_series: usize = series_shape.iter().product();
+        let mut tensor_shape = series_shape;
+        tensor_shape.push(span);
+        let cache = match wire.cache {
+            None => None,
+            Some(c) => {
+                let cells = n_series * span;
+                let values = unpack_f64_field(&c.values, "cache.values", &tensor_shape, cells)?;
+                let imputed = unpack_f64_field(&c.imputed, "cache.imputed", &tensor_shape, cells)?;
+                let available = Mask::from_vec(
+                    tensor_shape.clone(),
+                    unpack_bool_field(&c.available, "cache.available", cells)?,
+                );
+                if wire.window == 0 {
+                    return Err(ServeError::Snapshot(
+                        "cache section requires a pinned window width".into(),
+                    ));
+                }
+                let n_windows =
+                    wire.live_t_len.div_ceil(wire.window) - wire.retained_start / wire.window;
+                let flat_fresh = unpack_bool_field(&c.fresh, "cache.fresh", n_series * n_windows)?;
+                let fresh: Vec<Vec<bool>> =
+                    flat_fresh.chunks(n_windows).map(<[bool]>::to_vec).collect();
+                if c.watermark.len() != n_series {
+                    return Err(ServeError::Snapshot(format!(
+                        "cache.watermark has {} entries for {} series",
+                        c.watermark.len(),
+                        n_series
+                    )));
+                }
+                for (s, &wm) in c.watermark.iter().enumerate() {
+                    if wm < wire.retained_start || wm > wire.live_t_len {
+                        return Err(ServeError::Snapshot(format!(
+                            "cache.watermark[{s}] = {wm} outside the retained span [{}, {}]",
+                            wire.retained_start, wire.live_t_len
+                        )));
+                    }
+                }
+                if !values.all_finite() || !imputed.all_finite() {
+                    return Err(ServeError::Snapshot(
+                        "cache section carries non-finite values".into(),
+                    ));
+                }
+                Some(CacheSnapshot {
+                    name: c.name,
+                    values,
+                    available,
+                    imputed,
+                    fresh,
+                    watermark: c.watermark,
+                })
+            }
+        };
+        Ok(Self {
+            config: wire.config,
+            dims: wire.dims,
+            t_len: wire.t_len,
+            live_t_len: wire.live_t_len,
+            window: wire.window,
+            retained_start: wire.retained_start,
+            retention: wire.retention,
+            shared_std: wire.shared_std,
+            params: StoreSnapshot { params },
+            cache,
+        })
+    }
+}
+
+/// Decodes the packed weight list shared by the v2 and v3 layouts.
+fn unpack_params(wire: Vec<WireParam>) -> Result<Vec<(String, Tensor)>, ServeError> {
+    let mut params = Vec::with_capacity(wire.len());
+    for p in wire {
+        let bytes = base64_decode(&p.data)
+            .map_err(|e| ServeError::Snapshot(format!("parameter `{}`: {e}", p.name)))?;
+        let expected: usize = p.shape.iter().product();
+        if bytes.len() != 8 * expected {
+            return Err(ServeError::Snapshot(format!(
+                "parameter `{}`: {} bytes do not fill shape {:?}",
+                p.name,
+                bytes.len(),
+                p.shape
+            )));
+        }
+        params.push((p.name, Tensor::from_vec(p.shape, unpack_f64_le(&bytes))));
+    }
+    Ok(params)
+}
+
+/// Decodes one packed f64 cache buffer and checks it fills `shape`.
+fn unpack_f64_field(
+    data: &str,
+    what: &str,
+    shape: &[usize],
+    cells: usize,
+) -> Result<Tensor, ServeError> {
+    let bytes = base64_decode(data).map_err(|e| ServeError::Snapshot(format!("{what}: {e}")))?;
+    if bytes.len() != 8 * cells {
+        return Err(ServeError::Snapshot(format!(
+            "{what}: {} bytes do not fill shape {shape:?}",
+            bytes.len()
+        )));
+    }
+    Ok(Tensor::from_vec(shape.to_vec(), unpack_f64_le(&bytes)))
+}
+
+/// Decodes one bit-packed boolean cache buffer of exactly `n` entries.
+fn unpack_bool_field(data: &str, what: &str, n: usize) -> Result<Vec<bool>, ServeError> {
+    let bytes = base64_decode(data).map_err(|e| ServeError::Snapshot(format!("{what}: {e}")))?;
+    if bytes.len() != n.div_ceil(8) {
+        return Err(ServeError::Snapshot(format!(
+            "{what}: {} bytes do not hold {n} bits",
+            bytes.len()
+        )));
+    }
+    Ok(unpack_bits(&bytes, n))
+}
+
+impl crate::ImputationEngine {
+    /// Captures the engine's complete serving state as a version-3 snapshot
+    /// **with the warm-cache section**: weights, ring geometry, retained
+    /// observed data, the imputation cache, window freshness and watermarks.
+    /// Restoring it with [`crate::ImputationEngine::from_snapshot`] resumes
+    /// serving exactly where this engine stood — cached queries replay with
+    /// zero forward passes.
+    ///
+    /// For a model-only artifact (smaller, no serving state), use
+    /// [`ServeSnapshot::capture`] instead.
+    ///
+    /// ```
+    /// use deepmvi::{DeepMviConfig, DeepMviModel};
+    /// use mvi_data::generators::{generate_with_shape, DatasetName};
+    /// use mvi_data::scenarios::Scenario;
+    /// use mvi_serve::{ImputationEngine, ServeSnapshot};
+    ///
+    /// let ds = generate_with_shape(DatasetName::Gas, &[2], 60, 4);
+    /// let obs = Scenario::mcar(1.0).apply(&ds, 1).observed();
+    /// let cfg = DeepMviConfig { max_steps: 2, ..DeepMviConfig::tiny() };
+    /// let mut model = DeepMviModel::new(&cfg, &obs);
+    /// model.fit(&obs);
+    /// let engine = ImputationEngine::new(model.freeze(), obs).unwrap();
+    /// engine.warm_up(); // cache every window, then persist the warm state
+    ///
+    /// let json = engine.snapshot().to_json();
+    /// // … process restarts …
+    /// let snap = ServeSnapshot::from_json(&json).unwrap();
+    /// let restarted = ImputationEngine::from_snapshot(&snap).unwrap();
+    /// restarted.query(0, 0, 60).unwrap();
+    /// assert_eq!(restarted.stats().windows_computed, 0); // zero forward passes
+    /// ```
+    pub fn snapshot(&self) -> ServeSnapshot {
+        let model = self.model().model();
+        let (cache, dims, live_t_len, retained_start) = self.cache_snapshot();
+        ServeSnapshot {
+            config: model.config().clone(),
+            dims,
+            t_len: model.t_len(),
+            live_t_len,
+            window: model.window(),
+            retained_start,
+            retention: self.retention(),
+            shared_std: model.shared_std(),
+            params: model.export_params(),
+            cache: Some(cache),
+        }
+    }
+
+    /// Rebuilds a serving engine from a warm snapshot
+    /// ([`crate::ImputationEngine::snapshot`]): the observed state, the
+    /// imputation cache, freshness and watermarks all restore in place, so a
+    /// restarted process answers every query its predecessor had cached
+    /// **without a single forward pass** (watch
+    /// [`crate::EngineStats::windows_computed`] stay at zero). The ring
+    /// origin and retention configuration carry over — a bounded engine
+    /// restarts bounded, at the same logical stream position.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] when the snapshot has no cache section or its
+    /// cache is inconsistent with the snapshot geometry;
+    /// [`ServeError::Geometry`] / [`ServeError::NonFiniteWeights`] from the
+    /// model rebuild, as in [`ServeSnapshot::restore`].
+    pub fn from_snapshot(snap: &ServeSnapshot) -> Result<Self, ServeError> {
+        snap.check_lengths()?;
+        let cache = snap.cache.as_ref().ok_or_else(|| {
+            ServeError::Snapshot(
+                "snapshot has no warm-cache section; restore the model with \
+                 ServeSnapshot::restore and build a cold engine with ImputationEngine::new"
+                    .into(),
+            )
+        })?;
+        let span = snap.retained_len();
+        let series_shape: Vec<usize> = snap.dims.iter().map(DimSpec::len).collect();
+        let n_series: usize = series_shape.iter().product();
+        let mut tensor_shape = series_shape;
+        tensor_shape.push(span);
+        if cache.values.shape() != tensor_shape
+            || cache.available.shape() != tensor_shape
+            || cache.imputed.shape() != tensor_shape
+        {
+            return Err(ServeError::Snapshot(format!(
+                "cache tensors do not match the snapshot geometry {tensor_shape:?}"
+            )));
+        }
+        if snap.window == 0 {
+            return Err(ServeError::Snapshot(
+                "cache section requires a pinned window width".into(),
+            ));
+        }
+        let n_windows = snap.live_t_len.div_ceil(snap.window) - snap.retained_start / snap.window;
+        if cache.fresh.len() != n_series
+            || cache.fresh.iter().any(|f| f.len() != n_windows)
+            || cache.watermark.len() != n_series
+        {
+            return Err(ServeError::Snapshot(format!(
+                "cache freshness/watermarks do not match {n_series} series x {n_windows} windows"
+            )));
+        }
+        if cache.watermark.iter().any(|&wm| wm < snap.retained_start || wm > snap.live_t_len) {
+            return Err(ServeError::Snapshot("cache watermark outside the retained span".into()));
+        }
+        let obs = ObservedDataset {
+            name: cache.name.clone(),
+            dims: snap.dims.clone(),
+            values: cache.values.clone(),
+            available: cache.available.clone(),
+        };
+        let frozen = snap.rebuild_model(&obs)?;
+        if frozen.grid().window_len() != snap.window {
+            return Err(ServeError::Snapshot(format!(
+                "rebuilt model window {} does not match the pinned width {}",
+                frozen.grid().window_len(),
+                snap.window
+            )));
+        }
+        Ok(Self::from_parts(
+            frozen,
+            crate::engine::RestoredParts {
+                obs,
+                imputed: cache.imputed.clone(),
+                fresh: cache.fresh.clone(),
+                watermark: cache.watermark.clone(),
+                retained_start: snap.retained_start,
+                live_t_len: snap.live_t_len,
+                retention: snap.retention,
+            },
+        ))
     }
 }
 
@@ -267,7 +667,23 @@ impl ServeSnapshot {
 // Weight packing: little-endian f64 <-> base64 (RFC 4648 standard alphabet,
 // padded). Hand-rolled because the offline workspace vendors no base64 crate;
 // round-trips are bit-exact, so NaN payloads survive into the finite check.
+// Boolean buffers (availability masks, freshness bits) pack 8-to-a-byte,
+// LSB-first, before the same base64 step.
 // ---------------------------------------------------------------------------
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
 
 fn pack_f64_le(values: &[f64]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(values.len() * 8);
@@ -446,6 +862,52 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_json_still_loads() {
+        let (obs, model) = trained();
+        let expected = model.impute(&obs);
+        let snap = ServeSnapshot::capture(&model, &obs);
+        // Exactly what the v2-era build serialized: packed weights, both
+        // lengths, pinned window — no retention fields, no cache.
+        let v2_json = serde_json::to_string(&WireSnapshotV2 {
+            version: 2,
+            config: snap.config.clone(),
+            dims: snap.dims.clone(),
+            t_len: snap.t_len,
+            live_t_len: snap.live_t_len,
+            window: snap.window,
+            shared_std: snap.shared_std,
+            params: snap
+                .params
+                .params
+                .iter()
+                .map(|(name, tensor)| WireParam {
+                    name: name.clone(),
+                    shape: tensor.shape().to_vec(),
+                    data: base64_encode(&pack_f64_le(tensor.data())),
+                })
+                .collect(),
+        })
+        .unwrap();
+        let back = ServeSnapshot::from_json(&v2_json).unwrap();
+        assert_eq!(back.retained_start, 0, "v2 states never evicted");
+        assert_eq!(back.retention, None);
+        assert!(back.cache.is_none(), "v2 has no cache section");
+        assert_eq!(back.window, snap.window, "v2 pinned the window");
+        let frozen = back.restore(&obs).unwrap();
+        assert_eq!(frozen.impute(&obs), expected);
+    }
+
+    #[test]
+    fn bit_packing_roundtrips() {
+        for n in 0..40usize {
+            let bits: Vec<bool> = (0..n).map(|i| (i * 7 + 3) % 5 < 2).collect();
+            let bytes = pack_bits(&bits);
+            assert_eq!(bytes.len(), n.div_ceil(8));
+            assert_eq!(unpack_bits(&bytes, n), bits, "n = {n}");
+        }
+    }
+
+    #[test]
     fn legacy_v1_json_still_loads() {
         let (obs, model) = trained();
         let expected = model.impute(&obs);
@@ -472,7 +934,7 @@ mod tests {
         let (obs, model) = trained();
         let snap = ServeSnapshot::capture(&model, &obs);
         let json = snap.to_json();
-        let future = json.replacen("\"version\":2", "\"version\":99", 1);
+        let future = json.replacen("\"version\":3", "\"version\":99", 1);
         assert!(matches!(
             ServeSnapshot::from_json(&future),
             Err(ServeError::Snapshot(msg)) if msg.contains("version 99")
@@ -522,5 +984,102 @@ mod tests {
     #[test]
     fn malformed_json_is_a_snapshot_error() {
         assert!(matches!(ServeSnapshot::from_json("{nope"), Err(ServeError::Snapshot(_))));
+    }
+
+    #[test]
+    fn bounded_engine_over_a_short_history_snapshots_and_restores() {
+        // `with_retention` explicitly accepts a dataset *shorter* than the
+        // trained length (a retained window of history); its snapshot must
+        // round-trip even though live < trained — only unbounded states are
+        // held to the never-shrinks rule.
+        let (obs, model) = trained();
+        let trained_len = obs.t_len();
+        let short = obs.truncated(trained_len - 40);
+        let engine = crate::ImputationEngine::with_retention(model.freeze(), short.clone(), 30)
+            .expect("short bounded engine");
+        engine.warm_up();
+        let (base, live) = (engine.retained_start(), engine.live_len());
+        let served: Vec<Vec<f64>> =
+            (0..short.n_series()).map(|s| engine.query(s, base, live).unwrap()).collect();
+
+        let snap = ServeSnapshot::from_json(&engine.snapshot().to_json()).expect("parses");
+        assert!(snap.live_t_len < snap.t_len, "fixture must exercise live < trained");
+        assert_eq!(snap.retention, Some(30));
+        // Model-only restore works against the retained span...
+        snap.restore(&engine.observed()).expect("model-only restore of a short bounded state");
+        // ...and the warm restart serves identically with zero recompute.
+        let restored = crate::ImputationEngine::from_snapshot(&snap).expect("warm restart");
+        for (s, expect) in served.iter().enumerate() {
+            assert_eq!(&restored.query(s, base, live).unwrap(), expect, "series {s}");
+        }
+        assert_eq!(restored.stats().windows_computed, 0);
+    }
+
+    #[test]
+    fn appends_truncated_by_eviction_count_only_recorded_values() {
+        let (obs, model) = trained();
+        let engine = crate::ImputationEngine::with_retention(model.freeze(), obs.clone(), 10)
+            .expect("ring engine");
+        let w = engine.grid().window_len();
+        let cap = engine.ring_capacity().unwrap();
+        // One appended chunk far larger than the whole ring: only its newest
+        // retained tail is recorded, and the stats must say so.
+        let before = engine.stats().values_appended;
+        let huge = vec![1.25; 3 * cap];
+        let report = engine.append(0, &huge).unwrap();
+        let recorded = report.recorded.1 - report.recorded.0;
+        assert!(recorded < huge.len(), "eviction must have dropped a prefix");
+        assert!(recorded >= cap - w, "the retained tail of the append survives");
+        assert_eq!(
+            engine.stats().values_appended - before,
+            recorded as u64,
+            "values_appended must count recorded values, not the dropped prefix"
+        );
+    }
+
+    #[test]
+    fn warm_cache_snapshot_restores_an_engine_that_recomputes_nothing() {
+        let (obs, model) = trained();
+        let engine = crate::ImputationEngine::new(model.freeze(), obs.clone()).expect("engine");
+        engine.warm_up();
+        engine.query(0, 0, obs.t_len()).unwrap();
+        let served: Vec<Vec<f64>> =
+            (0..obs.n_series()).map(|s| engine.query(s, 0, obs.t_len()).unwrap()).collect();
+
+        // Snapshot with cache → JSON → restored engine.
+        let snap = engine.snapshot();
+        assert!(snap.cache.is_some());
+        let json = snap.to_json();
+        let back = ServeSnapshot::from_json(&json).expect("v3 parses");
+        let restored = crate::ImputationEngine::from_snapshot(&back).expect("warm restart");
+
+        // Every query answers from the restored cache: zero forward passes.
+        for (s, expect) in served.iter().enumerate() {
+            assert_eq!(&restored.query(s, 0, obs.t_len()).unwrap(), expect, "series {s}");
+        }
+        assert_eq!(
+            restored.stats().windows_computed,
+            0,
+            "warm restart recomputed windows it had cached"
+        );
+        assert_eq!(restored.live_len(), engine.live_len());
+        for s in 0..obs.n_series() {
+            assert_eq!(restored.watermark(s).unwrap(), engine.watermark(s).unwrap());
+        }
+
+        // A model-only capture has no cache section and refuses warm restart.
+        let cold =
+            ServeSnapshot::from_json(&ServeSnapshot::capture(model_of(&engine), &obs).to_json())
+                .unwrap();
+        assert!(cold.cache.is_none());
+        assert!(matches!(
+            crate::ImputationEngine::from_snapshot(&cold),
+            Err(ServeError::Snapshot(_))
+        ));
+    }
+
+    /// Borrow helper: the wrapped trained model of an engine.
+    fn model_of(engine: &crate::ImputationEngine) -> &DeepMviModel {
+        engine.model().model()
     }
 }

@@ -17,6 +17,8 @@
 //! slice primitives back the elementwise hot paths (`axpy`, `add_assign`,
 //! `frobenius_norm`).
 
+#![warn(missing_docs)]
+
 pub mod mask;
 pub mod shape;
 pub mod tensor;

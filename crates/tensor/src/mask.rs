@@ -199,6 +199,33 @@ impl Mask {
         self.shape[last] = new_t_len;
     }
 
+    /// Drops the *oldest* time steps in place, keeping only the last
+    /// `new_t_len` steps of every series (mirrors
+    /// [`crate::Tensor::retain_latest`] — the ring-eviction primitive). The
+    /// allocation is reused, so a later `extend_time` back to the old length
+    /// touches no allocator.
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` exceeds the current time axis.
+    pub fn retain_latest(&mut self, new_t_len: usize) {
+        let (series_shape, old_t) = shape::split_time(&self.shape);
+        assert!(
+            new_t_len <= old_t,
+            "retain_latest {old_t} -> {new_t_len} would grow the time axis"
+        );
+        if new_t_len == old_t {
+            return;
+        }
+        let n = shape::num_elements(series_shape);
+        let drop = old_t - new_t_len;
+        for s in 0..n {
+            self.data.copy_within(s * old_t + drop..(s + 1) * old_t, s * new_t_len);
+        }
+        self.data.truncate(n * new_t_len);
+        let last = self.shape.len() - 1;
+        self.shape[last] = new_t_len;
+    }
+
     /// A copy truncated along the time (last) axis to its first `new_t_len`
     /// steps (mirrors [`crate::Tensor::truncated_time`]).
     ///
@@ -375,6 +402,30 @@ mod tests {
         let mut t = original.clone();
         t.extend_time(5, true);
         assert_eq!(t.count(), 2 + 6, "one new step per series marked true");
+    }
+
+    #[test]
+    fn retain_latest_keeps_the_newest_suffix() {
+        let mut m = Mask::falses(&[2, 6]);
+        m.set_range(0, 0, 2, true); // oldest entries: evicted below
+        m.set_range(0, 4, 6, true);
+        m.set_range(1, 3, 4, true);
+        let original = m.clone();
+        m.retain_latest(3);
+        assert_eq!(m.shape(), &[2, 3]);
+        assert_eq!(m.series(0), &original.series(0)[3..]);
+        assert_eq!(m.series(1), &original.series(1)[3..]);
+        assert_eq!(m.count(), 3, "only the retained trues survive");
+        // Growing back opens an all-`value` suffix.
+        m.extend_time(6, false);
+        assert_eq!(m.count(), 3);
+        assert!(m.series(0)[3..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    #[should_panic(expected = "grow the time axis")]
+    fn retain_latest_rejects_growing() {
+        Mask::falses(&[2, 5]).retain_latest(6);
     }
 
     #[test]

@@ -210,6 +210,49 @@ impl Tensor {
         self.shape[last] = new_t_len;
     }
 
+    /// Drops the *oldest* time steps in place, keeping only the last
+    /// `new_t_len` steps of every series — the front-truncation counterpart of
+    /// [`Tensor::extend_time`] and the eviction primitive behind the serving
+    /// engine's retention ring: advancing the ring origin is
+    /// `retain_latest(capacity - drop)` followed by `extend_time(capacity, _)`
+    /// to re-open the vacated slack.
+    ///
+    /// Runs in one backing-buffer pass (series slide front-to-back under the
+    /// row-major layout) and reuses the allocation: the buffer shrinks
+    /// logically but its capacity is kept, so a later `extend_time` back to
+    /// the old length touches no allocator.
+    ///
+    /// ```
+    /// # use mvi_tensor::Tensor;
+    /// let mut t = Tensor::from_vec(vec![2, 4], vec![0., 1., 2., 3., 10., 11., 12., 13.]);
+    /// t.retain_latest(2); // keep the newest two steps of each series
+    /// assert_eq!(t.shape(), &[2, 2]);
+    /// assert_eq!(t.data(), &[2., 3., 12., 13.]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `new_t_len` exceeds the current time axis.
+    pub fn retain_latest(&mut self, new_t_len: usize) {
+        let (series_shape, old_t) = shape::split_time(&self.shape);
+        assert!(
+            new_t_len <= old_t,
+            "retain_latest {old_t} -> {new_t_len} would grow the time axis"
+        );
+        if new_t_len == old_t {
+            return;
+        }
+        let n = shape::num_elements(series_shape);
+        let drop = old_t - new_t_len;
+        // Front-to-back: each destination start is at or before the source
+        // start, and lower series have already vacated their old slots.
+        for s in 0..n {
+            self.data.copy_within(s * old_t + drop..(s + 1) * old_t, s * new_t_len);
+        }
+        self.data.truncate(n * new_t_len);
+        let last = self.shape.len() - 1;
+        self.shape[last] = new_t_len;
+    }
+
     /// A copy truncated along the time (last) axis to its first `new_t_len`
     /// steps — the inverse view of [`Tensor::extend_time`], used to recover
     /// the live prefix from capacity-padded storage.
@@ -452,6 +495,50 @@ mod tests {
     #[should_panic(expected = "shrink the time axis")]
     fn extend_time_rejects_shrinking() {
         Tensor::zeros(&[2, 5]).extend_time(3, 0.0);
+    }
+
+    #[test]
+    fn retain_latest_keeps_the_newest_suffix_of_every_series() {
+        let t = Tensor::from_fn(&[2, 3, 5], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64);
+        let mut ring = t.clone();
+        ring.retain_latest(2);
+        assert_eq!(ring.shape(), &[2, 3, 2]);
+        for s in 0..6 {
+            assert_eq!(ring.series(s), &t.series(s)[3..], "series {s} suffix mismatch");
+        }
+        // Keeping everything is a no-op; keeping zero steps empties the axis.
+        let mut same = t.clone();
+        same.retain_latest(5);
+        assert_eq!(same, t);
+        let mut none = t.clone();
+        none.retain_latest(0);
+        assert_eq!(none.shape(), &[2, 3, 0]);
+        assert!(none.is_empty());
+        // Growing back re-opens a fill-initialized suffix without realloc.
+        none.extend_time(5, 7.0);
+        assert!(none.data().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "grow the time axis")]
+    fn retain_latest_rejects_growing() {
+        Tensor::zeros(&[2, 5]).retain_latest(6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_retain_latest_matches_suffix_copy(
+            n in 1usize..5, t_len in 1usize..12, keep_frac in 0usize..13
+        ) {
+            let keep = keep_frac.min(t_len);
+            let t = Tensor::from_fn(&[n, t_len], |idx| (idx[0] * 1000 + idx[1]) as f64);
+            let mut ring = t.clone();
+            ring.retain_latest(keep);
+            prop_assert_eq!(ring.t_len(), keep);
+            for s in 0..n {
+                prop_assert_eq!(ring.series(s), &t.series(s)[t_len - keep..]);
+            }
+        }
     }
 
     #[test]

@@ -4,10 +4,14 @@
 #   BENCH_1.json  compute-kernel throughput (two-build honest baseline),
 #   BENCH_2.json  serving throughput (engine vs naive per-request impute),
 #   BENCH_3.json  growth scenario (appends streaming past the trained t_len),
-#   BENCH_4.json  tape-free inference (value-only evaluator vs the tape path).
+#   BENCH_4.json  tape-free inference (value-only evaluator vs the tape path),
+#   BENCH_5.json  retention ring (bounded-memory long stream + warm restart).
 #
 #   THREADS=4 OUT=BENCH_1.json SERVE_OUT=BENCH_2.json GROWTH_OUT=BENCH_3.json \
-#       INFER_OUT=BENCH_4.json scripts/bench.sh
+#       INFER_OUT=BENCH_4.json RETENTION_OUT=BENCH_5.json scripts/bench.sh
+#
+# The BENCH_<n>.json schemas and the host-comparability rules are documented
+# in PERFORMANCE.md ("The BENCH_<n>.json artifacts").
 #
 # Two builds are measured so the speedup is honest:
 #   1. a baseline-codegen build (RUSTFLAGS="", i.e. plain x86-64 — exactly how
@@ -24,6 +28,7 @@ OUT="${OUT:-BENCH_1.json}"
 SERVE_OUT="${SERVE_OUT:-BENCH_2.json}"
 GROWTH_OUT="${GROWTH_OUT:-BENCH_3.json}"
 INFER_OUT="${INFER_OUT:-BENCH_4.json}"
+RETENTION_OUT="${RETENTION_OUT:-BENCH_5.json}"
 
 echo "== phase 1: baseline-codegen build (seed's original configuration) =="
 RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
@@ -45,4 +50,8 @@ echo "== phase 4: tape-free inference harness =="
 cargo build --release --offline -p mvi-bench --bin infer_bench
 ./target/release/infer_bench --threads="$THREADS" --out="$INFER_OUT"
 
-echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT"
+echo "== phase 5: retention ring + warm restart harness =="
+./target/release/serve_bench \
+    --threads="$THREADS" --only=retention --retention-out="$RETENTION_OUT"
+
+echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT"

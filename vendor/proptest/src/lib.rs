@@ -168,7 +168,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Sizes accepted by [`vec()`](crate::collection::vec): an exact `usize` or a `Range<usize>`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
