@@ -378,7 +378,10 @@ impl FrozenModel {
     ///
     /// # Errors
     /// Propagates any name/shape mismatch between the snapshot and the
-    /// parameters a model of this configuration and geometry would own.
+    /// parameters a model of this configuration and geometry would own, and
+    /// rejects snapshots carrying NaN/±inf weights — a poisoned model would
+    /// silently answer every query with NaN, so it cannot be constructed for
+    /// inference at all.
     pub fn from_snapshot(
         cfg: &DeepMviConfig,
         obs: &ObservedDataset,
@@ -388,7 +391,24 @@ impl FrozenModel {
         let mut model = DeepMviModel::new(cfg, obs);
         model.import_params(snap)?;
         model.shared_std = shared_std;
-        Ok(model.freeze())
+        let frozen = model.freeze();
+        frozen.validate_finite().map_err(|param| format!("parameter `{param}` is non-finite"))?;
+        Ok(frozen)
+    }
+
+    /// Checks every frozen weight is finite, returning the first offending
+    /// parameter's name otherwise. [`FrozenModel::from_snapshot`] runs this
+    /// automatically; callers that freeze a freshly trained model (where a
+    /// diverged optimizer could have produced NaN weights) should run it
+    /// before serving — the serving engine does so at construction.
+    ///
+    /// # Errors
+    /// The name of the first parameter tensor containing NaN/±inf.
+    pub fn validate_finite(&self) -> Result<(), String> {
+        match self.model.first_non_finite_param() {
+            None => Ok(()),
+            Some(param) => Err(param),
+        }
     }
 
     /// The wrapped model, read-only.

@@ -274,6 +274,20 @@ impl DeepMviModel {
         self.store.num_scalars()
     }
 
+    /// Scans every parameter tensor for NaN/±inf and returns the name of the
+    /// first offending one, or `None` when all weights are finite. A model
+    /// with a non-finite weight answers every query through that weight with
+    /// NaN, so serving layers check this **up front** — at
+    /// [`crate::FrozenModel::from_snapshot`] and at engine construction —
+    /// rather than discovering it one poisoned prediction at a time.
+    pub fn first_non_finite_param(&self) -> Option<String> {
+        self.store
+            .ids()
+            .into_iter()
+            .find(|&id| !self.store.value(id).all_finite())
+            .map(|id| self.store.name(id).to_string())
+    }
+
     /// Kernel similarity `K(a, b) = exp(-γ‖E[a] − E[b]‖²)` between two members of
     /// dimension `dim` under the current embeddings (Eq 17) — the model's learned
     /// notion of relatedness, useful for inspection and tests.

@@ -6,17 +6,49 @@
 //! batch, so under concurrent load the per-request cost amortizes: overlapping
 //! query windows are deduplicated into one forward pass, and the forward
 //! passes of a batch run data-parallel over `mvi-parallel`.
+//!
+//! ## Fault tolerance
+//!
+//! The front door is built to stay answerable when a request misbehaves (see
+//! [`BatcherConfig`] for the knobs):
+//!
+//! * **Supervision** — the worker executes every batch under
+//!   [`std::panic::catch_unwind`]. A panicking batch is retried one request at
+//!   a time to isolate the culprit: the panicking request(s) get a typed
+//!   [`ServeError::Panicked`] reply, innocent batch-mates get their real
+//!   answers, and the worker keeps serving (the supervisor respawns the
+//!   request loop in place — no thread churn, no lost queue). The engine
+//!   itself heals from the unwound lock via its poison-recovering state lock.
+//! * **Backpressure** — the pending queue is bounded
+//!   ([`BatcherConfig::queue_cap`]); a full queue fails the submit immediately
+//!   with [`ServeError::Overloaded`] instead of buffering without limit.
+//! * **Deadlines** — with [`BatcherConfig::deadline`] set, a request that is
+//!   not answered in time returns [`ServeError::DeadlineExceeded`]: the client
+//!   is released even if an evaluation is stuck, and a request that expired
+//!   while still queued is dropped by the worker without wasting a forward
+//!   pass on it.
+//! * **Clean shutdown** — dropping the [`MicroBatcher`] stops the worker and
+//!   drains every still-queued request with a [`ServeError::Shutdown`] reply,
+//!   so no caller is left hanging; a disconnected or poisoned reply channel
+//!   maps to `Shutdown` uniformly on the client side.
 
 use crate::engine::{ImputationEngine, ImputeRequest, ServeError};
-use std::sync::mpsc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 type Reply = Result<Vec<f64>, ServeError>;
 
 struct QueryJob {
     req: ImputeRequest,
     reply: mpsc::Sender<Reply>,
+    /// When the client stops waiting ([`BatcherConfig::deadline`]); a job
+    /// already expired at drain time is answered `DeadlineExceeded` without
+    /// spending a forward pass on it.
+    deadline: Option<Instant>,
 }
 
 enum Job {
@@ -26,76 +58,180 @@ enum Job {
     Shutdown,
 }
 
+/// Tuning for [`MicroBatcher::spawn_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// How many pending requests one batch may coalesce (≥ 1).
+    pub max_batch: usize,
+    /// Bound on the pending-request queue (≥ 1): submissions beyond it fail
+    /// fast with [`ServeError::Overloaded`] instead of buffering unboundedly.
+    pub queue_cap: usize,
+    /// Per-request deadline. `None` waits indefinitely; `Some(d)` makes a
+    /// query return [`ServeError::DeadlineExceeded`] if no reply arrived
+    /// within `d` of submission (stuck evaluation, or expired while queued).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self { max_batch: 32, queue_cap: 1024, deadline: None }
+    }
+}
+
 /// The executor half: owns the engine reference and the worker thread.
-/// Dropping the batcher drains in-flight jobs and joins the worker.
+/// Dropping the batcher drains still-queued jobs with [`ServeError::Shutdown`]
+/// replies and joins the worker.
 pub struct MicroBatcher {
-    tx: Option<mpsc::Sender<Job>>,
+    tx: Option<mpsc::SyncSender<Job>>,
     worker: Option<JoinHandle<()>>,
     engine: Arc<ImputationEngine>,
+    config: BatcherConfig,
+    stop: Arc<AtomicBool>,
+    panics: Arc<AtomicU64>,
 }
 
 /// A cloneable handle clients use to submit blocking queries.
 #[derive(Clone)]
 pub struct BatchClient {
-    tx: mpsc::Sender<Job>,
+    tx: mpsc::SyncSender<Job>,
+    queue_cap: usize,
+    deadline: Option<Duration>,
 }
 
 impl MicroBatcher {
-    /// Spawns the executor thread. `max_batch` caps how many pending requests
-    /// one batch may coalesce (≥ 1).
+    /// Spawns the executor thread with default queue bound and no deadline.
+    /// `max_batch` caps how many pending requests one batch may coalesce
+    /// (≥ 1).
     pub fn spawn(engine: Arc<ImputationEngine>, max_batch: usize) -> Self {
-        let max_batch = max_batch.max(1);
-        let (tx, rx) = mpsc::channel::<Job>();
+        Self::spawn_with(engine, BatcherConfig { max_batch, ..BatcherConfig::default() })
+    }
+
+    /// Spawns the executor thread with explicit fault-tolerance tuning; see
+    /// [`BatcherConfig`] and the module docs for the failure semantics.
+    pub fn spawn_with(engine: Arc<ImputationEngine>, config: BatcherConfig) -> Self {
+        let config = BatcherConfig {
+            max_batch: config.max_batch.max(1),
+            queue_cap: config.queue_cap.max(1),
+            ..config
+        };
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap);
         let exec = Arc::clone(&engine);
+        let stop = Arc::new(AtomicBool::new(false));
+        let panics = Arc::new(AtomicU64::new(0));
+        let (worker_stop, worker_panics) = (Arc::clone(&stop), Arc::clone(&panics));
+        let max_batch = config.max_batch;
         let worker = std::thread::spawn(move || {
             while let Ok(first) = rx.recv() {
+                if worker_stop.load(Ordering::Acquire) {
+                    // Shutting down: this job and everything behind it gets a
+                    // typed reply instead of silence.
+                    if let Job::Query(q) = first {
+                        let _ = q.reply.send(Err(ServeError::Shutdown));
+                    }
+                    break;
+                }
                 let mut jobs = Vec::new();
-                let mut stop = match first {
+                let mut stop_seen = match first {
                     Job::Shutdown => break,
                     Job::Query(q) => {
-                        jobs.push(q);
+                        jobs.push(*q);
                         false
                     }
                 };
-                while !stop && jobs.len() < max_batch {
+                while !stop_seen && jobs.len() < max_batch {
                     match rx.try_recv() {
-                        Ok(Job::Query(q)) => jobs.push(q),
-                        Ok(Job::Shutdown) => stop = true,
+                        Ok(Job::Query(q)) => jobs.push(*q),
+                        Ok(Job::Shutdown) => stop_seen = true,
                         Err(_) => break,
                     }
                 }
-                let reqs: Vec<ImputeRequest> = jobs.iter().map(|j| j.req).collect();
-                let results = exec.query_batch(&reqs);
+                // A job whose client already gave up is answered (the client
+                // is gone — the send is a no-op) but not evaluated.
+                let now = Instant::now();
+                jobs.retain(|job| {
+                    let expired = job.deadline.is_some_and(|d| now > d);
+                    if expired {
+                        let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+                    }
+                    !expired
+                });
+                Self::execute(&exec, jobs, &worker_panics);
+                if stop_seen {
+                    break;
+                }
+            }
+            // Shutdown drain: everything still queued gets a typed Shutdown
+            // reply instead of being dropped on the floor.
+            while let Ok(job) = rx.try_recv() {
+                if let Job::Query(q) = job {
+                    let _ = q.reply.send(Err(ServeError::Shutdown));
+                }
+            }
+        });
+        Self { tx: Some(tx), worker: Some(worker), engine, config, stop, panics }
+    }
+
+    /// Runs one batch under the supervisor: the coalesced fast path first,
+    /// and on a panic a one-by-one retry that isolates the culprit — the
+    /// panicking request(s) reply [`ServeError::Panicked`], the rest get
+    /// their real answers.
+    fn execute(exec: &ImputationEngine, jobs: Vec<QueryJob>, panics: &AtomicU64) {
+        if jobs.is_empty() {
+            return;
+        }
+        let reqs: Vec<ImputeRequest> = jobs.iter().map(|j| j.req).collect();
+        match catch_unwind(AssertUnwindSafe(|| exec.query_batch(&reqs))) {
+            Ok(results) => {
                 for (job, result) in jobs.into_iter().zip(results) {
                     // A disconnected client (it gave up) is not an executor error.
                     let _ = job.reply.send(result);
                 }
-                if stop {
-                    break;
+            }
+            Err(_) => {
+                panics.fetch_add(1, Ordering::Relaxed);
+                for job in jobs {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        exec.query(job.req.s, job.req.start, job.req.end)
+                    }))
+                    .unwrap_or_else(|_| {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::Panicked)
+                    });
+                    let _ = job.reply.send(result);
                 }
             }
-            // Dropping `rx` here disconnects queued and future jobs; their
-            // reply senders drop with them, failing in-flight clients cleanly.
-        });
-        Self { tx: Some(tx), worker: Some(worker), engine }
+        }
     }
 
     /// A new client handle for this batcher.
     pub fn client(&self) -> BatchClient {
-        BatchClient { tx: self.tx.as_ref().expect("batcher alive").clone() }
+        BatchClient {
+            tx: self.tx.as_ref().expect("batcher alive").clone(),
+            queue_cap: self.config.queue_cap,
+            deadline: self.config.deadline,
+        }
     }
 
     /// The engine the batcher executes against.
     pub fn engine(&self) -> &Arc<ImputationEngine> {
         &self.engine
     }
+
+    /// How many panics the supervisor has caught (batch-level and isolated
+    /// retries both count). Stable at `0` in a healthy deployment.
+    pub fn panics_caught(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for MicroBatcher {
     fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
         if let Some(tx) = self.tx.take() {
-            // The worker may be mid-batch; the sentinel reaches it at the
-            // next drain. Send can only fail if the worker already exited.
+            // Blocking send: the queue may be full, but the worker is
+            // draining it, so space frees up; failure means the worker
+            // already exited. The stop flag (set above) guarantees every job
+            // the worker sees from now on is answered with `Shutdown`.
             let _ = tx.send(Job::Shutdown);
         }
         if let Some(worker) = self.worker.take() {
@@ -105,22 +241,42 @@ impl Drop for MicroBatcher {
 }
 
 impl BatchClient {
-    /// Submits one request and blocks until its micro-batch executes.
+    /// Submits one request and blocks until its micro-batch executes (or the
+    /// configured deadline passes).
     ///
     /// # Errors
     /// Validation errors from the engine pass through per request;
-    /// [`ServeError::Shutdown`] if the batcher shut down before the request
-    /// was answered (transient — the request itself may be valid).
+    /// [`ServeError::Overloaded`] when the bounded pending queue is full
+    /// (retry with backoff); [`ServeError::DeadlineExceeded`] when a
+    /// configured deadline elapsed first; [`ServeError::Panicked`] when this
+    /// request's evaluation panicked in the executor;
+    /// [`ServeError::Shutdown`] — uniformly, whether the submit failed, the
+    /// reply channel disconnected, or the batcher drained the queue on drop —
+    /// if the batcher shut down before the request was answered (transient:
+    /// the request itself may be valid).
     pub fn query(&self, s: usize, start: usize, end: usize) -> Result<Vec<f64>, ServeError> {
+        let deadline = self.deadline.map(|d| Instant::now() + d);
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job::Query(Box::new(QueryJob {
             req: ImputeRequest { s, start, end },
             reply: reply_tx,
+            deadline,
         }));
-        if self.tx.send(job).is_err() {
-            return Err(ServeError::Shutdown);
+        match self.tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                return Err(ServeError::Overloaded { capacity: self.queue_cap })
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Shutdown),
         }
-        reply_rx.recv().unwrap_or(Err(ServeError::Shutdown))
+        match deadline {
+            None => reply_rx.recv().unwrap_or(Err(ServeError::Shutdown)),
+            Some(d) => match reply_rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+                Err(RecvTimeoutError::Disconnected) => Err(ServeError::Shutdown),
+            },
+        }
     }
 }
 
@@ -160,6 +316,7 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.requests, 12);
         assert!(stats.batches <= stats.requests, "batching never increases batch count");
+        assert_eq!(batcher.panics_caught(), 0);
     }
 
     #[test]
@@ -175,5 +332,31 @@ mod tests {
         // Requests after shutdown fail with the transient error, not a
         // validation error, and never hang.
         assert_eq!(client.query(0, 0, 10), Err(ServeError::Shutdown));
+    }
+
+    #[test]
+    fn queries_racing_shutdown_get_answers_or_shutdown_never_hang() {
+        // Many clients submit while the batcher is being dropped: every
+        // outcome must be a real answer or a typed transient error — no
+        // hangs, no dropped-on-the-floor replies, no panics.
+        let engine = engine();
+        let t = engine.grid().t_len();
+        engine.warm_up();
+        for _ in 0..5 {
+            let batcher = MicroBatcher::spawn(Arc::clone(&engine), 2);
+            let mut handles = Vec::new();
+            for k in 0..8 {
+                let client = batcher.client();
+                handles.push(std::thread::spawn(move || client.query(k % 3, 0, t)));
+            }
+            drop(batcher);
+            for h in handles {
+                match h.join().unwrap() {
+                    Ok(vals) => assert_eq!(vals.len(), t),
+                    Err(ServeError::Shutdown) => {}
+                    Err(other) => panic!("unexpected racing-shutdown error: {other}"),
+                }
+            }
+        }
     }
 }

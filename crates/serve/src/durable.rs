@@ -1,0 +1,265 @@
+//! Durable on-disk snapshots: crash-safe writes and corruption-detecting
+//! reads for [`ServeSnapshot`] artifacts.
+//!
+//! The JSON wire format ([`crate::snapshot`]) checksums each *packed section*
+//! (weights, cache buffers), which catches bit rot inside the big payloads
+//! but not damage to the JSON structure around them, and nothing at all about
+//! torn or truncated writes. This module closes both gaps:
+//!
+//! * **Framed file format** — a one-line header
+//!   `MVISNAP v4 crc32=<8 hex> len=<bytes>\n` followed by exactly `len` bytes
+//!   of snapshot JSON. The digest covers the whole body, so any flipped bit
+//!   or missing tail fails the read with a typed [`ServeError::Corrupt`]
+//!   naming what broke (`header`, `body`, or `digest`) — never a panic, never
+//!   a silently-wrong model. Bare JSON files (a snapshot saved by hand, or
+//!   from a pre-durable build) are still accepted: a file starting with `{`
+//!   skips the frame and relies on the wire-level checks alone.
+//! * **Atomic writes** — [`ServeSnapshot::to_path`] /
+//!   [`crate::ImputationEngine::snapshot_to_path`] write to a temporary file
+//!   in the same directory, sync it, then `rename` into place, so a crash
+//!   mid-write leaves the previous snapshot intact instead of a half-written
+//!   one.
+//! * **Fallback restore** — [`crate::ImputationEngine::restore_with_fallback`]
+//!   walks an ordered list of snapshot paths (newest first) and serves the
+//!   first one that loads clean, so one corrupt generation degrades a restart
+//!   to slightly-older state instead of no state.
+
+use crate::engine::ServeError;
+use crate::snapshot::ServeSnapshot;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic prefix of the framed snapshot file header.
+const MAGIC: &str = "MVISNAP";
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`. This is the
+/// digest used both per packed wire section and for the whole-file frame;
+/// exposed so external tooling (and the fault-injection suite) can produce
+/// or verify digests without reimplementing the table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Frames `json` with the digest header.
+fn frame(json: &str) -> String {
+    format!("{MAGIC} v4 crc32={:08x} len={}\n{json}", crc32(json.as_bytes()), json.len())
+}
+
+/// Validates a framed file's header and digest and returns the JSON body.
+fn unframe(bytes: &[u8]) -> Result<String, ServeError> {
+    let corrupt = |section: &str, detail: String| ServeError::Corrupt {
+        section: section.to_string(),
+        detail,
+    };
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("header", "no header line (file truncated?)".into()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| corrupt("header", "header is not UTF-8".into()))?;
+    let mut fields = header.split(' ');
+    match (fields.next(), fields.next()) {
+        (Some(MAGIC), Some(v)) if v.starts_with('v') => {}
+        _ => return Err(corrupt("header", format!("malformed header `{header}`"))),
+    }
+    let (mut digest, mut len) = (None, None);
+    for field in fields {
+        if let Some(hex) = field.strip_prefix("crc32=") {
+            digest = u32::from_str_radix(hex, 16).ok();
+            if digest.is_none() {
+                return Err(corrupt("header", format!("bad digest field `{field}`")));
+            }
+        } else if let Some(n) = field.strip_prefix("len=") {
+            len = n.parse::<usize>().ok();
+            if len.is_none() {
+                return Err(corrupt("header", format!("bad length field `{field}`")));
+            }
+        }
+    }
+    let (Some(digest), Some(len)) = (digest, len) else {
+        return Err(corrupt("header", format!("header `{header}` is missing crc32/len")));
+    };
+    let body = &bytes[newline + 1..];
+    if body.len() != len {
+        return Err(corrupt(
+            "body",
+            format!(
+                "body holds {} of the declared {len} bytes (torn or truncated write)",
+                body.len()
+            ),
+        ));
+    }
+    let actual = crc32(body);
+    if actual != digest {
+        return Err(corrupt(
+            "digest",
+            format!("body crc32 {actual:08x} does not match recorded {digest:08x}"),
+        ));
+    }
+    String::from_utf8(body.to_vec()).map_err(|_| corrupt("body", "body is not UTF-8".into()))
+}
+
+impl ServeSnapshot {
+    /// Writes the snapshot to `path` in the framed durable format —
+    /// **atomically**: the bytes land in a temporary sibling file, are synced
+    /// to disk, and only then renamed over `path`, so a crash mid-write can
+    /// never leave a half-written snapshot under the real name.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] wrapping the underlying I/O failure.
+    pub fn to_path(&self, path: &Path) -> Result<(), ServeError> {
+        let io_err = |what: &str, e: std::io::Error| {
+            ServeError::Snapshot(format!("{what} `{}`: {e}", path.display()))
+        };
+        let framed = frame(&self.to_json());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file =
+                fs::File::create(&tmp).map_err(|e| io_err("cannot create temp file for", e))?;
+            file.write_all(framed.as_bytes()).map_err(|e| io_err("cannot write", e))?;
+            file.sync_all().map_err(|e| io_err("cannot sync", e))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err("cannot rename into", e))
+    }
+
+    /// Reads a snapshot from `path`: a framed durable file (header + digest
+    /// verified) or a bare JSON artifact (starts with `{`; wire-level
+    /// checksums still apply).
+    ///
+    /// # Errors
+    /// [`ServeError::Corrupt`] naming the broken section (`header`, `body`,
+    /// `digest`, or a wire section such as `params/<name>`);
+    /// [`ServeError::Snapshot`] for I/O failures and JSON-level damage.
+    pub fn from_path(path: &Path) -> Result<Self, ServeError> {
+        let bytes = fs::read(path)
+            .map_err(|e| ServeError::Snapshot(format!("cannot read `{}`: {e}", path.display())))?;
+        let json = if bytes.first() == Some(&b'{') {
+            String::from_utf8(bytes).map_err(|_| ServeError::Corrupt {
+                section: "body".into(),
+                detail: "bare JSON snapshot is not UTF-8".into(),
+            })?
+        } else {
+            unframe(&bytes)?
+        };
+        Self::from_json(&json)
+    }
+}
+
+impl crate::ImputationEngine {
+    /// Captures the warm serving state ([`crate::ImputationEngine::snapshot`])
+    /// and persists it durably at `path` — framed with a whole-file digest,
+    /// written via temp-file + atomic rename ([`ServeSnapshot::to_path`]).
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] wrapping the underlying I/O failure.
+    pub fn snapshot_to_path(&self, path: &Path) -> Result<(), ServeError> {
+        self.snapshot().to_path(path)
+    }
+
+    /// Warm-restarts an engine from a durable snapshot file: reads and
+    /// integrity-checks `path` ([`ServeSnapshot::from_path`]), then restores
+    /// as [`crate::ImputationEngine::from_snapshot`].
+    ///
+    /// # Errors
+    /// Every corruption is a typed error naming what broke — see
+    /// [`ServeSnapshot::from_path`] — plus the restore errors of
+    /// [`crate::ImputationEngine::from_snapshot`].
+    pub fn from_snapshot_path(path: &Path) -> Result<Self, ServeError> {
+        Self::from_snapshot(&ServeSnapshot::from_path(path)?)
+    }
+
+    /// Walks `paths` (order them newest-first) and warm-restarts from the
+    /// first snapshot that loads clean, returning the engine together with
+    /// the index of the path that served it — a corrupt newest generation
+    /// degrades the restart to slightly-older state instead of no state.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] listing every candidate's failure when none
+    /// of the paths yields a loadable snapshot (including an empty `paths`).
+    pub fn restore_with_fallback<P: AsRef<Path>>(paths: &[P]) -> Result<(Self, usize), ServeError> {
+        let mut failures = Vec::with_capacity(paths.len());
+        for (i, path) in paths.iter().enumerate() {
+            match Self::from_snapshot_path(path.as_ref()) {
+                Ok(engine) => return Ok((engine, i)),
+                Err(e) => failures.push(format!("`{}`: {e}", path.as_ref().display())),
+            }
+        }
+        Err(ServeError::Snapshot(format!(
+            "no loadable snapshot among {} candidate(s): [{}]",
+            paths.len(),
+            failures.join("; ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips_and_detects_damage() {
+        let json = r#"{"version":4,"hello":"world"}"#;
+        let framed = frame(json);
+        assert!(framed.starts_with("MVISNAP v4 crc32="));
+        assert_eq!(unframe(framed.as_bytes()).unwrap(), json);
+
+        // Truncation: body shorter than declared.
+        let truncated = &framed.as_bytes()[..framed.len() - 3];
+        assert!(matches!(
+            unframe(truncated),
+            Err(ServeError::Corrupt { section, .. }) if section == "body"
+        ));
+
+        // One flipped body byte: digest mismatch.
+        let mut flipped = framed.clone().into_bytes();
+        let body_start = framed.find('\n').unwrap() + 1;
+        flipped[body_start + 5] ^= 0x20;
+        assert!(matches!(
+            unframe(&flipped),
+            Err(ServeError::Corrupt { section, .. }) if section == "digest"
+        ));
+
+        // A damaged header is a header error, not a parse panic.
+        assert!(matches!(
+            unframe(b"NOTSNAP v4 crc32=00000000 len=2\n{}"),
+            Err(ServeError::Corrupt { section, .. }) if section == "header"
+        ));
+        assert!(matches!(
+            unframe(b"MVISNAP v4 crc32=zzzzzzzz len=2\n{}"),
+            Err(ServeError::Corrupt { section, .. }) if section == "header"
+        ));
+        assert!(matches!(
+            unframe(b"no newline at all"),
+            Err(ServeError::Corrupt { section, .. }) if section == "header"
+        ));
+    }
+}

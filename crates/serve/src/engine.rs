@@ -100,13 +100,47 @@ use mvi_tensor::Tensor;
 use std::collections::BTreeSet;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Errors produced by the serving layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// Model/dataset geometry mismatch (wrong dims, series length, weights).
     Geometry(String),
+    /// An `append`/`fill_range` payload carries NaN/±inf. Rejected **before
+    /// anything touches storage**: the whole mutation is refused, the
+    /// engine's observed state, cache and watermarks are untouched.
+    NonFiniteInput {
+        /// The series the mutation targeted.
+        s: usize,
+        /// Index of the first non-finite value *within the submitted slice*.
+        offset: usize,
+    },
+    /// The request's micro-batch panicked inside the executor. The worker
+    /// survives (the panic is caught and the engine state heals itself), so
+    /// this is transient: the same request may well succeed on retry.
+    Panicked,
+    /// The batcher's bounded pending queue is full — backpressure instead of
+    /// unbounded buffering. Retry after a backoff.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request's configured deadline elapsed before a reply arrived
+    /// (either it expired while queued, or the evaluation was stuck). The
+    /// client is released; the batch may still complete in the background.
+    DeadlineExceeded,
+    /// A durable snapshot failed an integrity check: the named section's
+    /// bytes do not match their recorded checksum (bit rot, torn write,
+    /// truncation). The snapshot must not be served; fall back to an older
+    /// one ([`crate::ImputationEngine::restore_with_fallback`]).
+    Corrupt {
+        /// Which section failed (`"header"`, `"digest"`, `"body"`,
+        /// `"params/<name>"`, `"cache.values"`, …).
+        section: String,
+        /// What exactly mismatched.
+        detail: String,
+    },
     /// Series id outside the dataset.
     Series {
         /// The requested series id.
@@ -152,6 +186,25 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Geometry(msg) => write!(f, "geometry mismatch: {msg}"),
+            ServeError::NonFiniteInput { s, offset } => {
+                write!(
+                    f,
+                    "series {s}: input value at offset {offset} is not finite (NaN/inf never \
+                     enters storage)"
+                )
+            }
+            ServeError::Panicked => {
+                write!(f, "the request's micro-batch panicked in the executor (transient)")
+            }
+            ServeError::Overloaded { capacity } => {
+                write!(f, "serving queue full ({capacity} pending requests); retry with backoff")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline elapsed before the batch replied")
+            }
+            ServeError::Corrupt { section, detail } => {
+                write!(f, "snapshot corrupt in section `{section}`: {detail}")
+            }
             ServeError::Series { s, n_series } => {
                 write!(f, "series {s} out of range (dataset has {n_series})")
             }
@@ -175,6 +228,82 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// Limits on what an incoming observation is allowed to look like. Values
+/// violating a guard are **quarantined**: the mutation succeeds, the stream
+/// keeps advancing, but the flagged value is recorded only in the health
+/// counters — it never enters the observed state, so it can never reach a
+/// forward pass or be served back as truth. The position stays missing and is
+/// imputed like any other gap.
+///
+/// Non-finite values are rejected harder — the whole mutation fails with
+/// [`ServeError::NonFiniteInput`] before anything is recorded — because a NaN
+/// in a payload is a client bug, while an absurd-but-finite value is what a
+/// glitching sensor emits (the messy streams DeepMVI is built for).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ValueGuard {
+    /// Quarantine values with `|v| > abs_max` (`None` = no absolute bound).
+    pub abs_max: Option<f64>,
+    /// Quarantine values jumping more than this from the reference level: the
+    /// previous accepted value of the same mutation, or the nearest earlier
+    /// observed value in the retained window (`None` = no jump bound; values
+    /// with no reference in reach are never jump-quarantined).
+    pub max_jump: Option<f64>,
+}
+
+impl ValueGuard {
+    /// Whether `v` violates this guard relative to the reference level
+    /// `prev` (the nearest earlier accepted/observed value, if any).
+    fn quarantines(&self, v: f64, prev: Option<f64>) -> bool {
+        if self.abs_max.is_some_and(|m| v.abs() > m) {
+            return true;
+        }
+        match (self.max_jump, prev) {
+            (Some(j), Some(p)) => (v - p).abs() > j,
+            _ => false,
+        }
+    }
+}
+
+/// One range answer plus its serving-quality flag (see
+/// [`ImputationEngine::query_batch_flagged`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImputeResponse {
+    /// The fully-imputed values of the requested range (observed entries pass
+    /// through, missing entries are imputed).
+    pub values: Vec<f64>,
+    /// `true` when any window overlapping the range is currently serving the
+    /// **mean-baseline fallback** because the model's forward output for it
+    /// was non-finite (see the output guard in the module docs). The values
+    /// are still finite and safe to display, but they carry no model signal;
+    /// the window heals on its next successful recompute.
+    pub degraded: bool,
+}
+
+/// Point-in-time fault/degradation counters — the serving health surface
+/// ([`ImputationEngine::health`]). Everything here is monotonic except
+/// `degraded_windows`, which is the *current* number of windows serving the
+/// baseline fallback.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Values quarantined by the [`ValueGuard`], per series.
+    pub quarantined_by_series: Vec<u64>,
+    /// Total quarantined values across all series.
+    pub quarantined: u64,
+    /// Mutations rejected outright for carrying NaN/±inf
+    /// ([`ServeError::NonFiniteInput`]).
+    pub nonfinite_input_rejections: u64,
+    /// Times a window's forward output came back non-finite and the window
+    /// degraded to the mean baseline (monotonic; one count per event).
+    pub degraded_events: u64,
+    /// Windows currently serving the mean-baseline fallback (`series ×
+    /// window` pairs; shrinks as degraded windows heal).
+    pub degraded_windows: u64,
+    /// Times the engine recovered its state lock from a poisoned mutex (a
+    /// panic unwound through a serving call). Recovery conservatively marks
+    /// every window stale, so correctness self-heals at recompute cost.
+    pub poison_recoveries: u64,
+}
 
 /// One imputation request: the fully-imputed values of `[start, end)` in
 /// series `s` (observed entries pass through, missing entries are imputed).
@@ -201,6 +330,10 @@ pub struct AppendReport {
     pub positions_refreshed: usize,
     /// Windows of the recorded series marked stale for lazy recomputation.
     pub windows_invalidated: usize,
+    /// Values the [`ValueGuard`] quarantined out of this mutation: they were
+    /// observed but never recorded, their positions stay missing (and are
+    /// imputed), and the per-series health counters account for them.
+    pub values_quarantined: usize,
     /// Live series length after the mutation (appends may grow it past the
     /// trained length; backfills never do).
     pub live_len: usize,
@@ -226,6 +359,10 @@ struct Counters {
     values_backfilled: AtomicU64,
     evictions: AtomicU64,
     steps_evicted: AtomicU64,
+    quarantined: AtomicU64,
+    nonfinite_inputs: AtomicU64,
+    degraded_events: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 /// Point-in-time copy of the engine counters.
@@ -298,6 +435,17 @@ struct EngineState {
     /// Freshness per series, one flag per retained window, indexed by storage
     /// slot ([`WindowGrid::slot`]).
     fresh: Vec<Vec<bool>>,
+    /// Degradation per series/slot, parallel to `fresh`: `true` while the
+    /// cached values of the window are the **mean-baseline fallback** (its
+    /// forward output was non-finite). Cleared by the next successful
+    /// recompute; evicted/grown alongside `fresh`.
+    degraded: Vec<Vec<bool>>,
+    /// The configured input guard, if any
+    /// ([`ImputationEngine::set_value_guard`]).
+    guard: Option<ValueGuard>,
+    /// Fault-injection hook ([`ImputationEngine::set_eval_hook`]): run on
+    /// every window-batch result before the output guard inspects it.
+    eval_hook: Option<EvalHook>,
     /// Per-series write watermark (logical): where the next append lands
     /// (one past the last observed entry, never before the ring origin).
     watermark: Vec<usize>,
@@ -319,13 +467,56 @@ impl EngineState {
     fn base(&self) -> usize {
         self.grid.origin()
     }
+
+    /// The mean-baseline fallback level for series `s` — what a degraded
+    /// window serves instead of a non-finite forward output: the mean of the
+    /// series' retained observed values, else the global retained observed
+    /// mean, else `0.0`. Always finite and never model-derived, so a poisoned
+    /// forward pass cannot leak through it.
+    fn baseline_level(&self, s: usize) -> f64 {
+        let span = self.grid.retained_len();
+        let series_mean = |sid: usize| {
+            let avail = self.obs.available.series(sid);
+            let vals = self.obs.values.series(sid);
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for t in 0..span {
+                if avail[t] {
+                    sum += vals[t];
+                    n += 1;
+                }
+            }
+            (n > 0).then_some((sum, n))
+        };
+        if let Some((sum, n)) = series_mean(s) {
+            return sum / n as f64;
+        }
+        let (sum, n) = (0..self.obs.n_series())
+            .filter_map(series_mean)
+            .fold((0.0, 0usize), |(a, b), (sum, n)| (a + sum, b + n));
+        if n > 0 {
+            sum / n as f64
+        } else {
+            0.0
+        }
+    }
 }
+
+/// A fault-injection hook over the raw window-batch forward results (one
+/// `Vec<f64>` per evaluated window query), invoked inside the engine lock
+/// after the forward pass and **before** the output guard. The fault suite
+/// (`tests/serve_faults.rs`) uses it to panic mid-batch, stall an evaluation,
+/// or poison outputs with NaN — every failure mode the serving layer promises
+/// to survive; it is equally usable for chaos testing a deployment.
+pub type EvalHook = Box<dyn FnMut(&mut [Vec<f64>]) + Send>;
 
 /// The online imputation engine. Shareable across threads behind an `Arc`;
 /// all methods take `&self`.
 pub struct ImputationEngine {
     model: FrozenModel,
     n_series: usize,
+    /// Per-series quarantine counters (lock-free; sized at construction).
+    quarantined_by_series: Vec<AtomicU64>,
     /// Configured retention window in time steps (`None` = unbounded).
     retention: Option<usize>,
     /// Storage bound derived from `retention`: `w · (⌈retention/w⌉ + 1)`.
@@ -422,6 +613,12 @@ impl ImputationEngine {
         obs: ObservedDataset,
         retention: Option<usize>,
     ) -> Result<Self, ServeError> {
+        // A poisoned model (NaN/±inf weights — a diverged training run, or a
+        // snapshot restored through a path without its own check) would
+        // silently answer every query with NaN; refuse to serve it at all.
+        if let Err(param) = model.validate_finite() {
+            return Err(ServeError::NonFiniteWeights { param });
+        }
         // A bounded engine accepts any history length (its input is a
         // retained window); an unbounded one must cover the trained span.
         let too_short = retention.is_none() && obs.t_len() < model.t_len();
@@ -452,6 +649,9 @@ impl ImputationEngine {
             grid,
             imputed,
             fresh: Vec::new(),
+            degraded: Vec::new(),
+            guard: None,
+            eval_hook: None,
             watermark,
             scratch: InferScratch::new(),
         };
@@ -475,9 +675,11 @@ impl ImputationEngine {
             }
         }
         state.fresh = vec![vec![false; state.grid.n_windows()]; n_series];
+        state.degraded = vec![vec![false; state.grid.n_windows()]; n_series];
         Ok(Self {
             model,
             n_series,
+            quarantined_by_series: (0..n_series).map(|_| AtomicU64::new(0)).collect(),
             retention,
             ring_cap,
             state: Mutex::new(state),
@@ -500,15 +702,86 @@ impl ImputationEngine {
         let ring_cap = retention.map(|r| w * (r.div_ceil(w) + 1));
         let n_series = obs.n_series();
         debug_assert_eq!(obs.t_len(), grid.retained_len(), "physical span mismatch");
-        let state =
-            EngineState { obs, grid, imputed, fresh, watermark, scratch: InferScratch::new() };
+        let degraded = fresh.iter().map(|f| vec![false; f.len()]).collect();
+        let state = EngineState {
+            obs,
+            grid,
+            imputed,
+            fresh,
+            degraded,
+            guard: None,
+            eval_hook: None,
+            watermark,
+            scratch: InferScratch::new(),
+        };
         Self {
             model,
             n_series,
+            quarantined_by_series: (0..n_series).map(|_| AtomicU64::new(0)).collect(),
             retention,
             ring_cap,
             state: Mutex::new(state),
             counters: Counters::default(),
+        }
+    }
+
+    /// Acquires the state lock, **recovering from poisoning**: when a panic
+    /// unwound through a serving call (an injected fault, a numeric assert),
+    /// the state may hold partially-applied cache writes, so recovery marks
+    /// every window stale — correctness self-heals through lazy recomputation
+    /// — clears the poison flag and counts the event
+    /// ([`HealthReport::poison_recoveries`]). A panic therefore costs
+    /// recompute work, never wrong answers and never a wedged engine.
+    fn lock_state(&self) -> MutexGuard<'_, EngineState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                let mut guard = poisoned.into_inner();
+                for fresh in &mut guard.fresh {
+                    fresh.iter_mut().for_each(|f| *f = false);
+                }
+                self.counters.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Installs (or clears) the [`ValueGuard`] that screens every value
+    /// entering through [`ImputationEngine::append`] /
+    /// [`ImputationEngine::fill_range`]. Guarded mutations quarantine
+    /// violating values instead of recording them; see [`ValueGuard`].
+    pub fn set_value_guard(&self, guard: Option<ValueGuard>) {
+        self.lock_state().guard = guard;
+    }
+
+    /// Installs (or clears) the fault-injection hook run on every
+    /// window-batch forward result (see [`EvalHook`]). This is the seam the
+    /// fault suite drives panics, stalls and poisoned outputs through; it is
+    /// `None` in production unless you are chaos-testing.
+    pub fn set_eval_hook(&self, hook: Option<EvalHook>) {
+        self.lock_state().eval_hook = hook;
+    }
+
+    /// Point-in-time health counters: quarantine activity, rejected
+    /// non-finite inputs, output-guard degradations and poison recoveries.
+    /// Lock-free except for the current degraded-window scan.
+    pub fn health(&self) -> HealthReport {
+        let degraded_windows = {
+            let state = self.lock_state();
+            state.degraded.iter().flatten().filter(|&&d| d).count() as u64
+        };
+        HealthReport {
+            quarantined_by_series: self
+                .quarantined_by_series
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+            nonfinite_input_rejections: self.counters.nonfinite_inputs.load(Ordering::Relaxed),
+            degraded_events: self.counters.degraded_events.load(Ordering::Relaxed),
+            degraded_windows,
+            poison_recoveries: self.counters.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
@@ -520,13 +793,13 @@ impl ImputationEngine {
     /// A snapshot of the live window grid: `grid().t_len()` is the current
     /// live series length, which grows as appends run past it.
     pub fn grid(&self) -> WindowGrid {
-        self.state.lock().expect("engine poisoned").grid
+        self.lock_state().grid
     }
 
     /// Current live series length (starts at the constructed dataset's length
     /// and grows with appends).
     pub fn live_len(&self) -> usize {
-        self.state.lock().expect("engine poisoned").live_t()
+        self.lock_state().live_t()
     }
 
     /// Series length the served model was trained on (fixed).
@@ -544,7 +817,7 @@ impl ImputationEngine {
     /// advancing (window-aligned) as the retention ring evicts. Queries
     /// before this fail with [`ServeError::Evicted`].
     pub fn retained_start(&self) -> usize {
-        self.state.lock().expect("engine poisoned").base()
+        self.lock_state().base()
     }
 
     /// The hard per-series storage bound in time steps,
@@ -559,13 +832,13 @@ impl ImputationEngine {
     /// on an unbounded engine; capped at [`ImputationEngine::ring_capacity`]
     /// under retention (the long-stream bench asserts this stays flat).
     pub fn storage_capacity(&self) -> usize {
-        self.state.lock().expect("engine poisoned").obs.t_len()
+        self.lock_state().obs.t_len()
     }
 
     /// Computes every stale window with missing entries now, so subsequent
     /// queries are pure cache reads. Returns the number of windows computed.
     pub fn warm_up(&self) -> usize {
-        let mut state = self.state.lock().expect("engine poisoned");
+        let mut state = self.lock_state();
         let mut queries = Vec::new();
         let (base, live_t) = (state.base(), state.live_t());
         for s in 0..self.n_series {
@@ -584,17 +857,48 @@ impl ImputationEngine {
         self.query_batch(&[ImputeRequest { s, start, end }]).pop().expect("one result")
     }
 
+    /// Like [`ImputationEngine::query`], but the answer carries its
+    /// serving-quality flag: `degraded` is set when any window overlapping the
+    /// range is currently serving the mean-baseline fallback (see
+    /// [`ImputeResponse`]).
+    ///
+    /// # Errors
+    /// [`ServeError::Series`] / [`ServeError::Range`] on an invalid request.
+    pub fn query_flagged(
+        &self,
+        s: usize,
+        start: usize,
+        end: usize,
+    ) -> Result<ImputeResponse, ServeError> {
+        self.query_batch_flagged(&[ImputeRequest { s, start, end }]).pop().expect("one result")
+    }
+
     /// Serves a micro-batch of requests: validates each against the live
     /// series length (and, under retention, the evicted boundary), coalesces
     /// the stale windows the batch needs (deduplicated across overlapping
     /// requests), evaluates them in one data-parallel pass, then answers
     /// every request from the refreshed cache. Per-request errors do not
     /// poison the batch.
+    ///
+    /// Equivalent to [`ImputationEngine::query_batch_flagged`] with the
+    /// degradation flags dropped.
     pub fn query_batch(&self, requests: &[ImputeRequest]) -> Vec<Result<Vec<f64>, ServeError>> {
+        self.query_batch_flagged(requests).into_iter().map(|r| r.map(|resp| resp.values)).collect()
+    }
+
+    /// The flag-carrying form of [`ImputationEngine::query_batch`]: each
+    /// answer is an [`ImputeResponse`] whose `degraded` bit reports whether
+    /// the range overlaps a window currently serving the mean-baseline
+    /// fallback (its forward output was non-finite; see the output guard in
+    /// [`ImputationEngine::health`] and the module docs).
+    pub fn query_batch_flagged(
+        &self,
+        requests: &[ImputeRequest],
+    ) -> Vec<Result<ImputeResponse, ServeError>> {
         self.counters.requests.fetch_add(requests.len() as u64, Ordering::Relaxed);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
 
-        let mut state = self.state.lock().expect("engine poisoned");
+        let mut state = self.lock_state();
         let (base, live_t) = (state.base(), state.live_t());
         let validity: Vec<Result<(), ServeError>> = requests
             .iter()
@@ -633,7 +937,13 @@ impl ImputationEngine {
             .iter()
             .zip(validity)
             .map(|(r, ok)| {
-                ok.map(|()| state.imputed.series(r.s)[r.start - base..r.end - base].to_vec())
+                ok.map(|()| ImputeResponse {
+                    values: state.imputed.series(r.s)[r.start - base..r.end - base].to_vec(),
+                    degraded: state
+                        .grid
+                        .windows_overlapping(r.start, r.end)
+                        .any(|wj| state.degraded[r.s][state.grid.slot(wj)]),
+                })
             })
             .collect()
     }
@@ -651,12 +961,15 @@ impl ImputationEngine {
     /// recorded and recomputed.
     ///
     /// # Errors
-    /// [`ServeError::Series`] for a bad id.
+    /// [`ServeError::Series`] for a bad id, [`ServeError::NonFiniteInput`]
+    /// when the payload carries NaN/±inf (the whole append is refused before
+    /// anything is recorded).
     pub fn append(&self, s: usize, values: &[f64]) -> Result<AppendReport, ServeError> {
         if s >= self.n_series {
             return Err(ServeError::Series { s, n_series: self.n_series });
         }
-        let mut state = self.state.lock().expect("engine poisoned");
+        self.check_finite(s, values)?;
+        let mut state = self.lock_state();
         let wm = state.watermark[s];
         let end = wm + values.len();
         if values.is_empty() {
@@ -665,6 +978,7 @@ impl ImputationEngine {
                 windows_recomputed: 0,
                 positions_refreshed: 0,
                 windows_invalidated: 0,
+                values_quarantined: 0,
                 live_len: state.live_t(),
                 retained_start: state.base(),
             });
@@ -677,7 +991,7 @@ impl ImputationEngine {
         // append, or a series that idled while siblings streamed on): the
         // prefix of `values` destined for evicted time is dropped immediately.
         let start = wm.max(state.base());
-        self.record(&mut state, s, start, &values[start - wm..]);
+        let quarantined = self.record(&mut state, s, start, &values[start - wm..]);
         state.watermark[s] = end;
 
         // Eager set: the whole tail from one window before the append (the
@@ -689,11 +1003,15 @@ impl ImputationEngine {
         let tail = state.grid.tail_windows_for(start);
         let mut report = self.refresh_after_record(&mut state, s, start, end, tail);
         report.windows_invalidated += evicted_stale;
+        report.values_quarantined = quarantined;
 
         self.counters.appends.fetch_add(1, Ordering::Relaxed);
         // Count what was *recorded*: a prefix the eviction consumed (start
-        // past the old watermark) was dropped, not recorded.
-        self.counters.values_appended.fetch_add((end - start) as u64, Ordering::Relaxed);
+        // past the old watermark) was dropped, not recorded, and quarantined
+        // values were observed but never entered storage.
+        self.counters
+            .values_appended
+            .fetch_add((end - start - quarantined) as u64, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -741,7 +1059,9 @@ impl ImputationEngine {
     /// range leaves the live series (backfill never grows a series — that is
     /// `append`'s job), [`ServeError::Evicted`] when the range touches time
     /// the retention ring has already dropped (backfill cannot resurrect
-    /// evicted history).
+    /// evicted history), [`ServeError::NonFiniteInput`] when the payload
+    /// carries NaN/±inf (the whole backfill is refused before anything is
+    /// recorded).
     pub fn fill_range(
         &self,
         s: usize,
@@ -751,7 +1071,8 @@ impl ImputationEngine {
         if s >= self.n_series {
             return Err(ServeError::Series { s, n_series: self.n_series });
         }
-        let mut state = self.state.lock().expect("engine poisoned");
+        self.check_finite(s, values)?;
+        let mut state = self.lock_state();
         let live_t = state.live_t();
         let end = start + values.len();
         if start > live_t || end > live_t {
@@ -766,21 +1087,25 @@ impl ImputationEngine {
                 windows_recomputed: 0,
                 positions_refreshed: 0,
                 windows_invalidated: 0,
+                values_quarantined: 0,
                 live_len: live_t,
                 retained_start: state.base(),
             });
         }
-        self.record(&mut state, s, start, values);
+        let quarantined = self.record(&mut state, s, start, values);
         state.watermark[s] = state.watermark[s].max(end);
 
         // Eager set: windows within the ±w local reach of the filled range
         // (clamped to the ring origin by the grid).
         let w = state.grid.window_len();
         let eager = state.grid.windows_overlapping(start.saturating_sub(w), (end + w).min(live_t));
-        let report = self.refresh_after_record(&mut state, s, start, end, eager);
+        let mut report = self.refresh_after_record(&mut state, s, start, end, eager);
+        report.values_quarantined = quarantined;
 
         self.counters.backfills.fetch_add(1, Ordering::Relaxed);
-        self.counters.values_backfilled.fetch_add(values.len() as u64, Ordering::Relaxed);
+        self.counters
+            .values_backfilled
+            .fetch_add((values.len() - quarantined) as u64, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -840,8 +1165,22 @@ impl ImputationEngine {
             windows_recomputed,
             positions_refreshed,
             windows_invalidated: invalidated,
+            values_quarantined: 0,
             live_len: state.live_t(),
             retained_start: state.base(),
+        }
+    }
+
+    /// The non-finite input gate shared by [`ImputationEngine::append`] and
+    /// [`ImputationEngine::fill_range`]: runs before the state lock is even
+    /// taken, so a rejected mutation provably touches nothing.
+    fn check_finite(&self, s: usize, values: &[f64]) -> Result<(), ServeError> {
+        match values.iter().position(|v| !v.is_finite()) {
+            None => Ok(()),
+            Some(offset) => {
+                self.counters.nonfinite_inputs.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::NonFiniteInput { s, offset })
+            }
         }
     }
 
@@ -856,7 +1195,7 @@ impl ImputationEngine {
         if s >= self.n_series {
             return Err(ServeError::Series { s, n_series: self.n_series });
         }
-        Ok(self.state.lock().expect("engine poisoned").watermark[s])
+        Ok(self.lock_state().watermark[s])
     }
 
     /// A copy of the full retained imputation cache (observed values + latest
@@ -865,7 +1204,7 @@ impl ImputationEngine {
     /// at [`ImputationEngine::retained_start`]. Primarily for tests and
     /// offline comparison.
     pub fn cached_values(&self) -> Tensor {
-        let state = self.state.lock().expect("engine poisoned");
+        let state = self.lock_state();
         state.imputed.truncated_time(state.grid.retained_len())
     }
 
@@ -875,7 +1214,7 @@ impl ImputationEngine {
     /// this is exactly the truncated-batch-re-impute oracle the retention
     /// consistency contract is stated against.
     pub fn observed(&self) -> ObservedDataset {
-        let state = self.state.lock().expect("engine poisoned");
+        let state = self.lock_state();
         state.obs.truncated(state.grid.retained_len())
     }
 
@@ -885,14 +1224,22 @@ impl ImputationEngine {
     pub(crate) fn cache_snapshot(
         &self,
     ) -> (crate::snapshot::CacheSnapshot, Vec<mvi_data::dataset::DimSpec>, usize, usize) {
-        let state = self.state.lock().expect("engine poisoned");
+        let state = self.lock_state();
         let span = state.grid.retained_len();
         let cache = crate::snapshot::CacheSnapshot {
             name: state.obs.name.clone(),
             values: state.obs.values.truncated_time(span),
             available: state.obs.available.truncated_time(span),
             imputed: state.imputed.truncated_time(span),
-            fresh: state.fresh.clone(),
+            // Degraded windows snapshot as *stale*: the wire has no
+            // degradation bit, and restoring baseline fallback values as
+            // fresh cache would serve them unflagged. Stale heals honestly.
+            fresh: state
+                .fresh
+                .iter()
+                .zip(&state.degraded)
+                .map(|(f, d)| f.iter().zip(d).map(|(&f, &d)| f && !d).collect())
+                .collect(),
             watermark: state.watermark.clone(),
         };
         (cache, state.obs.dims.clone(), state.grid.t_len(), state.base())
@@ -951,6 +1298,9 @@ impl ImputationEngine {
         for fresh in &mut state.fresh {
             fresh.resize(n_windows, false);
         }
+        for degraded in &mut state.degraded {
+            degraded.resize(n_windows, false);
+        }
         evicted_stale
     }
 
@@ -1007,6 +1357,10 @@ impl ImputationEngine {
                 }
             }
         }
+        for degraded in &mut state.degraded {
+            let evicted = drop_w.min(degraded.len());
+            degraded.drain(..evicted);
+        }
         self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         self.counters.steps_evicted.fetch_add(drop as u64, Ordering::Relaxed);
         invalidated
@@ -1015,10 +1369,51 @@ impl ImputationEngine {
     /// Writes `values` into the observed state and the imputation cache at
     /// logical `[start, start + len)` of series `s` (retained and live by the
     /// caller's validation/growth).
-    fn record(&self, state: &mut EngineState, s: usize, start: usize, values: &[f64]) {
+    ///
+    /// When a [`ValueGuard`] is installed, guard-violating values are
+    /// **quarantined**: skipped here, so their positions stay missing (and
+    /// get imputed like any other gap), counted per series and in total.
+    /// Returns how many values were quarantined (`0` without a guard). The
+    /// jump reference starts at the nearest earlier observed value of the
+    /// retained span and then tracks the last *accepted* value, so one glitch
+    /// does not re-anchor the level and take the rest of the chunk with it.
+    fn record(&self, state: &mut EngineState, s: usize, start: usize, values: &[f64]) -> usize {
         let p = start - state.base();
-        state.obs.record_range(s, p, values);
-        state.imputed.series_mut(s)[p..p + values.len()].copy_from_slice(values);
+        let Some(guard) = state.guard else {
+            state.obs.record_range(s, p, values);
+            state.imputed.series_mut(s)[p..p + values.len()].copy_from_slice(values);
+            return 0;
+        };
+        let mut prev = {
+            let avail = state.obs.available.series(s);
+            let vals = state.obs.values.series(s);
+            (0..p).rev().find(|&t| avail[t]).map(|t| vals[t])
+        };
+        // Record maximal accepted runs so the common no-quarantine chunk still
+        // lands in one `record_range` call.
+        let mut quarantined = 0usize;
+        let mut run = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            if guard.quarantines(v, prev) {
+                if run < i {
+                    state.obs.record_range(s, p + run, &values[run..i]);
+                    state.imputed.series_mut(s)[p + run..p + i].copy_from_slice(&values[run..i]);
+                }
+                run = i + 1;
+                quarantined += 1;
+            } else {
+                prev = Some(v);
+            }
+        }
+        if run < values.len() {
+            state.obs.record_range(s, p + run, &values[run..]);
+            state.imputed.series_mut(s)[p + run..p + values.len()].copy_from_slice(&values[run..]);
+        }
+        if quarantined > 0 {
+            self.quarantined_by_series[s].fetch_add(quarantined as u64, Ordering::Relaxed);
+            self.counters.quarantined.fetch_add(quarantined as u64, Ordering::Relaxed);
+        }
+        quarantined
     }
 
     /// Appends the stale windows with missing entries of series `s` inside
@@ -1095,19 +1490,49 @@ impl ImputationEngine {
     /// Runs through the tape-free evaluator with the engine's long-lived
     /// scratch, so the serial cold-window path (small per-append
     /// micro-batches) stays allocation-lean after the first touch.
+    ///
+    /// This is also where the **output guard** lives: a window whose forward
+    /// result carries any non-finite value (poisoned weights the construction
+    /// gate missed, numeric blowup, an injected fault) never reaches the
+    /// cache — the window's missing positions are filled with the
+    /// mean-baseline level instead, its `degraded` bit is set (surfaced
+    /// through [`ImputeResponse`] and [`ImputationEngine::health`]), and the
+    /// next successful recompute heals it.
     fn compute_and_fill(&self, state: &mut EngineState, queries: &[WindowQuery]) {
         if queries.is_empty() {
             return;
         }
         let threads = mvi_parallel::current_threads();
-        let EngineState { scratch, obs, .. } = state;
-        let results = self.model.predict_batch_with(scratch, obs, queries, threads);
+        let EngineState { scratch, obs, eval_hook, .. } = state;
+        let mut results = self.model.predict_batch_with(scratch, obs, queries, threads);
+        // Fault-injection seam: the hook may panic (exercising the batcher's
+        // supervisor and the poison-recovering lock), stall (deadlines), or
+        // poison outputs (the guard below). `None` outside chaos tests.
+        if let Some(hook) = eval_hook.as_mut() {
+            hook(&mut results);
+        }
+        let mut degraded_events = 0u64;
         for (q, vals) in queries.iter().zip(&results) {
-            let series = state.imputed.series_mut(q.s);
-            for (&t, &v) in q.positions.iter().zip(vals) {
-                series[t] = v;
+            let intact = vals.len() == q.positions.len() && vals.iter().all(|v| v.is_finite());
+            if intact {
+                let series = state.imputed.series_mut(q.s);
+                for (&t, &v) in q.positions.iter().zip(vals) {
+                    series[t] = v;
+                }
+                state.degraded[q.s][q.window_j] = false;
+            } else {
+                let level = state.baseline_level(q.s);
+                let series = state.imputed.series_mut(q.s);
+                for &t in &q.positions {
+                    series[t] = level;
+                }
+                state.degraded[q.s][q.window_j] = true;
+                degraded_events += 1;
             }
             state.fresh[q.s][q.window_j] = true;
+        }
+        if degraded_events > 0 {
+            self.counters.degraded_events.fetch_add(degraded_events, Ordering::Relaxed);
         }
         self.counters.windows_computed.fetch_add(queries.len() as u64, Ordering::Relaxed);
     }

@@ -8,10 +8,14 @@
 //!
 //! * [`ServeSnapshot`] — self-describing persistence: config + dataset
 //!   geometry (trained, live *and* retained lengths) + weights
-//!   (base64-packed, versioned v1–v3) + trained std-dev, geometry-checked and
-//!   finiteness-checked on restore; optionally the whole **warm serving
-//!   cache**, so [`ImputationEngine::from_snapshot`] restarts a process that
-//!   serves cached queries with zero forward passes.
+//!   (base64-packed, versioned v1–v4; v4 checksums every packed section) +
+//!   trained std-dev, geometry-checked and finiteness-checked on restore;
+//!   optionally the whole **warm serving cache**, so
+//!   [`ImputationEngine::from_snapshot`] restarts a process that serves
+//!   cached queries with zero forward passes. The [`durable`] layer persists
+//!   snapshots to disk atomically with a whole-file digest and restores
+//!   through an ordered fallback list
+//!   ([`ImputationEngine::restore_with_fallback`]).
 //! * [`ImputationEngine`] — the serving core: a full-tensor imputation cache
 //!   with per-window freshness, coalesced micro-batch queries
 //!   ([`ImputationEngine::query_batch`]), a streaming
@@ -26,7 +30,20 @@
 //!   [`engine::ServeError::Evicted`].
 //! * [`MicroBatcher`] / [`BatchClient`] — a thread front door: concurrent
 //!   callers funnel into one executor that drains pending requests into
-//!   coalesced batches.
+//!   coalesced batches. The worker is **supervised**: a panicking batch is
+//!   caught and retried request-by-request (only the culprit answers
+//!   [`engine::ServeError::Panicked`]), the bounded queue sheds load with
+//!   [`engine::ServeError::Overloaded`], and per-request deadlines free stuck
+//!   clients with [`engine::ServeError::DeadlineExceeded`].
+//! * **Fault tolerance throughout** — every failure is a typed
+//!   [`engine::ServeError`], never a panic, never silent wrong data: NaN/±inf
+//!   payloads are refused before touching storage, a [`ValueGuard`]
+//!   quarantines absurd-but-finite readings, non-finite forward outputs
+//!   degrade their window to a flagged mean-baseline fallback
+//!   ([`ImputationEngine::query_flagged`]) that heals on the next clean
+//!   recompute, and [`ImputationEngine::health`] exposes the counters. With
+//!   guards installed and not firing, served values are bitwise identical to
+//!   the unguarded engine.
 //!
 //! # Quickstart
 //!
@@ -68,17 +85,25 @@
 //! thread a [`BatchClient`]. For bounded memory on unbounded streams, build
 //! with [`ImputationEngine::with_retention`]; for warm restarts, persist
 //! [`ImputationEngine::snapshot`] and rebuild with
-//! [`ImputationEngine::from_snapshot`]. See the `online_serving` example for
-//! an end-to-end tour, `ARCHITECTURE.md` for where the engine sits in the
-//! system, and `serve_bench` for the methodology behind `BENCH_2.json`,
-//! `BENCH_3.json` and `BENCH_5.json` (documented in `PERFORMANCE.md`).
+//! [`ImputationEngine::from_snapshot`] — or durably on disk with
+//! [`ImputationEngine::snapshot_to_path`] /
+//! [`ImputationEngine::restore_with_fallback`]. See the `online_serving`
+//! example for an end-to-end tour, `ARCHITECTURE.md` for where the engine
+//! sits in the system (including the failure-domain map),
+//! `tests/serve_faults.rs` for the fault-injection suite, and `serve_bench`
+//! for the methodology behind `BENCH_2.json`, `BENCH_3.json`, `BENCH_5.json`
+//! and `BENCH_6.json` (documented in `PERFORMANCE.md`).
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod durable;
 pub mod engine;
 pub mod snapshot;
 
-pub use batch::{BatchClient, MicroBatcher};
-pub use engine::{AppendReport, EngineStats, ImputationEngine, ImputeRequest, ServeError};
+pub use batch::{BatchClient, BatcherConfig, MicroBatcher};
+pub use engine::{
+    AppendReport, EngineStats, EvalHook, HealthReport, ImputationEngine, ImputeRequest,
+    ImputeResponse, ServeError, ValueGuard,
+};
 pub use snapshot::ServeSnapshot;

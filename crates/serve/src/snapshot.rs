@@ -10,26 +10,36 @@
 //!
 //! ## Wire format
 //!
-//! The current format is **version 3**: everything version 2 carried — a
+//! The current format is **version 4**: everything version 3 carried — a
 //! `version` field, both the *trained* series length and the *live* length
 //! the serving state had reached when the snapshot was taken (a long-running
 //! deployment grows past training — both are geometry-checked on restore),
 //! the resolved window width `w` (so the model rebuilds identically even
 //! though the live data's missing-block statistics have drifted since
-//! training), the weight tensors packed as **base64 little-endian f64** —
-//! plus the retention-ring geometry (`retained_start`, the configured
+//! training), the weight tensors packed as **base64 little-endian f64**,
+//! the retention-ring geometry (`retained_start`, the configured
 //! `retention` window) and an optional **warm-cache section**: the retained
 //! observed values and availability mask, the imputation cache, the
 //! per-`(series, window)` freshness bits and the write watermarks, packed
 //! the same way as the weights (f64 buffers base64, boolean buffers
-//! bit-packed base64). A snapshot carrying the cache section restores
-//! straight into a serving engine ([`crate::ImputationEngine::from_snapshot`])
-//! that answers every previously-cached query with **zero forward passes** —
-//! a warm restart instead of a cold recompute.
+//! bit-packed base64) — plus a **CRC-32 checksum per packed section**
+//! (computed over the raw bytes before base64). Decode recomputes every
+//! checksum and a mismatch fails with the typed [`ServeError::Corrupt`]
+//! naming the bad section, so bit rot in a weight buffer is caught at load
+//! time instead of surfacing as silently-wrong imputations. A snapshot
+//! carrying the cache section restores straight into a serving engine
+//! ([`crate::ImputationEngine::from_snapshot`]) that answers every
+//! previously-cached query with **zero forward passes** — a warm restart
+//! instead of a cold recompute.
 //!
-//! Version-2 snapshots (no retention fields, no cache) and version-1
-//! snapshots (no `version` field, plain float arrays, single length) still
-//! load, with the ring origin at `0` and no cache.
+//! Version-3 snapshots (no checksums), version-2 snapshots (no retention
+//! fields, no cache) and version-1 snapshots (no `version` field, plain
+//! float arrays, single length) still load, v2/v1 with the ring origin at
+//! `0` and no cache.
+//!
+//! For whole-file durability on disk — a framed header with a digest over
+//! the entire JSON body, temp-file + atomic-rename writes, and
+//! restore-with-fallback across snapshot generations — see [`crate::durable`].
 //!
 //! Restore additionally rejects snapshots carrying NaN/±inf weights
 //! ([`ServeError::NonFiniteWeights`]): JSON renders non-finite floats as
@@ -45,7 +55,7 @@ use mvi_tensor::{Mask, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Wire-format version written by [`ServeSnapshot::to_json`].
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// A complete, self-describing dump of a trained model for serving.
 #[derive(Clone, Debug)]
@@ -104,6 +114,48 @@ pub struct CacheSnapshot {
     pub fresh: Vec<Vec<bool>>,
     /// Per-series write watermarks (logical time).
     pub watermark: Vec<usize>,
+}
+
+/// Version-4 wire layout: v3 plus a CRC-32 per packed section (over the raw
+/// bytes before base64), so corruption is a typed load error naming the bad
+/// section instead of silently-wrong weights.
+#[derive(Serialize, Deserialize)]
+struct WireSnapshotV4 {
+    version: u32,
+    config: DeepMviConfig,
+    dims: Vec<DimSpec>,
+    t_len: usize,
+    live_t_len: usize,
+    window: usize,
+    retained_start: usize,
+    retention: Option<usize>,
+    shared_std: Option<f64>,
+    params: Vec<WireParamV4>,
+    cache: Option<WireCacheV4>,
+}
+
+/// One packed weight tensor with its integrity checksum.
+#[derive(Serialize, Deserialize)]
+struct WireParamV4 {
+    name: String,
+    shape: Vec<usize>,
+    data: String,
+    crc32: u32,
+}
+
+/// Wire form of [`CacheSnapshot`] with one checksum per packed buffer.
+#[derive(Serialize, Deserialize)]
+struct WireCacheV4 {
+    name: String,
+    values: String,
+    values_crc32: u32,
+    available: String,
+    available_crc32: u32,
+    imputed: String,
+    imputed_crc32: u32,
+    fresh: String,
+    fresh_crc32: u32,
+    watermark: Vec<usize>,
 }
 
 /// Version-3 wire layout: v2 plus ring geometry and the optional cache.
@@ -303,31 +355,43 @@ impl ServeSnapshot {
             .map_err(ServeError::Geometry)
     }
 
-    /// Serializes to version-3 JSON (weights — and the cache section, if
-    /// present — packed; see the module docs for the layout).
+    /// Serializes to version-4 JSON (weights — and the cache section, if
+    /// present — packed, each packed section checksummed; see the module docs
+    /// for the layout).
     pub fn to_json(&self) -> String {
+        let packed = |bytes: Vec<u8>| {
+            let crc = crate::durable::crc32(&bytes);
+            (base64_encode(&bytes), crc)
+        };
         let params = self
             .params
             .params
             .iter()
-            .map(|(name, tensor)| WireParam {
-                name: name.clone(),
-                shape: tensor.shape().to_vec(),
-                data: base64_encode(&pack_f64_le(tensor.data())),
+            .map(|(name, tensor)| {
+                let (data, crc32) = packed(pack_f64_le(tensor.data()));
+                WireParamV4 { name: name.clone(), shape: tensor.shape().to_vec(), data, crc32 }
             })
             .collect();
-        let cache = self.cache.as_ref().map(|c| WireCache {
-            name: c.name.clone(),
-            values: base64_encode(&pack_f64_le(c.values.data())),
-            available: base64_encode(&pack_bits(c.available.data())),
-            imputed: base64_encode(&pack_f64_le(c.imputed.data())),
-            fresh: {
-                let flat: Vec<bool> = c.fresh.iter().flatten().copied().collect();
-                base64_encode(&pack_bits(&flat))
-            },
-            watermark: c.watermark.clone(),
+        let cache = self.cache.as_ref().map(|c| {
+            let (values, values_crc32) = packed(pack_f64_le(c.values.data()));
+            let (available, available_crc32) = packed(pack_bits(c.available.data()));
+            let (imputed, imputed_crc32) = packed(pack_f64_le(c.imputed.data()));
+            let flat: Vec<bool> = c.fresh.iter().flatten().copied().collect();
+            let (fresh, fresh_crc32) = packed(pack_bits(&flat));
+            WireCacheV4 {
+                name: c.name.clone(),
+                values,
+                values_crc32,
+                available,
+                available_crc32,
+                imputed,
+                imputed_crc32,
+                fresh,
+                fresh_crc32,
+                watermark: c.watermark.clone(),
+            }
         });
-        let wire = WireSnapshotV3 {
+        let wire = WireSnapshotV4 {
             version: SNAPSHOT_VERSION,
             config: self.config.clone(),
             dims: self.dims.clone(),
@@ -344,14 +408,16 @@ impl ServeSnapshot {
     }
 
     /// Parses a snapshot serialized with [`ServeSnapshot::to_json`] — the
-    /// current version-3 layout or the legacy version-2 / version-1 layouts.
+    /// current version-4 layout or the legacy version-3 / version-2 /
+    /// version-1 layouts.
     ///
     /// # Errors
     /// [`ServeError::Snapshot`] when the JSON parses as no known version, the
     /// version is unknown, or a packed buffer does not decode to its declared
-    /// shape.
+    /// shape; [`ServeError::Corrupt`] when a v4 section fails its checksum
+    /// (the error names the section).
     pub fn from_json(json: &str) -> Result<Self, ServeError> {
-        let v3_err = match serde_json::from_str::<WireSnapshotV3>(json) {
+        let v4_err = match serde_json::from_str::<WireSnapshotV4>(json) {
             Ok(wire) => {
                 if wire.version != SNAPSHOT_VERSION {
                     return Err(ServeError::Snapshot(format!(
@@ -359,10 +425,21 @@ impl ServeSnapshot {
                         wire.version
                     )));
                 }
-                return Self::from_wire_v3(wire);
+                return Self::from_wire_v4(wire);
             }
             Err(e) => e,
         };
+        // A v3 snapshot is exactly v4 minus the checksum fields, so the v4
+        // parse above fails on it with a missing-field error and lands here.
+        if let Ok(wire) = serde_json::from_str::<WireSnapshotV3>(json) {
+            if wire.version != 3 {
+                return Err(ServeError::Snapshot(format!(
+                    "unsupported snapshot version {} (this build reads 1..={SNAPSHOT_VERSION})",
+                    wire.version
+                )));
+            }
+            return Self::from_wire_v3(wire);
+        }
         if let Ok(wire) = serde_json::from_str::<WireSnapshotV2>(json) {
             if wire.version != 2 {
                 return Err(ServeError::Snapshot(format!(
@@ -397,10 +474,64 @@ impl ServeSnapshot {
                 cache: None,
             }),
             Err(v1_err) => Err(ServeError::Snapshot(format!(
-                "not a v{SNAPSHOT_VERSION} snapshot ({v3_err:?}) and not a v1 snapshot \
+                "not a v{SNAPSHOT_VERSION} snapshot ({v4_err:?}) and not a v1 snapshot \
                  ({v1_err:?})"
             ))),
         }
+    }
+
+    /// Decodes a parsed v4 wire structure: every packed section's checksum is
+    /// verified over its raw bytes first (a mismatch is a typed
+    /// [`ServeError::Corrupt`] naming the section), then the payload goes
+    /// through the same geometry validation as v3.
+    fn from_wire_v4(wire: WireSnapshotV4) -> Result<Self, ServeError> {
+        let checked = |data: &str, section: &str, recorded: u32| -> Result<(), ServeError> {
+            let bytes = base64_decode(data)
+                .map_err(|detail| ServeError::Corrupt { section: section.to_string(), detail })?;
+            let actual = crate::durable::crc32(&bytes);
+            if actual != recorded {
+                return Err(ServeError::Corrupt {
+                    section: section.to_string(),
+                    detail: format!("crc32 {actual:08x} does not match recorded {recorded:08x}"),
+                });
+            }
+            Ok(())
+        };
+        let mut params = Vec::with_capacity(wire.params.len());
+        for p in wire.params {
+            checked(&p.data, &format!("params/{}", p.name), p.crc32)?;
+            params.push(WireParam { name: p.name, shape: p.shape, data: p.data });
+        }
+        let cache = match wire.cache {
+            None => None,
+            Some(c) => {
+                checked(&c.values, "cache.values", c.values_crc32)?;
+                checked(&c.available, "cache.available", c.available_crc32)?;
+                checked(&c.imputed, "cache.imputed", c.imputed_crc32)?;
+                checked(&c.fresh, "cache.fresh", c.fresh_crc32)?;
+                Some(WireCache {
+                    name: c.name,
+                    values: c.values,
+                    available: c.available,
+                    imputed: c.imputed,
+                    fresh: c.fresh,
+                    watermark: c.watermark,
+                })
+            }
+        };
+        Self::from_wire_v3(WireSnapshotV3 {
+            version: 3,
+            config: wire.config,
+            dims: wire.dims,
+            t_len: wire.t_len,
+            live_t_len: wire.live_t_len,
+            window: wire.window,
+            retained_start: wire.retained_start,
+            retention: wire.retention,
+            shared_std: wire.shared_std,
+            params,
+            cache,
+        })
     }
 
     /// Decodes a parsed v3 wire structure, validating every packed buffer
@@ -898,6 +1029,88 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v3_json_still_loads() {
+        let (obs, model) = trained();
+        let expected = model.impute(&obs);
+        let snap = ServeSnapshot::capture(&model, &obs);
+        // Exactly what the v3-era build serialized: packed weights, ring
+        // geometry, optional cache — no checksums.
+        let v3_json = serde_json::to_string(&WireSnapshotV3 {
+            version: 3,
+            config: snap.config.clone(),
+            dims: snap.dims.clone(),
+            t_len: snap.t_len,
+            live_t_len: snap.live_t_len,
+            window: snap.window,
+            retained_start: snap.retained_start,
+            retention: snap.retention,
+            shared_std: snap.shared_std,
+            params: snap
+                .params
+                .params
+                .iter()
+                .map(|(name, tensor)| WireParam {
+                    name: name.clone(),
+                    shape: tensor.shape().to_vec(),
+                    data: base64_encode(&pack_f64_le(tensor.data())),
+                })
+                .collect(),
+            cache: None,
+        })
+        .unwrap();
+        let back = ServeSnapshot::from_json(&v3_json).unwrap();
+        assert_eq!(back.window, snap.window);
+        let frozen = back.restore(&obs).unwrap();
+        assert_eq!(frozen.impute(&obs), expected);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_typed_corrupt_error_naming_the_section() {
+        let (obs, model) = trained();
+        let engine = crate::ImputationEngine::new(model.freeze(), obs).unwrap();
+        engine.warm_up();
+        let json = engine.snapshot().to_json();
+        // Baseline sanity: the untouched artifact parses.
+        ServeSnapshot::from_json(&json).expect("pristine v4 parses");
+
+        // Flip one recorded checksum: the named section is reported. (The
+        // vendored serde_json has no Value API, so tamper textually.)
+        let key = "\"values_crc32\":";
+        let i = json.find(key).expect("cache checksum field present") + key.len();
+        let end = i + json[i..].find(|c: char| !c.is_ascii_digit()).unwrap();
+        let crc: u32 = json[i..end].parse().unwrap();
+        let tampered = json.replacen(&format!("{key}{crc}"), &format!("{key}{}", crc ^ 1), 1);
+        let err = ServeSnapshot::from_json(&tampered).unwrap_err();
+        match err {
+            ServeError::Corrupt { section, .. } => assert_eq!(section, "cache.values"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+
+        // Swap two payload characters inside the first packed weight buffer
+        // (base64 stays valid, bytes change): the per-param checksum catches
+        // it. Field order in the wire struct puts params before the cache,
+        // so the first "name"/"data" pair after "params" is params[0].
+        let pstart = json.find("\"params\":[").unwrap();
+        let nkey = "\"name\":\"";
+        let ni = pstart + json[pstart..].find(nkey).unwrap() + nkey.len();
+        let name = &json[ni..ni + json[ni..].find('"').unwrap()];
+        let dkey = "\"data\":\"";
+        let di = pstart + json[pstart..].find(dkey).unwrap() + dkey.len();
+        let dend = di + json[di..].find('"').unwrap();
+        let bytes = json.as_bytes();
+        let other = (di + 1..dend)
+            .find(|&k| bytes[k] != bytes[di] && bytes[k] != b'=')
+            .expect("weight payload is not uniform");
+        let mut swapped = json.clone().into_bytes();
+        swapped.swap(di, other);
+        let err = ServeSnapshot::from_json(&String::from_utf8(swapped).unwrap()).unwrap_err();
+        match err {
+            ServeError::Corrupt { section, .. } => assert_eq!(section, format!("params/{name}")),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
     fn bit_packing_roundtrips() {
         for n in 0..40usize {
             let bits: Vec<bool> = (0..n).map(|i| (i * 7 + 3) % 5 < 2).collect();
@@ -934,14 +1147,15 @@ mod tests {
         let (obs, model) = trained();
         let snap = ServeSnapshot::capture(&model, &obs);
         let json = snap.to_json();
-        let future = json.replacen("\"version\":3", "\"version\":99", 1);
+        let future = json.replacen("\"version\":4", "\"version\":99", 1);
         assert!(matches!(
             ServeSnapshot::from_json(&future),
             Err(ServeError::Snapshot(msg)) if msg.contains("version 99")
         ));
-        // Corrupt one packed buffer: the shape/byte-count check catches it.
+        // Corrupt one packed buffer: in v4 the per-section checksum catches
+        // it before the shape/byte-count check would.
         let garbled = json.replacen("\"data\":\"", "\"data\":\"AAAA", 1);
-        assert!(matches!(ServeSnapshot::from_json(&garbled), Err(ServeError::Snapshot(_))));
+        assert!(matches!(ServeSnapshot::from_json(&garbled), Err(ServeError::Corrupt { .. })));
         // An inverted length pair (live < trained) is a typed error on
         // restore, not a panic inside the trained-view truncation.
         let mut inverted = snap.clone();

@@ -5,10 +5,12 @@
 #   BENCH_2.json  serving throughput (engine vs naive per-request impute),
 #   BENCH_3.json  growth scenario (appends streaming past the trained t_len),
 #   BENCH_4.json  tape-free inference (value-only evaluator vs the tape path),
-#   BENCH_5.json  retention ring (bounded-memory long stream + warm restart).
+#   BENCH_5.json  retention ring (bounded-memory long stream + warm restart),
+#   BENCH_6.json  fault-tolerance layer (guarded-vs-unguarded serving + drill).
 #
 #   THREADS=4 OUT=BENCH_1.json SERVE_OUT=BENCH_2.json GROWTH_OUT=BENCH_3.json \
-#       INFER_OUT=BENCH_4.json RETENTION_OUT=BENCH_5.json scripts/bench.sh
+#       INFER_OUT=BENCH_4.json RETENTION_OUT=BENCH_5.json \
+#       FAULTS_OUT=BENCH_6.json scripts/bench.sh
 #
 # The BENCH_<n>.json schemas and the host-comparability rules are documented
 # in PERFORMANCE.md ("The BENCH_<n>.json artifacts").
@@ -29,6 +31,7 @@ SERVE_OUT="${SERVE_OUT:-BENCH_2.json}"
 GROWTH_OUT="${GROWTH_OUT:-BENCH_3.json}"
 INFER_OUT="${INFER_OUT:-BENCH_4.json}"
 RETENTION_OUT="${RETENTION_OUT:-BENCH_5.json}"
+FAULTS_OUT="${FAULTS_OUT:-BENCH_6.json}"
 
 echo "== phase 1: baseline-codegen build (seed's original configuration) =="
 RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
@@ -54,4 +57,11 @@ echo "== phase 5: retention ring + warm restart harness =="
 ./target/release/serve_bench \
     --threads="$THREADS" --only=retention --retention-out="$RETENTION_OUT"
 
-echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT"
+echo "== phase 6: fault-tolerance harness (guarded serving + fault drill) =="
+# Full mode asserts the guarded hot path holds >= 95% of unguarded
+# throughput (the 5% acceptance bound) and that every injected fault
+# surfaces as a typed error.
+./target/release/serve_bench \
+    --threads="$THREADS" --only=faults --faults-out="$FAULTS_OUT"
+
+echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT $FAULTS_OUT"
