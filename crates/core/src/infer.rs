@@ -97,6 +97,63 @@ impl InferScratch {
     }
 }
 
+/// A small checkout pool of [`InferScratch`] buffers for callers whose
+/// forward passes are *not* serialized by one long-lived owner — e.g. a
+/// serving engine whose scratch must survive a panic unwinding through an
+/// evaluation (the scratch is simply not returned and the next checkout
+/// warms a fresh one) and must not be welded to the engine's state lock.
+///
+/// `take` pops a warm scratch (or creates an empty one when the pool is
+/// dry); `put` returns it for reuse, keeping at most `cap` resident so a
+/// burst of concurrent checkouts cannot pin memory forever.
+pub struct ScratchPool {
+    pool: std::sync::Mutex<Vec<InferScratch>>,
+    cap: usize,
+}
+
+impl ScratchPool {
+    /// A pool keeping up to 4 warm scratches resident.
+    pub fn new() -> Self {
+        Self::with_capacity(4)
+    }
+
+    /// A pool keeping up to `cap` warm scratches resident (`cap = 0` never
+    /// retains anything — every checkout is cold).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { pool: std::sync::Mutex::new(Vec::new()), cap }
+    }
+
+    /// Checks out a scratch: warm if one is pooled, freshly created
+    /// otherwise. Never blocks beyond the pool's own short lock.
+    pub fn take(&self) -> InferScratch {
+        self.pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch for reuse. Dropped instead when the pool already
+    /// holds its configured capacity.
+    pub fn put(&self, scratch: InferScratch) {
+        let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if pool.len() < self.cap {
+            pool.push(scratch);
+        }
+    }
+
+    /// How many warm scratches are currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The tape-backed forward scratch — the pre-evaluator serving path, retained
 /// as the reference implementation. [`DeepMviModel::predict_window_tape`]
 /// runs the identical op sequence through [`mvi_autograd::Graph`]; the

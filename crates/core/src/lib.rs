@@ -33,7 +33,7 @@ pub mod train;
 pub mod tune;
 
 pub use config::{DeepMviConfig, KernelMode};
-pub use infer::{FrozenModel, InferScratch, TapeScratch, WindowQuery};
+pub use infer::{FrozenModel, InferScratch, ScratchPool, TapeScratch, WindowQuery};
 pub use model::DeepMviModel;
 pub use train::TrainReport;
 pub use tune::{grid_search, TuneReport};

@@ -135,6 +135,37 @@ where
     })
 }
 
+/// Runs `workers` instances of `f` concurrently on scoped threads, passing
+/// each its worker index and returning the results in index order. The final
+/// worker runs on the calling thread.
+///
+/// Unlike [`map_chunks`], the worker count is taken **literally** — no
+/// clamping to [`current_threads`] or the machine's core count. This is the
+/// harness primitive for concurrency stress tests and multi-threaded serving
+/// benches, whose whole point is driving more concurrent callers than cores
+/// (the workloads block on locks and channels, not on compute).
+///
+/// # Panics
+/// Propagates the first worker panic after all workers finish or unwind.
+pub fn run_workers<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers == 0 {
+        return Vec::new();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers - 1).map(|i| scope.spawn(move || f(i))).collect();
+        let tail = f(workers - 1);
+        let mut out: Vec<R> =
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        out.push(tail);
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +221,14 @@ mod tests {
         let items: Vec<usize> = Vec::new();
         let out = map_chunks(&items, 4, |part| part.len());
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn run_workers_is_literal_and_ordered() {
+        assert!(run_workers(0, |i| i).is_empty());
+        // Deliberately oversubscribed: the count is taken as given.
+        let out = run_workers(17, |i| i * 2);
+        assert_eq!(out, (0..17).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -9,6 +9,30 @@
 //! demand — coalesced across a batch so overlapping requests share one forward
 //! pass per window ([`ImputationEngine::query_batch`]).
 //!
+//! ## Sharded reads: the lock-free warm path
+//!
+//! The core mutex serializes *mutations and recomputes* — DeepMVI's forward
+//! pass reads every series (the kernel regression samples sibling values
+//! pointwise), so a write is inherently cross-series work and needs one
+//! consistent multi-series view. Reads do not: every mutation **publishes**,
+//! before it releases the core lock, an immutable per-series snapshot of the
+//! retained imputed values plus freshness/degradation bits into a lock-free
+//! cell (`crate::shard`). A query whose overlapped windows are all fresh is
+//! answered entirely from that snapshot — no mutex, no blocking of appends
+//! to other series, no blocking of other warm readers. Stale windows and
+//! invalid ranges fall through to the locked path, which recomputes, answers
+//! and republishes. Health counters are hash-sharded behind shard-local
+//! locks with an explicit multi-shard ordering protocol (ascending shard
+//! index, all guards held together) so [`ImputationEngine::health`] is a
+//! consistent point-in-time aggregate.
+//!
+//! **Linearizability**: a warm read linearizes at its single atomic snapshot
+//! load; since publication happens before a mutation returns, any read
+//! issued after a mutation completed observes it (reads-see-writes), and
+//! single-threaded runs are bitwise identical with the warm path on or off
+//! ([`ImputationEngine::set_warm_reads`]) — `tests/serve_concurrency.rs`
+//! holds both as properties under stress.
+//!
 //! [`ImputationEngine::append`] records newly arrived values at a series'
 //! write watermark and re-imputes only the **affected tail windows** instead of
 //! the full tensor:
@@ -93,14 +117,15 @@
 //! invalidates the rest of the series for lazy healing, exactly mirroring the
 //! append consistency contract.
 
-use deepmvi::{FrozenModel, InferScratch, WindowQuery};
+use crate::shard::{SeriesSnap, ShardSet};
+use deepmvi::{FrozenModel, ScratchPool, WindowQuery};
 use mvi_data::dataset::ObservedDataset;
 use mvi_data::windows::WindowGrid;
 use mvi_tensor::Tensor;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
 
 /// Errors produced by the serving layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -359,10 +384,11 @@ struct Counters {
     values_backfilled: AtomicU64,
     evictions: AtomicU64,
     steps_evicted: AtomicU64,
-    quarantined: AtomicU64,
-    nonfinite_inputs: AtomicU64,
-    degraded_events: AtomicU64,
-    poison_recoveries: AtomicU64,
+    /// Nanoseconds serving calls spent *blocked* on the core state lock
+    /// (contended acquisitions only; an uncontended `try_lock` costs no
+    /// clock read). The blocked-time probe of `serve_bench --only=sharded`
+    /// asserts warm reads keep this flat while appends run.
+    lock_wait_nanos: AtomicU64,
 }
 
 /// Point-in-time copy of the engine counters.
@@ -449,11 +475,6 @@ struct EngineState {
     /// Per-series write watermark (logical): where the next append lands
     /// (one past the last observed entry, never before the ring origin).
     watermark: Vec<usize>,
-    /// Warm forward-pass scratch for the tape-free evaluator: serial
-    /// micro-batches (the append/backfill hot path) reuse its recycled
-    /// buffers across the engine's whole lifetime instead of re-warming per
-    /// batch.
-    scratch: InferScratch,
 }
 
 impl EngineState {
@@ -510,13 +531,26 @@ impl EngineState {
 /// to survive; it is equally usable for chaos testing a deployment.
 pub type EvalHook = Box<dyn FnMut(&mut [Vec<f64>]) + Send>;
 
+/// Construction-time knobs for [`ImputationEngine::with_options`]. The
+/// plain constructors are shorthands: [`ImputationEngine::new`] is all
+/// defaults, [`ImputationEngine::with_retention`] sets `retention` only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Retention window in time steps (`None` = unbounded storage); see
+    /// [`ImputationEngine::with_retention`].
+    pub retention: Option<usize>,
+    /// Health-counter shard count (`None` = derived from the machine's
+    /// available parallelism, clamped to `[1, 16]`). Purely a contention
+    /// knob: the shard map only buckets health counters, so any count
+    /// serves identical data.
+    pub shards: Option<usize>,
+}
+
 /// The online imputation engine. Shareable across threads behind an `Arc`;
 /// all methods take `&self`.
 pub struct ImputationEngine {
     model: FrozenModel,
     n_series: usize,
-    /// Per-series quarantine counters (lock-free; sized at construction).
-    quarantined_by_series: Vec<AtomicU64>,
     /// Configured retention window in time steps (`None` = unbounded).
     retention: Option<usize>,
     /// Storage bound derived from `retention`: `w · (⌈retention/w⌉ + 1)`.
@@ -525,6 +559,18 @@ pub struct ImputationEngine {
     ring_cap: Option<usize>,
     state: Mutex<EngineState>,
     counters: Counters,
+    /// Sharded health counters + per-series lock-free warm snapshots.
+    shards: ShardSet,
+    /// Whether the lock-free warm read path is enabled (default: yes).
+    /// Disabled, every query goes through the core lock — the single-mutex
+    /// baseline the sharded bench arm and the bitwise replay test compare
+    /// against.
+    warm: AtomicBool,
+    /// Forward-pass scratch checkout pool: owned by the engine rather than
+    /// the locked state, so a panic unwinding through an evaluation simply
+    /// abandons its scratch (the pool re-warms) instead of poisoning warm
+    /// buffers, and scratch lifetime is independent of the core lock.
+    scratch: ScratchPool,
 }
 
 impl ImputationEngine {
@@ -544,7 +590,26 @@ impl ImputationEngine {
     /// [`ServeError::Geometry`] when `obs` does not match the geometry the
     /// model was built for.
     pub fn new(model: FrozenModel, obs: ObservedDataset) -> Result<Self, ServeError> {
-        Self::build(model, obs, None)
+        Self::with_options(model, obs, EngineOptions::default())
+    }
+
+    /// Builds an engine with explicit [`EngineOptions`] — the fully general
+    /// constructor behind [`ImputationEngine::new`] and
+    /// [`ImputationEngine::with_retention`].
+    ///
+    /// # Errors
+    /// As [`ImputationEngine::new`] / [`ImputationEngine::with_retention`].
+    pub fn with_options(
+        model: FrozenModel,
+        obs: ObservedDataset,
+        options: EngineOptions,
+    ) -> Result<Self, ServeError> {
+        if options.retention == Some(0) {
+            return Err(ServeError::Geometry(
+                "retention window must be at least one time step".into(),
+            ));
+        }
+        Self::build(model, obs, options)
     }
 
     /// Like [`ImputationEngine::new`], but with a **retention ring**: resident
@@ -600,19 +665,25 @@ impl ImputationEngine {
         obs: ObservedDataset,
         retention_len: usize,
     ) -> Result<Self, ServeError> {
-        if retention_len == 0 {
-            return Err(ServeError::Geometry(
-                "retention window must be at least one time step".into(),
-            ));
-        }
-        Self::build(model, obs, Some(retention_len))
+        Self::with_options(
+            model,
+            obs,
+            EngineOptions { retention: Some(retention_len), shards: None },
+        )
+    }
+
+    /// The default health-counter shard count: one per available hardware
+    /// thread, clamped to `[1, 16]`.
+    fn default_shard_count() -> usize {
+        mvi_parallel::available_threads().clamp(1, 16)
     }
 
     fn build(
         model: FrozenModel,
         obs: ObservedDataset,
-        retention: Option<usize>,
+        options: EngineOptions,
     ) -> Result<Self, ServeError> {
+        let retention = options.retention;
         // A poisoned model (NaN/±inf weights — a diverged training run, or a
         // snapshot restored through a path without its own check) would
         // silently answer every query with NaN; refuse to serve it at all.
@@ -653,7 +724,6 @@ impl ImputationEngine {
             guard: None,
             eval_hook: None,
             watermark,
-            scratch: InferScratch::new(),
         };
 
         // A dataset already past the ring cap starts with its oldest span
@@ -676,15 +746,85 @@ impl ImputationEngine {
         }
         state.fresh = vec![vec![false; state.grid.n_windows()]; n_series];
         state.degraded = vec![vec![false; state.grid.n_windows()]; n_series];
-        Ok(Self {
+        let n_shards = options.shards.unwrap_or_else(Self::default_shard_count).max(1);
+        let engine = Self {
             model,
             n_series,
-            quarantined_by_series: (0..n_series).map(|_| AtomicU64::new(0)).collect(),
             retention,
             ring_cap,
             state: Mutex::new(state),
             counters: Counters::default(),
-        })
+            shards: ShardSet::new(n_series, n_shards),
+            warm: AtomicBool::new(true),
+            scratch: ScratchPool::new(),
+        };
+        engine.publish_initial();
+        Ok(engine)
+    }
+
+    /// Publishes the initial warm snapshots at construction time (nothing is
+    /// fresh yet, so they only short-circuit trivially-empty reads, but they
+    /// establish the invariant that published state always mirrors the
+    /// locked state).
+    fn publish_initial(&self) {
+        let state = self.lock_state();
+        self.publish_all(&state);
+    }
+
+    /// Rebuilds and publishes the warm snapshot of series `s` from the
+    /// locked state. Callers hold the core lock, which serializes all
+    /// publication; the cell swap itself is wait-free for readers.
+    fn publish_series(&self, state: &EngineState, s: usize) {
+        let span = state.grid.retained_len();
+        let (base, live, w) = (state.base(), state.live_t(), state.grid.window_len());
+        let n_windows = state.grid.n_windows();
+        let avail = state.obs.available.series(s);
+        let missing: Vec<bool> = (0..n_windows)
+            .map(|slot| {
+                let lo = slot * w;
+                let hi = ((slot + 1) * w).min(span);
+                avail[lo..hi].iter().any(|&a| !a)
+            })
+            .collect();
+        // A window is *servable* warm if its cache is fresh — or if it has
+        // nothing to impute: fully-observed windows are never computed (the
+        // locked path skips them too), so their freshness bit stays false
+        // forever while their cached values are exact.
+        let fresh: Vec<bool> =
+            (0..n_windows).map(|slot| state.fresh[s][slot] || !missing[slot]).collect();
+        let snap = SeriesSnap {
+            base,
+            live,
+            w,
+            values: state.imputed.series(s)[..span].to_vec(),
+            fresh,
+            degraded: state.degraded[s].clone(),
+            missing,
+        };
+        self.shards.publish(s, snap);
+    }
+
+    /// Publishes every series' warm snapshot (skipped entirely while the
+    /// warm path is disabled — the single-mutex baseline pays zero
+    /// publication cost).
+    fn publish_all(&self, state: &EngineState) {
+        if !self.warm.load(Ordering::Relaxed) {
+            return;
+        }
+        for s in 0..self.n_series {
+            self.publish_series(state, s);
+        }
+    }
+
+    /// Publishes the warm snapshots of a specific series set (the query
+    /// path republishes only what it recomputed).
+    fn publish_series_set(&self, state: &EngineState, set: impl IntoIterator<Item = usize>) {
+        if !self.warm.load(Ordering::Relaxed) {
+            return;
+        }
+        for s in set {
+            self.publish_series(state, s);
+        }
     }
 
     /// Assembles an engine directly from restored parts (the snapshot
@@ -712,17 +852,20 @@ impl ImputationEngine {
             guard: None,
             eval_hook: None,
             watermark,
-            scratch: InferScratch::new(),
         };
-        Self {
+        let engine = Self {
             model,
             n_series,
-            quarantined_by_series: (0..n_series).map(|_| AtomicU64::new(0)).collect(),
             retention,
             ring_cap,
             state: Mutex::new(state),
             counters: Counters::default(),
-        }
+            shards: ShardSet::new(n_series, Self::default_shard_count()),
+            warm: AtomicBool::new(true),
+            scratch: ScratchPool::new(),
+        };
+        engine.publish_initial();
+        engine
     }
 
     /// Acquires the state lock, **recovering from poisoning**: when a panic
@@ -733,7 +876,21 @@ impl ImputationEngine {
     /// ([`HealthReport::poison_recoveries`]). A panic therefore costs
     /// recompute work, never wrong answers and never a wedged engine.
     fn lock_state(&self) -> MutexGuard<'_, EngineState> {
-        match self.state.lock() {
+        // Contended acquisitions are timed (the blocked-time probe of the
+        // sharded bench arm); the uncontended fast path costs no clock read.
+        let locked = match self.state.try_lock() {
+            Ok(guard) => Ok(guard),
+            Err(TryLockError::Poisoned(poisoned)) => Err(poisoned),
+            Err(TryLockError::WouldBlock) => {
+                let t0 = std::time::Instant::now();
+                let locked = self.state.lock();
+                self.counters
+                    .lock_wait_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                locked
+            }
+        };
+        match locked {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.state.clear_poison();
@@ -741,7 +898,11 @@ impl ImputationEngine {
                 for fresh in &mut guard.fresh {
                     fresh.iter_mut().for_each(|f| *f = false);
                 }
-                self.counters.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                self.shards.bump_poison();
+                // The published warm snapshots predate the scrub; republish
+                // so the lock-free path cannot serve windows the recovery
+                // just distrusted.
+                self.publish_all(&guard);
                 guard
             }
         }
@@ -765,24 +926,82 @@ impl ImputationEngine {
 
     /// Point-in-time health counters: quarantine activity, rejected
     /// non-finite inputs, output-guard degradations and poison recoveries.
-    /// Lock-free except for the current degraded-window scan.
+    ///
+    /// The report is a **consistent snapshot**: it is assembled while
+    /// holding every shard lock at once (ascending order — the same
+    /// multi-shard protocol every mutator follows), and mutators bump all
+    /// counters a mutation touches under one such acquisition. The report
+    /// therefore never shows a torn aggregate: `quarantined` always equals
+    /// the sum of `quarantined_by_series`, and the degraded gauge never
+    /// counts a half-applied batch. Never takes the core state lock, so
+    /// health stays responsive while a recompute runs.
     pub fn health(&self) -> HealthReport {
-        let degraded_windows = {
-            let state = self.lock_state();
-            state.degraded.iter().flatten().filter(|&&d| d).count() as u64
+        let guards = self.shards.lock_all();
+        let mut report = HealthReport {
+            quarantined_by_series: vec![0; self.n_series],
+            ..HealthReport::default()
         };
-        HealthReport {
-            quarantined_by_series: self
-                .quarantined_by_series
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
-            nonfinite_input_rejections: self.counters.nonfinite_inputs.load(Ordering::Relaxed),
-            degraded_events: self.counters.degraded_events.load(Ordering::Relaxed),
-            degraded_windows,
-            poison_recoveries: self.counters.poison_recoveries.load(Ordering::Relaxed),
+        for shard in &guards {
+            for (total, per) in
+                report.quarantined_by_series.iter_mut().zip(&shard.quarantined_by_series)
+            {
+                *total += per;
+            }
+            report.quarantined += shard.quarantined;
+            report.nonfinite_input_rejections += shard.nonfinite_input_rejections;
+            report.degraded_events += shard.degraded_events;
+            report.degraded_windows += shard.degraded_windows;
         }
+        // Poison count is the terminal lock level: still inside the shard
+        // guards, so the whole report is one point in time.
+        report.poison_recoveries = self.shards.poison_recoveries();
+        drop(guards);
+        report
+    }
+
+    /// Number of health-counter shards (a construction-time contention knob;
+    /// see [`EngineOptions::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.n_shards()
+    }
+
+    /// The shard owning series `s`'s health counters (a stable hash of the
+    /// series id). Exposed so tests can construct shard-collision and
+    /// shard-isolation workloads deterministically.
+    pub fn shard_of(&self, s: usize) -> usize {
+        self.shards.shard_of(s)
+    }
+
+    /// Whether the lock-free warm read path is enabled (it is by default).
+    pub fn warm_reads(&self) -> bool {
+        self.warm.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the lock-free warm read path. Disabled, every
+    /// query takes the core state lock — the single-mutex baseline used by
+    /// the sharded bench arm and the bitwise replay property test. Safe to
+    /// flip live: re-enabling republishes every series under the core lock
+    /// *before* the flag turns on, so the warm path can never serve state
+    /// from before the gap.
+    pub fn set_warm_reads(&self, on: bool) {
+        let state = self.lock_state();
+        if on {
+            // Mutations made while the path was off never published;
+            // snapshots must be current before the first warm read.
+            for s in 0..self.n_series {
+                self.publish_series(&state, s);
+            }
+        }
+        self.warm.store(on, Ordering::Relaxed);
+        drop(state);
+    }
+
+    /// Total nanoseconds serving calls have spent blocked on a *contended*
+    /// core state lock since construction. The sharded bench arm's
+    /// blocked-time probe: with warm reads on, readers never touch the core
+    /// lock, so this stays flat while query load runs against appends.
+    pub fn lock_wait_nanos(&self) -> u64 {
+        self.counters.lock_wait_nanos.load(Ordering::Relaxed)
     }
 
     /// The frozen model this engine serves.
@@ -845,6 +1064,7 @@ impl ImputationEngine {
             self.collect_stale(&state, s, base, live_t, &mut queries);
         }
         self.compute_and_fill(&mut state, &queries);
+        self.publish_all(&state);
         queries.len()
     }
 
@@ -898,28 +1118,53 @@ impl ImputationEngine {
         self.counters.requests.fetch_add(requests.len() as u64, Ordering::Relaxed);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
 
-        let mut state = self.lock_state();
-        let (base, live_t) = (state.base(), state.live_t());
-        let validity: Vec<Result<(), ServeError>> = requests
-            .iter()
-            .map(|r| {
-                if r.s >= self.n_series {
-                    Err(ServeError::Series { s: r.s, n_series: self.n_series })
-                } else if r.start > r.end || r.end > live_t {
-                    Err(ServeError::Range { start: r.start, end: r.end, t_len: live_t })
-                } else if r.start < base {
-                    Err(ServeError::Evicted { start: r.start, end: r.end, retained_start: base })
-                } else {
-                    Ok(())
-                }
-            })
-            .collect();
-
-        let mut queries = Vec::new();
-        let mut needed = BTreeSet::new();
+        let mut answers: Vec<Option<Result<ImputeResponse, ServeError>>> =
+            vec![None; requests.len()];
         let mut hits = 0usize;
-        for (r, ok) in requests.iter().zip(&validity) {
-            if ok.is_ok() {
+
+        // Warm fast path: a request whose overlapped windows are all fresh
+        // in the published snapshot is answered with zero locking — it
+        // cannot block (or be blocked by) appends or other readers. Each
+        // answer linearizes at its snapshot load: publication happens before
+        // a mutation returns, so completed mutations are always visible.
+        if self.warm_reads() {
+            for (slot, r) in answers.iter_mut().zip(requests) {
+                if r.s >= self.n_series {
+                    continue; // typed error produced by the locked path below
+                }
+                let snap = self.shards.snapshot(r.s);
+                if let Some((resp, snap_hits)) = snap.answer(r.start, r.end) {
+                    hits += snap_hits;
+                    *slot = Some(Ok(resp));
+                }
+            }
+        }
+
+        // Slow path for whatever the snapshots could not serve: invalid
+        // requests (typed errors), stale windows (recompute + republish),
+        // or everything when the warm path is disabled.
+        if answers.iter().any(|a| a.is_none()) {
+            let mut state = self.lock_state();
+            let (base, live_t) = (state.base(), state.live_t());
+            let mut queries = Vec::new();
+            let mut needed = BTreeSet::new();
+            for (slot, r) in answers.iter_mut().zip(requests) {
+                if slot.is_some() {
+                    continue;
+                }
+                let err = if r.s >= self.n_series {
+                    Some(ServeError::Series { s: r.s, n_series: self.n_series })
+                } else if r.start > r.end || r.end > live_t {
+                    Some(ServeError::Range { start: r.start, end: r.end, t_len: live_t })
+                } else if r.start < base {
+                    Some(ServeError::Evicted { start: r.start, end: r.end, retained_start: base })
+                } else {
+                    None
+                };
+                if let Some(e) = err {
+                    *slot = Some(Err(e));
+                    continue;
+                }
                 hits += self.collect_stale_dedup(
                     &state,
                     r.s,
@@ -929,23 +1174,26 @@ impl ImputationEngine {
                     &mut queries,
                 );
             }
+            self.compute_and_fill(&mut state, &queries);
+            for (slot, r) in answers.iter_mut().zip(requests) {
+                if slot.is_none() {
+                    *slot = Some(Ok(ImputeResponse {
+                        values: state.imputed.series(r.s)[r.start - base..r.end - base].to_vec(),
+                        degraded: state
+                            .grid
+                            .windows_overlapping(r.start, r.end)
+                            .any(|wj| state.degraded[r.s][state.grid.slot(wj)]),
+                    }));
+                }
+            }
+            // Republish what this batch recomputed so the next reader of
+            // these series takes the warm path again.
+            let recomputed: BTreeSet<usize> = queries.iter().map(|q| q.s).collect();
+            self.publish_series_set(&state, recomputed);
         }
-        self.counters.window_hits.fetch_add(hits as u64, Ordering::Relaxed);
-        self.compute_and_fill(&mut state, &queries);
 
-        requests
-            .iter()
-            .zip(validity)
-            .map(|(r, ok)| {
-                ok.map(|()| ImputeResponse {
-                    values: state.imputed.series(r.s)[r.start - base..r.end - base].to_vec(),
-                    degraded: state
-                        .grid
-                        .windows_overlapping(r.start, r.end)
-                        .any(|wj| state.degraded[r.s][state.grid.slot(wj)]),
-                })
-            })
-            .collect()
+        self.counters.window_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        answers.into_iter().map(|a| a.expect("every request answered")).collect()
     }
 
     /// Records newly arrived values for series `s` at its write watermark and
@@ -1012,6 +1260,10 @@ impl ImputationEngine {
         self.counters
             .values_appended
             .fetch_add((end - start - quarantined) as u64, Ordering::Relaxed);
+        // Publish before the core lock releases: every series' freshness
+        // may have changed (sibling invalidation), and a reader that starts
+        // after this append returns must observe it.
+        self.publish_all(&state);
         Ok(report)
     }
 
@@ -1106,6 +1358,7 @@ impl ImputationEngine {
         self.counters
             .values_backfilled
             .fetch_add((values.len() - quarantined) as u64, Ordering::Relaxed);
+        self.publish_all(&state);
         Ok(report)
     }
 
@@ -1178,7 +1431,7 @@ impl ImputationEngine {
         match values.iter().position(|v| !v.is_finite()) {
             None => Ok(()),
             Some(offset) => {
-                self.counters.nonfinite_inputs.fetch_add(1, Ordering::Relaxed);
+                self.shards.lock_for_series(s).nonfinite_input_rejections += 1;
                 Err(ServeError::NonFiniteInput { s, offset })
             }
         }
@@ -1357,9 +1610,22 @@ impl ImputationEngine {
                 }
             }
         }
-        for degraded in &mut state.degraded {
+        // Evicted degraded slots leave the gauge: collect per-shard deltas,
+        // then apply them under one ascending multi-shard acquisition.
+        let mut gauge_deltas: BTreeMap<usize, u64> = BTreeMap::new();
+        for (s, degraded) in state.degraded.iter_mut().enumerate() {
             let evicted = drop_w.min(degraded.len());
+            let gone = degraded[..evicted].iter().filter(|&&d| d).count() as u64;
+            if gone > 0 {
+                *gauge_deltas.entry(self.shards.shard_of(s)).or_default() += gone;
+            }
             degraded.drain(..evicted);
+        }
+        if !gauge_deltas.is_empty() {
+            let shards: BTreeSet<usize> = gauge_deltas.keys().copied().collect();
+            for (idx, mut guard) in self.shards.lock_many(&shards) {
+                guard.degraded_windows = guard.degraded_windows.saturating_sub(gauge_deltas[&idx]);
+            }
         }
         self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         self.counters.steps_evicted.fetch_add(drop as u64, Ordering::Relaxed);
@@ -1410,8 +1676,11 @@ impl ImputationEngine {
             state.imputed.series_mut(s)[p + run..p + values.len()].copy_from_slice(&values[run..]);
         }
         if quarantined > 0 {
-            self.quarantined_by_series[s].fetch_add(quarantined as u64, Ordering::Relaxed);
-            self.counters.quarantined.fetch_add(quarantined as u64, Ordering::Relaxed);
+            // Per-series count and shard total move together under one lock
+            // acquisition, so no health report can see them torn apart.
+            let mut shard = self.shards.lock_for_series(s);
+            shard.quarantined_by_series[s] += quarantined as u64;
+            shard.quarantined += quarantined as u64;
         }
         quarantined
     }
@@ -1503,21 +1772,32 @@ impl ImputationEngine {
             return;
         }
         let threads = mvi_parallel::current_threads();
-        let EngineState { scratch, obs, eval_hook, .. } = state;
-        let mut results = self.model.predict_batch_with(scratch, obs, queries, threads);
+        let mut scratch = self.scratch.take();
+        let mut results = self.model.predict_batch_with(&mut scratch, &state.obs, queries, threads);
+        // Return the scratch before the fault-injection seam runs: a hook
+        // panic abandons nothing warm (the pool re-issues these buffers),
+        // and a hook stall never pins scratch memory.
+        self.scratch.put(scratch);
         // Fault-injection seam: the hook may panic (exercising the batcher's
         // supervisor and the poison-recovering lock), stall (deadlines), or
         // poison outputs (the guard below). `None` outside chaos tests.
-        if let Some(hook) = eval_hook.as_mut() {
+        if let Some(hook) = state.eval_hook.as_mut() {
             hook(&mut results);
         }
-        let mut degraded_events = 0u64;
+        // Degrade/heal transitions are applied to the shard-guarded health
+        // counters in one multi-shard acquisition (ascending, all guards
+        // held together) after the cache writes, so a concurrent health
+        // report sees either none or all of this batch's transitions.
+        let mut deltas: BTreeMap<usize, (u64, i64)> = BTreeMap::new();
         for (q, vals) in queries.iter().zip(&results) {
             let intact = vals.len() == q.positions.len() && vals.iter().all(|v| v.is_finite());
             if intact {
                 let series = state.imputed.series_mut(q.s);
                 for (&t, &v) in q.positions.iter().zip(vals) {
                     series[t] = v;
+                }
+                if state.degraded[q.s][q.window_j] {
+                    deltas.entry(self.shards.shard_of(q.s)).or_default().1 -= 1;
                 }
                 state.degraded[q.s][q.window_j] = false;
             } else {
@@ -1526,13 +1806,22 @@ impl ImputationEngine {
                 for &t in &q.positions {
                     series[t] = level;
                 }
+                let delta = deltas.entry(self.shards.shard_of(q.s)).or_default();
+                delta.0 += 1;
+                if !state.degraded[q.s][q.window_j] {
+                    delta.1 += 1;
+                }
                 state.degraded[q.s][q.window_j] = true;
-                degraded_events += 1;
             }
             state.fresh[q.s][q.window_j] = true;
         }
-        if degraded_events > 0 {
-            self.counters.degraded_events.fetch_add(degraded_events, Ordering::Relaxed);
+        if !deltas.is_empty() {
+            let shards: BTreeSet<usize> = deltas.keys().copied().collect();
+            for (idx, mut guard) in self.shards.lock_many(&shards) {
+                let (events, gauge) = deltas[&idx];
+                guard.degraded_events += events;
+                guard.degraded_windows = (guard.degraded_windows as i64 + gauge).max(0) as u64;
+            }
         }
         self.counters.windows_computed.fetch_add(queries.len() as u64, Ordering::Relaxed);
     }

@@ -44,6 +44,16 @@
 //!   recompute, and [`ImputationEngine::health`] exposes the counters. With
 //!   guards installed and not firing, served values are bitwise identical to
 //!   the unguarded engine.
+//! * **Sharded, lock-free warm reads** — engine state is split along the
+//!   read/write axis: mutations stay sequenced on the core lock (DeepMVI's
+//!   forward pass couples every series), while health counters shard per
+//!   series and warm queries answer from per-series snapshots published
+//!   through atomic cells — no mutex on the warm path at all, so concurrent
+//!   queries never block appends to other series and never block each other.
+//!   Warm reads linearize at their snapshot load; snapshots are published
+//!   before each mutation returns, so reads always see completed writes.
+//!   Single-threaded replay with the warm path on and off is bitwise
+//!   identical ([`ImputationEngine::set_warm_reads`]).
 //!
 //! # Quickstart
 //!
@@ -89,21 +99,24 @@
 //! [`ImputationEngine::snapshot_to_path`] /
 //! [`ImputationEngine::restore_with_fallback`]. See the `online_serving`
 //! example for an end-to-end tour, `ARCHITECTURE.md` for where the engine
-//! sits in the system (including the failure-domain map),
-//! `tests/serve_faults.rs` for the fault-injection suite, and `serve_bench`
-//! for the methodology behind `BENCH_2.json`, `BENCH_3.json`, `BENCH_5.json`
-//! and `BENCH_6.json` (documented in `PERFORMANCE.md`).
+//! sits in the system (including the failure-domain map and the shard map),
+//! `tests/serve_faults.rs` for the fault-injection suite,
+//! `tests/serve_concurrency.rs` for the concurrency stress +
+//! linearizability suite, and `serve_bench` for the methodology behind
+//! `BENCH_2.json`, `BENCH_3.json`, `BENCH_5.json`, `BENCH_6.json` and
+//! `BENCH_7.json` (documented in `PERFORMANCE.md`).
 
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod durable;
 pub mod engine;
+pub(crate) mod shard;
 pub mod snapshot;
 
 pub use batch::{BatchClient, BatcherConfig, MicroBatcher};
 pub use engine::{
-    AppendReport, EngineStats, EvalHook, HealthReport, ImputationEngine, ImputeRequest,
-    ImputeResponse, ServeError, ValueGuard,
+    AppendReport, EngineOptions, EngineStats, EvalHook, HealthReport, ImputationEngine,
+    ImputeRequest, ImputeResponse, ServeError, ValueGuard,
 };
 pub use snapshot::ServeSnapshot;

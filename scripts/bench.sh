@@ -6,11 +6,12 @@
 #   BENCH_3.json  growth scenario (appends streaming past the trained t_len),
 #   BENCH_4.json  tape-free inference (value-only evaluator vs the tape path),
 #   BENCH_5.json  retention ring (bounded-memory long stream + warm restart),
-#   BENCH_6.json  fault-tolerance layer (guarded-vs-unguarded serving + drill).
+#   BENCH_6.json  fault-tolerance layer (guarded-vs-unguarded serving + drill),
+#   BENCH_7.json  sharded read path (warm-query scaling + blocked-time probe).
 #
 #   THREADS=4 OUT=BENCH_1.json SERVE_OUT=BENCH_2.json GROWTH_OUT=BENCH_3.json \
 #       INFER_OUT=BENCH_4.json RETENTION_OUT=BENCH_5.json \
-#       FAULTS_OUT=BENCH_6.json scripts/bench.sh
+#       FAULTS_OUT=BENCH_6.json SHARDED_OUT=BENCH_7.json scripts/bench.sh
 #
 # The BENCH_<n>.json schemas and the host-comparability rules are documented
 # in PERFORMANCE.md ("The BENCH_<n>.json artifacts").
@@ -32,6 +33,7 @@ GROWTH_OUT="${GROWTH_OUT:-BENCH_3.json}"
 INFER_OUT="${INFER_OUT:-BENCH_4.json}"
 RETENTION_OUT="${RETENTION_OUT:-BENCH_5.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_6.json}"
+SHARDED_OUT="${SHARDED_OUT:-BENCH_7.json}"
 
 echo "== phase 1: baseline-codegen build (seed's original configuration) =="
 RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
@@ -64,4 +66,11 @@ echo "== phase 6: fault-tolerance harness (guarded serving + fault drill) =="
 ./target/release/serve_bench \
     --threads="$THREADS" --only=faults --faults-out="$FAULTS_OUT"
 
-echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT $FAULTS_OUT"
+echo "== phase 7: sharded read path (warm-query scaling + blocked-time probe) =="
+# Asserts (on every host) that sharded warm reads accumulate zero core-lock
+# wait under mixed traffic; the >=3x scaling gate at 8 readers is asserted
+# only on hosts with >= 8 cores and recorded otherwise.
+./target/release/serve_bench \
+    --threads="$THREADS" --only=sharded --sharded-out="$SHARDED_OUT"
+
+echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT $FAULTS_OUT $SHARDED_OUT"
