@@ -1,0 +1,29 @@
+//! Known-bad fixture for the `atomic-ordering` pass: a publication-protocol
+//! module (it defines an `AtomicPtr` cell) using `Ordering::Relaxed` on the
+//! pointer handoff — exactly the bug that would let a reader observe a
+//! retired snapshot after the writer's quiescence scan.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+struct Cell<T> {
+    ptr: AtomicPtr<T>,
+    pins: AtomicUsize,
+}
+
+impl<T> Cell<T> {
+    /// VIOLATION: a relaxed pointer load breaks the SeqCst total order the
+    /// pin-scan soundness argument requires.
+    fn load_ptr(&self) -> *mut T {
+        self.ptr.load(Ordering::Relaxed)
+    }
+
+    /// VIOLATION: relaxed publication.
+    fn store_ptr(&self, p: *mut T) {
+        self.ptr.store(p, Ordering::Relaxed);
+    }
+
+    /// VIOLATION: the pin counter is part of the protocol too.
+    fn pin(&self) {
+        self.pins.fetch_add(1, Ordering::Relaxed);
+    }
+}

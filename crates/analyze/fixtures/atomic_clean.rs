@@ -1,0 +1,39 @@
+//! Clean fixture for the `atomic-ordering` pass: SeqCst on every
+//! publication-protocol atomic, with the two legitimate relaxations — the
+//! allowlisted pin-slot round-robin counter, and an explicit, justified
+//! `mvi-allow` annotation.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+static NEXT_PIN_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+struct Cell<T> {
+    ptr: AtomicPtr<T>,
+    pins: AtomicUsize,
+}
+
+impl<T> Cell<T> {
+    fn load_ptr(&self) -> *mut T {
+        self.ptr.load(Ordering::SeqCst)
+    }
+
+    fn store_ptr(&self, p: *mut T) {
+        self.ptr.store(p, Ordering::SeqCst);
+    }
+
+    fn pin(&self) {
+        self.pins.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The allowlisted exception: slot assignment is pure load-balancing —
+    /// any slot is correct — so its ordering is immaterial.
+    fn slot() -> usize {
+        NEXT_PIN_SLOT.fetch_add(1, Ordering::Relaxed) % 64
+    }
+
+    /// A non-protocol stat counter may relax with a visible annotation.
+    fn bump_stat(stat: &AtomicUsize) {
+        // mvi-allow: atomic-ordering monotonic stat counter, no ordering dependency
+        stat.fetch_add(1, Ordering::Relaxed);
+    }
+}

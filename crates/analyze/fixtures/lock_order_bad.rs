@@ -1,0 +1,40 @@
+//! Known-bad fixture for the `lock-order` pass: three protocol violations.
+//! This file is never compiled — it only needs to lex.
+
+use std::collections::BTreeSet;
+
+impl Engine {
+    /// VIOLATION (line below `lock_for_series`): a shard lock is taken and
+    /// then the core state mutex — the inversion that deadlocks against any
+    /// writer holding core and waiting on the shard.
+    fn shard_before_core(&self, s: usize) {
+        let mut shard = self.shards.lock_for_series(s);
+        shard.quarantined += 1;
+        let state = self.state.lock();
+        drop(state);
+    }
+
+    /// VIOLATION: the terminal poison level is held conceptually before a
+    /// shard acquisition.
+    fn poison_before_shard(&self) {
+        self.shards.bump_poison();
+        let guards = self.shards.lock_all();
+        drop(guards);
+    }
+
+    /// VIOLATION: two direct shard acquisitions in one body instead of one
+    /// `lock_many` — nothing proves they were taken ascending.
+    fn unordered_double_shard(&self, a: usize, b: usize) {
+        let ga = self.shards.lock_for_series(a);
+        let gb = self.shards.lock_for_series(b);
+        drop((ga, gb));
+    }
+
+    /// Clean: the full protocol in order, for contrast.
+    fn in_order(&self) {
+        let state = self.state.lock();
+        let guards = self.shards.lock_all();
+        self.shards.bump_poison();
+        drop((state, guards));
+    }
+}

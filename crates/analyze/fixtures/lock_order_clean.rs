@@ -1,0 +1,42 @@
+//! Clean fixture for the `lock-order` pass: every body follows
+//! `core → shard (ascending) → poison`, including level skips.
+
+use std::collections::BTreeSet;
+
+impl Engine {
+    /// Core only.
+    fn core_only(&self) {
+        let state = self.state.lock();
+        drop(state);
+    }
+
+    /// Core, then a single multi-shard acquisition, then the poison counter.
+    fn full_protocol(&self, shards: &BTreeSet<usize>) {
+        let state = self.lock_state();
+        for (idx, mut guard) in self.shards.lock_many(shards) {
+            guard.degraded_events += idx as u64;
+        }
+        self.shards.bump_poison();
+        drop(state);
+    }
+
+    /// Skipping levels is allowed: core straight to poison.
+    fn skip_shard_level(&self) {
+        let state = self.state.try_lock();
+        self.shards.bump_poison();
+        drop(state);
+    }
+
+    /// Shard then poison, never touching core (the health-report shape).
+    fn aggregate(&self) -> u64 {
+        let guards = self.shards.lock_all();
+        let poisoned = self.shards.poison_recoveries();
+        drop(guards);
+        poisoned
+    }
+
+    /// One single-shard acquisition per body is fine.
+    fn single_shard(&self, s: usize) {
+        self.shards.lock_for_series(s).quarantined += 1;
+    }
+}

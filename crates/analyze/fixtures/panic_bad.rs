@@ -1,0 +1,39 @@
+//! Known-bad fixture for the `panic` pass: unannotated panic sites in
+//! non-test code, plus the shapes that must NOT fire (doc examples, test
+//! modules, `unwrap_or_else`).
+
+/// Doc examples never count:
+///
+/// ```
+/// engine.query(0, 0, 10).unwrap();
+/// ```
+fn serve(values: &[f64]) -> f64 {
+    // VIOLATION: unwrap on the hot path.
+    let first = values.first().unwrap();
+    // VIOLATION: expect on the hot path.
+    let last = values.last().expect("non-empty");
+    if first > last {
+        // VIOLATION: explicit panic.
+        panic!("descending");
+    }
+    // VIOLATION: unreachable is a panic too.
+    match values.len() {
+        0 => unreachable!(),
+        _ => first + last,
+    }
+}
+
+fn not_a_panic(values: &[f64]) -> f64 {
+    // `unwrap_or_else` and friends are fine — they do not panic.
+    values.first().copied().unwrap_or_else(|| 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1.0, 2.0];
+        assert_eq!(*v.first().unwrap(), 1.0);
+        v.last().expect("non-empty");
+    }
+}

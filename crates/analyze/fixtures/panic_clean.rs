@@ -1,0 +1,32 @@
+//! Clean fixture for the `panic` pass: typed errors on the hot path, a
+//! justified structural-invariant suppression, and test-only unwraps.
+
+enum ServeError {
+    Empty,
+}
+
+fn serve(values: &[f64]) -> Result<f64, ServeError> {
+    let first = values.first().ok_or(ServeError::Empty)?;
+    let last = values.last().ok_or(ServeError::Empty)?;
+    Ok(first + last)
+}
+
+fn structural(values: &[f64]) -> f64 {
+    let doubled: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
+    // mvi-allow: panic — map over a non-empty input cannot produce an empty vec
+    *doubled.first().unwrap()
+}
+
+#[test]
+fn test_fn_may_unwrap() {
+    assert_eq!(serve(&[1.0]).map_err(|_| ()).unwrap(), 2.0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn module_tests_may_unwrap() {
+        let v = [3.0];
+        v.first().unwrap();
+    }
+}

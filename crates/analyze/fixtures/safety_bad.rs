@@ -1,0 +1,26 @@
+//! Known-bad fixture for the `safety` pass: `unsafe` without adjacent
+//! justification, in each of the three shapes the pass distinguishes.
+
+/// VIOLATION: an unsafe block with no `// SAFETY:` comment.
+fn bare_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// VIOLATION: the comment exists but a blank line breaks adjacency, so it
+/// can drift arbitrarily far from the code it claims to justify.
+fn stale_comment(p: *const u8) -> u8 {
+    // SAFETY: this comment is orphaned by the blank line below.
+
+    unsafe { *p }
+}
+
+// VIOLATION: an `unsafe fn` carrying no justification in either of the
+// accepted forms (this adjacent comment deliberately names neither marker).
+unsafe fn undocumented_contract(p: *mut u8) {
+    *p = 0;
+}
+
+struct Wrapper(*mut u8);
+
+// VIOLATION: unsafe impl without a justification.
+unsafe impl Send for Wrapper {}

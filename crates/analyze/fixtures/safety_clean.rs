@@ -1,0 +1,32 @@
+//! Clean fixture for the `safety` pass: every `unsafe` carries its
+//! justification in one of the accepted adjacent forms.
+
+/// A block with the canonical comment directly above.
+fn commented_block(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads (fixture).
+    unsafe { *p }
+}
+
+/// A trailing same-line comment also counts.
+fn trailing_comment(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: valid by the fixture's construction.
+}
+
+/// An `unsafe fn` justified by its rustdoc `# Safety` section, with
+/// attributes between the docs and the item (the adjacency walk skips
+/// attribute lines).
+///
+/// # Safety
+/// `p` must be valid for writes.
+#[allow(dead_code)]
+#[inline]
+unsafe fn documented_contract(p: *mut u8) {
+    // SAFETY: contract delegated to the caller (see `# Safety`).
+    unsafe { *p = 0 };
+}
+
+struct Wrapper(*mut u8);
+
+// SAFETY: the raw pointer is only an opaque token in this fixture; no thread
+// ever dereferences it.
+unsafe impl Send for Wrapper {}

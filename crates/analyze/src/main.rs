@@ -1,0 +1,79 @@
+//! CLI entry point for `mvi-analyze` (see the library docs for the passes).
+//!
+//! ```text
+//! mvi-analyze --workspace [--json] [--root=PATH]   # scoped passes, exit 1 on findings
+//! mvi-analyze [--json] FILE [FILE …]               # all passes over explicit files
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mvi_analyze::{analyze_source, analyze_workspace, find_workspace_root, PassSet, Report};
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--workspace" {
+            workspace = true;
+        } else if arg == "--json" {
+            json = true;
+        } else if let Some(path) = arg.strip_prefix("--root=") {
+            root = Some(PathBuf::from(path));
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!(
+                "usage: mvi-analyze --workspace [--json] [--root=PATH]\n\
+                 \x20      mvi-analyze [--json] FILE [FILE ...]"
+            );
+            return ExitCode::from(0);
+        } else if arg.starts_with('-') {
+            eprintln!("mvi-analyze: unknown flag `{arg}` (try --help)");
+            return ExitCode::from(2);
+        } else {
+            files.push(PathBuf::from(arg));
+        }
+    }
+    if workspace != files.is_empty() {
+        eprintln!("mvi-analyze: pass either --workspace or explicit files (try --help)");
+        return ExitCode::from(2);
+    }
+
+    let report = if workspace {
+        let root =
+            root.or_else(|| std::env::current_dir().ok().and_then(|d| find_workspace_root(&d)));
+        let Some(root) = root else {
+            eprintln!("mvi-analyze: no workspace root found (set --root=PATH)");
+            return ExitCode::from(2);
+        };
+        match analyze_workspace(&root) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("mvi-analyze: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut report = Report::default();
+        for path in &files {
+            let source = match std::fs::read_to_string(path) {
+                Ok(source) => source,
+                Err(err) => {
+                    eprintln!("mvi-analyze: {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let file_report = analyze_source(&path.to_string_lossy(), &source, PassSet::all());
+            report.findings.extend(file_report.findings);
+            report.suppressed.extend(file_report.suppressed);
+            report.files_scanned += 1;
+        }
+        report
+    };
+
+    print!("{}", if json { report.json() } else { report.human() });
+    ExitCode::from(if report.deny() { 1 } else { 0 })
+}

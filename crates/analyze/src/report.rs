@@ -1,0 +1,153 @@
+//! Report aggregation and rendering: the human-readable `file:line` format
+//! the terminal gets, and the hand-rolled `--json` form CI artifacts and
+//! other tools consume (the crate is dependency-free, so serialization is
+//! ~40 lines of escaping rather than serde).
+
+use crate::{Finding, Suppression};
+use std::fmt::Write as _;
+
+/// The aggregated result of an analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations across every scanned file.
+    pub findings: Vec<Finding>,
+    /// Annotation-suppressed sites, with their justifications.
+    pub suppressed: Vec<Suppression>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run should fail the build (any unsuppressed finding).
+    pub fn deny(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// The human-readable rendering: one `file:line: [lint] message` per
+    /// finding, the honored suppressions, and a summary line.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+        }
+        if !self.suppressed.is_empty() {
+            let _ = writeln!(out, "suppressed ({}):", self.suppressed.len());
+            for s in &self.suppressed {
+                let justification = if s.justification.is_empty() {
+                    "(no justification)"
+                } else {
+                    &s.justification
+                };
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: [{}] mvi-allow — {}",
+                    s.file, s.line, s.lint, justification
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned, {} finding(s), {} suppression(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed.len()
+        );
+        out
+    }
+
+    /// The `--json` rendering (stable field order, one object).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(f.lint.name()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"justification\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(s.lint.name()),
+                json_str(&s.file),
+                s.line,
+                json_str(&s.justification)
+            );
+        }
+        if !self.suppressed.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"deny\": {}\n}}\n",
+            self.files_scanned,
+            self.deny()
+        );
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain
+/// (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lint;
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let report = Report {
+            findings: vec![Finding {
+                lint: Lint::Panic,
+                file: "a\\b.rs".into(),
+                line: 7,
+                message: "say \"no\"\nplease".into(),
+            }],
+            suppressed: vec![],
+            files_scanned: 3,
+        };
+        let json = report.json();
+        assert!(json.contains("\"lint\": \"panic\""));
+        assert!(json.contains("\"file\": \"a\\\\b.rs\""));
+        assert!(json.contains("\\\"no\\\"\\nplease"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"deny\": true"));
+    }
+
+    #[test]
+    fn human_summary_counts() {
+        let report = Report { findings: vec![], suppressed: vec![], files_scanned: 2 };
+        assert!(!report.deny());
+        assert!(report.human().contains("2 file(s) scanned, 0 finding(s)"));
+    }
+}

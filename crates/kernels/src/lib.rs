@@ -31,6 +31,8 @@
 //! faster on the dense matrices these paths see, at the (accepted) cost that
 //! a `0 × NaN` product now propagates instead of being skipped.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 /// Output rows per register tile.
 pub const MR: usize = 4;
 
@@ -239,23 +241,35 @@ mod avx512 {
         let mut lo = [_mm512_set1_pd(0.0); TM];
         let mut hi = [_mm512_set1_pd(0.0); TM];
         for r in 0..TM {
-            lo[r] = _mm512_loadu_pd(cp.add(c_off + r * n));
-            hi[r] = _mm512_loadu_pd(cp.add(c_off + r * n + 8));
+            // SAFETY: the caller's `c_off + (TM-1)·n + TN ≤ c.len()` bound
+            // keeps both unaligned 8-lane loads of output row `r` in bounds.
+            unsafe {
+                lo[r] = _mm512_loadu_pd(cp.add(c_off + r * n));
+                hi[r] = _mm512_loadu_pd(cp.add(c_off + r * n + 8));
+            }
         }
         for kk in 0..ks {
             let bs = b_off + kk * n;
-            let b0 = _mm512_loadu_pd(bp.add(bs));
-            let b1 = _mm512_loadu_pd(bp.add(bs + 8));
+            // SAFETY: `kk < ks` and the caller's `b_off + (ks-1)·n + TN ≤
+            // b.len()` bound keep this B-panel load in bounds.
+            let b0 = unsafe { _mm512_loadu_pd(bp.add(bs)) };
+            // SAFETY: `bs + 8 + 8` is within the same B-panel bound as above.
+            let b1 = unsafe { _mm512_loadu_pd(bp.add(bs + 8)) };
             let ab = a_base + kk * a_k;
             for r in 0..TM {
-                let x = _mm512_set1_pd(*ap.add(ab + r * a_row));
+                // SAFETY: the caller's `(TM-1)·a_row + (ks-1)·a_k < a.len()`
+                // bound covers this scalar A load.
+                let x = unsafe { _mm512_set1_pd(*ap.add(ab + r * a_row)) };
                 lo[r] = _mm512_fmadd_pd(x, b0, lo[r]);
                 hi[r] = _mm512_fmadd_pd(x, b1, hi[r]);
             }
         }
         for r in 0..TM {
-            _mm512_storeu_pd(cp.add(c_off + r * n), lo[r]);
-            _mm512_storeu_pd(cp.add(c_off + r * n + 8), hi[r]);
+            // SAFETY: same output-row bound as the accumulator loads above.
+            unsafe {
+                _mm512_storeu_pd(cp.add(c_off + r * n), lo[r]);
+                _mm512_storeu_pd(cp.add(c_off + r * n + 8), hi[r]);
+            }
         }
     }
 }

@@ -1074,6 +1074,7 @@ impl ImputationEngine {
     /// # Errors
     /// [`ServeError::Series`] / [`ServeError::Range`] on an invalid request.
     pub fn query(&self, s: usize, start: usize, end: usize) -> Result<Vec<f64>, ServeError> {
+        // mvi-allow: panic — query_batch returns exactly one answer per request
         self.query_batch(&[ImputeRequest { s, start, end }]).pop().expect("one result")
     }
 
@@ -1090,6 +1091,7 @@ impl ImputationEngine {
         start: usize,
         end: usize,
     ) -> Result<ImputeResponse, ServeError> {
+        // mvi-allow: panic — query_batch_flagged returns exactly one answer per request
         self.query_batch_flagged(&[ImputeRequest { s, start, end }]).pop().expect("one result")
     }
 
@@ -1193,6 +1195,7 @@ impl ImputationEngine {
         }
 
         self.counters.window_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        // mvi-allow: panic — every slot is filled on the validation, warm, or recompute path above
         answers.into_iter().map(|a| a.expect("every request answered")).collect()
     }
 

@@ -107,6 +107,7 @@
 //! `BENCH_7.json` (documented in `PERFORMANCE.md`).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod batch;
 pub mod durable;

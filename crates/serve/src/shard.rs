@@ -138,6 +138,9 @@ pub(crate) struct Published<T> {
 // implementation detail of deferred reclamation, so the usual `Arc<T>`
 // bounds are the right ones.
 unsafe impl<T: Send + Sync> Send for Published<T> {}
+// SAFETY: shared access is the lock-free `load` (which only clones `Arc`s)
+// plus mutex-serialized writer paths; the same `Arc<T>` bounds as `Send`
+// make that sound.
 unsafe impl<T: Send + Sync> Sync for Published<T> {}
 
 impl<T> Published<T> {
@@ -187,6 +190,9 @@ impl<T> Drop for Published<T> {
         unsafe { drop(Arc::from_raw(self.ptr.load(Ordering::SeqCst))) };
         let retired = self.retired.get_mut().unwrap_or_else(PoisonError::into_inner);
         for p in retired.drain(..) {
+            // SAFETY: `&mut self` proves no reader is pinned, so every
+            // retired pointer still carries the one owned reference we
+            // swapped out and can be released unconditionally.
             unsafe { drop(Arc::from_raw(p)) };
         }
     }

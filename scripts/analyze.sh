@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the mvi-analyze lint engine over the workspace and fail on findings.
+#
+# Usage:
+#   scripts/analyze.sh            # human-readable report, exit 1 on findings
+#   scripts/analyze.sh --json     # machine-readable report (same exit codes)
+#
+# Exit codes (the tool's own): 0 clean, 1 findings, 2 usage/IO error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -q -p mvi-analyze -- --workspace "$@"

@@ -20,33 +20,43 @@ static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static ARMED: AtomicBool = AtomicBool::new(false);
 static LAST_SIZE: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System`; the only added work is on atomics,
+// which never allocate, so every `GlobalAlloc` contract is inherited intact.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the `GlobalAlloc` contract for `layout`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             LAST_SIZE.store(layout.size(), Ordering::Relaxed);
         }
-        System.alloc(layout)
+        // SAFETY: forwarding our caller's contract verbatim to `System`.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract for `layout`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             LAST_SIZE.store(layout.size(), Ordering::Relaxed);
         }
-        System.alloc_zeroed(layout)
+        // SAFETY: forwarding our caller's contract verbatim to `System`.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract for `ptr`/`layout`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             LAST_SIZE.store(new_size, Ordering::Relaxed);
         }
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: forwarding our caller's contract verbatim to `System`.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract for `ptr`/`layout`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: forwarding our caller's contract verbatim to `System`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 
