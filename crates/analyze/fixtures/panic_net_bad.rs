@@ -1,0 +1,37 @@
+//! Known-bad fixture for the `panic` pass over the network front door's
+//! connection/frame hot path: the shapes a naive codec or connection loop
+//! would use, each of which turns hostile bytes or a poisoned lock into a
+//! dead connection thread instead of a typed wire error.
+
+fn decode_header(buf: &[u8]) -> (u8, u32) {
+    // VIOLATION: slice-to-array conversion unwrap — hostile short input panics.
+    let len = u32::from_le_bytes(buf[5..9].try_into().unwrap());
+    // VIOLATION: expect on attacker-controlled framing.
+    let version = buf.first().copied().expect("header present");
+    (version, len)
+}
+
+fn serve_conn(conns: &std::sync::Mutex<usize>) -> usize {
+    // VIOLATION: lock().unwrap() — a panicking sibling thread poisons the
+    // mutex and every later connection dies here.
+    let guard = conns.lock().unwrap();
+    if *guard == 0 {
+        // VIOLATION: explicit panic in the accept path.
+        panic!("no connections");
+    }
+    *guard
+}
+
+fn not_a_panic(conns: &std::sync::Mutex<usize>) -> usize {
+    // The poison-tolerant idiom is fine — `unwrap_or_else` does not panic.
+    *conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let buf = [0u8; 14];
+        assert_eq!(*buf.first().unwrap(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Clean fixture for the `panic` pass over the network front door: total
+//! decoding with typed errors, poison-tolerant locking, and `let-else`
+//! instead of unwraps — the idioms `crates/net` is held to.
+
+enum FrameError {
+    Truncated,
+    BadVersion(u8),
+}
+
+fn decode_header(buf: &[u8]) -> Result<(u8, u32), FrameError> {
+    let Some(version) = buf.first().copied() else {
+        return Err(FrameError::Truncated);
+    };
+    if version != 1 {
+        return Err(FrameError::BadVersion(version));
+    }
+    let Some(len_bytes) = buf.get(5..9) else {
+        return Err(FrameError::Truncated);
+    };
+    let mut len = [0u8; 4];
+    len.copy_from_slice(len_bytes);
+    Ok((version, u32::from_le_bytes(len)))
+}
+
+fn serve_conn(conns: &std::sync::Mutex<usize>) -> usize {
+    // Poison-tolerant: a panicking sibling must not kill this connection.
+    *conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn module_tests_may_unwrap() {
+        assert!(super::decode_header(&[]).map(|_| ()).map_err(|_| ()).unwrap_err() == ());
+    }
+}

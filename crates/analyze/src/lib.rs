@@ -118,11 +118,19 @@ pub fn analyze_source(label: &str, source: &str, passes: PassSet) -> FileReport 
 /// * `lock-order` and `atomic-ordering` run over `crates/serve/` — the
 ///   crate whose lock protocol and publication cells they encode;
 /// * `panic` runs over the serving hot-path modules (`engine`, `shard`,
-///   `batch`) — the code a request traverses, where a panic means a dropped
-///   request instead of a typed error.
+///   `batch`) and the network front door's connection/frame hot path
+///   (`mvi-net`'s `frame`, `server`, `client`) — the code a request
+///   traverses, where a panic means a dropped request (or a dead
+///   connection thread) instead of a typed error.
 pub fn workspace_passes(rel: &str) -> PassSet {
-    const HOT_PATH: [&str; 3] =
-        ["crates/serve/src/engine.rs", "crates/serve/src/shard.rs", "crates/serve/src/batch.rs"];
+    const HOT_PATH: [&str; 6] = [
+        "crates/serve/src/engine.rs",
+        "crates/serve/src/shard.rs",
+        "crates/serve/src/batch.rs",
+        "crates/net/src/frame.rs",
+        "crates/net/src/server.rs",
+        "crates/net/src/client.rs",
+    ];
     let in_serve = rel.starts_with("crates/serve/");
     PassSet {
         lock_order: in_serve,

@@ -109,9 +109,54 @@ fn panic_surface_quiet_on_typed_errors_and_test_code() {
 }
 
 #[test]
+fn panic_surface_flags_net_codec_and_conn_shapes() {
+    let report = run("panic_net_bad.rs", only(Lint::Panic));
+    assert_eq!(report.findings.len(), 4, "findings: {:#?}", report.findings);
+    let rendered = format!("{:?}", report.findings);
+    // The naive-codec shapes: try_into().unwrap() on framing bytes, expect on
+    // attacker input, lock().unwrap(), and an explicit accept-path panic.
+    for shape in [".unwrap()", ".expect(…)", "panic!"] {
+        assert!(rendered.contains(shape), "missing {shape} in {rendered}");
+    }
+}
+
+#[test]
+fn panic_surface_quiet_on_total_decoding_and_poison_tolerant_locks() {
+    let report = run("panic_net_clean.rs", only(Lint::Panic));
+    assert!(report.findings.is_empty(), "findings: {:#?}", report.findings);
+    assert!(report.suppressed.is_empty(), "suppressed: {:#?}", report.suppressed);
+}
+
+#[test]
+fn workspace_scoping_pins_panic_pass_to_serve_and_net_hot_paths() {
+    for rel in [
+        "crates/serve/src/engine.rs",
+        "crates/serve/src/shard.rs",
+        "crates/serve/src/batch.rs",
+        "crates/net/src/frame.rs",
+        "crates/net/src/server.rs",
+        "crates/net/src/client.rs",
+    ] {
+        assert!(mvi_analyze::workspace_passes(rel).panic, "{rel} must be panic-checked");
+    }
+    // The cold paths stay out of scope; safety runs everywhere.
+    for rel in ["crates/net/src/lib.rs", "crates/serve/src/snapshot.rs", "src/lib.rs"] {
+        let passes = mvi_analyze::workspace_passes(rel);
+        assert!(!passes.panic, "{rel} must not be panic-checked");
+        assert!(passes.safety, "{rel} must still be safety-checked");
+    }
+}
+
+#[test]
 fn clean_fixtures_pass_all_passes_at_once() {
     // Mirrors explicit-file CLI mode: every pass over every clean fixture.
-    for name in ["lock_order_clean.rs", "safety_clean.rs", "atomic_clean.rs", "panic_clean.rs"] {
+    for name in [
+        "lock_order_clean.rs",
+        "safety_clean.rs",
+        "atomic_clean.rs",
+        "panic_clean.rs",
+        "panic_net_clean.rs",
+    ] {
         let report = run(name, PassSet::all());
         assert!(report.findings.is_empty(), "{name} findings: {:#?}", report.findings);
     }
@@ -119,7 +164,9 @@ fn clean_fixtures_pass_all_passes_at_once() {
 
 #[test]
 fn bad_fixtures_deny_under_all_passes() {
-    for name in ["lock_order_bad.rs", "safety_bad.rs", "atomic_bad.rs", "panic_bad.rs"] {
+    for name in
+        ["lock_order_bad.rs", "safety_bad.rs", "atomic_bad.rs", "panic_bad.rs", "panic_net_bad.rs"]
+    {
         let report = run(name, PassSet::all());
         assert!(!report.findings.is_empty(), "{name} must produce findings");
     }

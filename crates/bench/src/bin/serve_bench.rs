@@ -57,6 +57,18 @@
 //! (`host_cores` and `asserted` are recorded in the artifact either way).
 //! Reported as `BENCH_7.json`.
 //!
+//! A seventh scenario (`--only=net`, phase 8 of `scripts/bench.sh`) prices
+//! the **network front door** (PR 9): the BENCH_2 engine-arm trace replayed
+//! through in-process [`mvi_serve::BatchClient`]s and again through
+//! [`mvi_net::NetClient`]s over framed TCP on loopback — sustained req/s and
+//! p50/p99 per arm, with the wire overhead reported as their ratio. Two
+//! fault drills follow and are *asserted in-harness*, not just reported: a
+//! flood over a tiny queue behind a stalled evaluation must shed with the
+//! typed `Overloaded` code (and a retrying client must eventually succeed),
+//! and a graceful drain under in-flight load must answer **every** accepted
+//! request with a reply frame — real values or the typed `Shutdown` code,
+//! zero transport-level losses. Reported as `BENCH_8.json`.
+//!
 //! All `BENCH_<n>.json` schemas and host-comparability rules are documented
 //! in `PERFORMANCE.md`.
 //!
@@ -64,7 +76,8 @@
 //! cargo run -p mvi-bench --release --bin serve_bench -- \
 //!     [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
 //!     [--growth-out=PATH] [--retention-out=PATH] [--faults-out=PATH] \
-//!     [--sharded-out=PATH] [--only=retention|faults|sharded] [--quick]
+//!     [--sharded-out=PATH] [--net-out=PATH] \
+//!     [--only=retention|faults|sharded|net] [--quick]
 //! ```
 
 use deepmvi::{DeepMviConfig, DeepMviModel};
@@ -151,6 +164,7 @@ fn main() {
     let mut retention_out_path = String::from("BENCH_5.json");
     let mut faults_out_path = String::from("BENCH_6.json");
     let mut sharded_out_path = String::from("BENCH_7.json");
+    let mut net_out_path = String::from("BENCH_8.json");
     let mut only: Option<String> = None;
     let mut quick = false;
     let mut clients = 4usize;
@@ -190,11 +204,15 @@ fn main() {
             faults_out_path = v.to_string();
         } else if let Some(v) = arg.strip_prefix("--sharded-out=") {
             sharded_out_path = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--net-out=") {
+            net_out_path = v.to_string();
         } else if let Some(v) = arg.strip_prefix("--only=") {
             match v {
-                "retention" | "faults" | "sharded" => only = Some(v.to_string()),
+                "retention" | "faults" | "sharded" | "net" => only = Some(v.to_string()),
                 _ => {
-                    eprintln!("--only accepts `retention`, `faults` or `sharded`, got `{v}`");
+                    eprintln!(
+                        "--only accepts `retention`, `faults`, `sharded` or `net`, got `{v}`"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -204,7 +222,8 @@ fn main() {
             eprintln!(
                 "usage: serve_bench [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
                  [--growth-out=PATH] [--retention-out=PATH] [--faults-out=PATH] \
-                 [--sharded-out=PATH] [--only=retention|faults|sharded] [--quick]"
+                 [--sharded-out=PATH] [--net-out=PATH] [--only=retention|faults|sharded|net] \
+                 [--quick]"
             );
             std::process::exit(2);
         }
@@ -254,6 +273,10 @@ fn main() {
         }
         Some("sharded") => {
             run_sharded_scenario(&model, &obs, quick, threads, &sharded_out_path);
+            return;
+        }
+        Some("net") => {
+            run_net_scenario(&model, &obs, &trace, clients, quick, threads, &net_out_path);
             return;
         }
         _ => {}
@@ -1105,4 +1128,293 @@ fn run_sharded_scenario(
     json.push_str("  },\n  \"warm_reads_blocked\": false\n}\n");
     std::fs::write(out_path, &json).expect("write sharded bench json");
     eprintln!("wrote {out_path}");
+}
+
+/// Scenario 7 (`BENCH_8.json`): the price and the proof of the network
+/// front door.
+///
+/// **Price** — the shared trace replayed twice against the same trained
+/// engine: once through in-process [`mvi_serve::BatchClient`] threads (the
+/// BENCH_2 engine arm, the zero-wire baseline) and once through
+/// [`mvi_net::NetClient`] threads over framed TCP on loopback. Sustained
+/// req/s and p50/p99 per arm; the wire overhead is their throughput ratio,
+/// reported but not gated — loopback syscall cost varies too much across
+/// hosts for an honest universal floor.
+///
+/// **Proof** — two wire-level fault drills, *asserted* in-harness:
+///
+/// * **overload shed**: a flood over a 2-deep queue behind a stalled
+///   evaluation must come back as typed `Overloaded` frames carrying the
+///   retry-after hint, and a client retrying on exactly that signal must
+///   succeed once the stall releases;
+/// * **graceful drain**: `shutdown()` under in-flight load must answer
+///   every accepted request with a reply frame — real values for the
+///   mid-evaluation request, the typed `Shutdown` code for queued ones,
+///   and zero transport-level losses.
+fn run_net_scenario(
+    model: &DeepMviModel,
+    obs: &mvi_data::dataset::ObservedDataset,
+    trace: &[(usize, usize, usize)],
+    clients: usize,
+    quick: bool,
+    threads: usize,
+    out_path: &str,
+) {
+    use mvi_net::{ClientConfig, ErrorCode, NetClient, NetServer, RetryPolicy, ServerConfig};
+
+    let snapshot = ServeSnapshot::capture(model, obs);
+    // The throughput arms run warm (steady-state serving); the drill engines
+    // stay cold so the stall hook — which only fires on a real forward pass —
+    // actually gets to stall the worker.
+    let build_engine = |warm: bool| {
+        let frozen = snapshot.restore(obs).expect("restore");
+        let engine = Arc::new(ImputationEngine::new(frozen, obs.clone()).expect("engine"));
+        if warm {
+            engine.warm_up();
+        }
+        engine
+    };
+    // ---- Arm 1: in-process batch clients (the zero-wire baseline). ----
+    let engine = build_engine(true);
+    let batcher = MicroBatcher::spawn(Arc::clone(&engine), 64);
+    let per_client = trace.len().div_ceil(clients);
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let client = batcher.client();
+        let part: Vec<(usize, usize, usize)> =
+            trace.iter().skip(c * per_client).take(per_client).copied().collect();
+        handles.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(part.len());
+            for (s, lo, hi) in part {
+                let t = Instant::now();
+                client.query(s, lo, hi).expect("in-process query");
+                lat.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            lat
+        }));
+    }
+    let mut lat = Vec::with_capacity(trace.len());
+    for h in handles {
+        lat.extend(h.join().expect("in-process client thread"));
+    }
+    let inproc = summarize("inproc", t0.elapsed().as_secs_f64(), lat);
+    drop(batcher);
+
+    // ---- Arm 2: the same trace through framed TCP on loopback. ----
+    let engine = build_engine(true);
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .expect("bind loopback server");
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let part: Vec<(usize, usize, usize)> =
+            trace.iter().skip(c * per_client).take(per_client).copied().collect();
+        handles.push(std::thread::spawn(move || {
+            let mut client = NetClient::new(addr, no_retry_config());
+            let mut lat = Vec::with_capacity(part.len());
+            for (s, lo, hi) in part {
+                let t = Instant::now();
+                client.query(s as u32, lo as u32, hi as u32).expect("wire query");
+                lat.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            lat
+        }));
+    }
+    let mut lat = Vec::with_capacity(trace.len());
+    for h in handles {
+        lat.extend(h.join().expect("wire client thread"));
+    }
+    let net = summarize("net", t0.elapsed().as_secs_f64(), lat);
+    let stats = server.stats();
+    assert_eq!(server.panics_caught(), Some(0), "the trace must not panic the server");
+    assert_eq!(stats.requests, trace.len() as u64);
+    server.shutdown();
+    let wire_overhead_pct = (1.0 - net.rps() / inproc.rps()) * 100.0;
+    eprintln!(
+        "wire overhead on loopback: {:.1} vs {:.1} req/s = {wire_overhead_pct:.2}% \
+         ({} connections for {} requests)",
+        net.rps(),
+        inproc.rps(),
+        stats.accepted,
+        stats.requests
+    );
+
+    // ---- Drill 1: overload shed + retry-through. ----
+    let engine = build_engine(false);
+    let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let gate = Arc::clone(&release);
+    engine.set_eval_hook(Some(Box::new(move |_results| {
+        while !gate.load(std::sync::atomic::Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    })));
+    let config = ServerConfig {
+        batcher: BatcherConfig {
+            max_batch: 1,
+            queue_cap: 2,
+            deadline: Some(Duration::from_secs(30)),
+        },
+        ..ServerConfig::default()
+    };
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&engine), config).expect("bind drill server");
+    let addr = server.local_addr();
+    let stalled =
+        std::thread::spawn(move || NetClient::new(addr, no_retry_config()).query(0, 0, T as u32));
+    while engine.stats().batches == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let flood_n = if quick { 4 } else { 8 };
+    let floods: Vec<_> = (0..flood_n)
+        .map(|_| {
+            std::thread::spawn(move || {
+                NetClient::new(addr, no_retry_config()).query(1, 0, T as u32)
+            })
+        })
+        .collect();
+    let retry = RetryPolicy {
+        max_attempts: 40,
+        base: Duration::from_millis(10),
+        max_delay: Duration::from_millis(80),
+        ..RetryPolicy::default()
+    };
+    let patient = std::thread::spawn(move || {
+        NetClient::new(addr, ClientConfig { retry, ..ClientConfig::default() })
+            .query(2, 0, T as u32)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    release.store(true, std::sync::atomic::Ordering::Release);
+    let mut shed = 0usize;
+    for h in floods {
+        match h.join().expect("flood client") {
+            Ok(vals) => assert_eq!(vals.len(), T),
+            Err(e) => {
+                assert_eq!(e.code(), Some(ErrorCode::Overloaded), "flood must shed typed: {e}");
+                assert!(e.retry_after().is_some(), "shed replies must carry the backoff hint");
+                shed += 1;
+            }
+        }
+    }
+    assert!(shed >= 1, "a flood over a 2-deep queue must shed load");
+    assert_eq!(stalled.join().expect("stalled client").expect("stalled reply").len(), T);
+    let retry_ok = patient.join().expect("patient client");
+    assert_eq!(retry_ok.expect("the retrying client must succeed once the flood passes").len(), T);
+    engine.set_eval_hook(None);
+    server.shutdown();
+    eprintln!("overload drill: {shed}/{flood_n} shed typed, retrying client succeeded");
+
+    // ---- Drill 2: graceful drain, zero lost replies. ----
+    let engine = build_engine(false);
+    let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let gate = Arc::clone(&release);
+    engine.set_eval_hook(Some(Box::new(move |_results| {
+        while !gate.load(std::sync::atomic::Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    })));
+    let config = ServerConfig {
+        batcher: BatcherConfig {
+            max_batch: 1,
+            queue_cap: 64,
+            deadline: Some(Duration::from_secs(30)),
+        },
+        ..ServerConfig::default()
+    };
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&engine), config).expect("bind drain server");
+    let addr = server.local_addr();
+    let drain_clients = if quick { 4 } else { 8 };
+    let in_flight: Vec<_> = (0..drain_clients)
+        .map(|i| {
+            std::thread::spawn(move || {
+                NetClient::new(addr, no_retry_config()).query((i % SERIES) as u32, 0, T as u32)
+            })
+        })
+        .collect();
+    while engine.stats().batches == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let unblock = {
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            release.store(true, std::sync::atomic::Ordering::Release);
+        })
+    };
+    server.shutdown();
+    let (mut answered, mut drained) = (0usize, 0usize);
+    for h in in_flight {
+        match h.join().expect("drain client") {
+            Ok(vals) => {
+                assert_eq!(vals.len(), T);
+                answered += 1;
+            }
+            Err(e) => match e.code() {
+                Some(ErrorCode::Shutdown) => drained += 1,
+                other => panic!("lost reply during drain: {e} (code {other:?})"),
+            },
+        }
+    }
+    unblock.join().expect("unblock thread");
+    assert_eq!(answered + drained, drain_clients, "every accepted request must be answered");
+    assert!(answered >= 1, "the mid-drain evaluation must complete with real values");
+    assert!(drained >= 1, "queued requests must receive the typed Shutdown frame");
+    eprintln!(
+        "drain drill: {answered} answered with values + {drained} typed Shutdown = \
+         {drain_clients} accepted, 0 lost"
+    );
+    // ---- Artifact. ----
+    let mut json = String::from("{\n  \"bench\": 8,\n  \"scenario\": \"net_front_door\",\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"series\": {SERIES}, \"t_len\": {T}}},\n  \"threads_used\": \
+         {threads},\n  \"client_threads\": {clients},"
+    );
+    json.push_str("  \"arms\": [\n");
+    for (i, arm) in [&inproc, &net].into_iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"requests\": {}, \"wall_secs\": {:.6}, \"rps\": {:.2}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            arm.name,
+            arm.requests,
+            arm.wall_secs,
+            arm.rps(),
+            arm.p50_ms,
+            arm.p99_ms
+        );
+        json.push_str(if i == 1 { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"wire_overhead_pct\": {wire_overhead_pct:.3},\n  \"server\": {{\"accepted\": {}, \
+         \"requests\": {}, \"rejected\": {}, \"bad_frames\": {}}},",
+        stats.accepted, stats.requests, stats.rejected, stats.bad_frames
+    );
+    let _ = writeln!(
+        json,
+        "  \"overload_drill\": {{\"flood_clients\": {flood_n}, \"shed_typed\": {shed}, \
+         \"retry_after_hint\": true, \"retrying_client_succeeded\": true}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"drain_drill\": {{\"clients\": {drain_clients}, \"answered_with_values\": \
+         {answered}, \"typed_shutdown\": {drained}, \"lost_replies\": 0}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).expect("write net bench json");
+    eprintln!("wrote {out_path}");
+}
+
+/// [`mvi_net::ClientConfig`] with retries off — drill threads must observe
+/// first-reply semantics (free function so `move` closures can call it).
+fn no_retry_config() -> mvi_net::ClientConfig {
+    mvi_net::ClientConfig {
+        retry: mvi_net::RetryPolicy::none(),
+        ..mvi_net::ClientConfig::default()
+    }
 }

@@ -1,0 +1,739 @@
+//! The wire format: length-prefixed, CRC-32-checked frames.
+//!
+//! Every frame is laid out as
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"MVIF"
+//! 4       1     protocol version (currently 1)
+//! 5       1     frame type
+//! 6       4     payload length, u32 LE (capped by the receiver's max frame)
+//! 10      4     CRC-32 (IEEE) over bytes 4..10 plus the payload
+//! 14      len   payload
+//! ```
+//!
+//! so a receiver can always decide, with bounded memory, whether the bytes in
+//! front of it are a well-formed frame *before* acting on them:
+//!
+//! * a wrong magic or version is rejected immediately ([`FrameError::BadMagic`]
+//!   / [`FrameError::BadVersion`]) — the stream is not speaking this protocol;
+//! * a length prefix above the configured cap is rejected *before any payload
+//!   is read* ([`FrameError::Oversized`]) — a hostile or bit-flipped length
+//!   can never make the receiver allocate unbounded memory;
+//! * the checksum covers the version, type and length bytes as well as the
+//!   payload, so a bit flip anywhere in the frame surfaces as
+//!   [`FrameError::Checksum`] instead of silently corrupt data (a flipped
+//!   length field shifts the CRC input and fails the same way);
+//! * a stream that ends mid-frame is [`FrameError::Truncated`].
+//!
+//! Decoding is **total**: any byte sequence maps to a frame or a typed
+//! [`FrameError`] — never a panic, never an unbounded read. The fuzz suite
+//! (`crates/net/tests/frame_fuzz.rs`) pins that contract the same way the
+//! snapshot codec's fuzz tests do.
+
+use mvi_serve::durable::crc32;
+use mvi_serve::ServeError;
+use std::io::{self, Read, Write};
+
+/// Leading magic bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"MVIF";
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size (magic + version + type + length + CRC).
+pub const HEADER_LEN: usize = 14;
+/// Default cap on one frame's payload (1 MiB). A `Values` reply of this size
+/// carries ~128k points — far above any sane request — while bounding what a
+/// hostile length prefix can make either side allocate.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Frame type tags (the byte at offset 5).
+const T_QUERY: u8 = 1;
+const T_VALUES: u8 = 2;
+const T_ERROR: u8 = 3;
+const T_HEALTH_REQ: u8 = 4;
+const T_HEALTH: u8 = 5;
+
+/// Why a byte sequence failed to decode as a frame. Every variant is a typed,
+/// recoverable error: codec failures never panic and never hang.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not [`MAGIC`] — the peer is not speaking this
+    /// protocol (or the stream lost frame alignment).
+    BadMagic {
+        /// The four bytes actually read.
+        got: [u8; 4],
+    },
+    /// Unsupported protocol version byte.
+    BadVersion {
+        /// The version byte actually read.
+        got: u8,
+    },
+    /// Unknown frame-type byte.
+    UnknownType {
+        /// The type byte actually read.
+        got: u8,
+    },
+    /// The length prefix exceeds the receiver's configured cap; rejected
+    /// before any payload is read.
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+        /// The receiver's cap.
+        max: u32,
+    },
+    /// The CRC-32 recorded in the header does not match the bytes received —
+    /// a bit flip somewhere in version/type/length/payload.
+    Checksum {
+        /// The checksum the header promised.
+        expected: u32,
+        /// The checksum of the bytes actually received.
+        actual: u32,
+    },
+    /// The stream ended (or the buffer ran out) in the middle of a frame.
+    Truncated {
+        /// Which part of the frame was cut short (`"header"` / `"payload"`).
+        section: &'static str,
+    },
+    /// The payload length or contents do not match what the frame type
+    /// requires (wrong size, bad UTF-8, unknown error code, …).
+    Malformed {
+        /// What exactly was malformed.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { got } => {
+                write!(f, "bad frame magic {got:02x?} (expected `MVIF`)")
+            }
+            FrameError::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got} (this build speaks {VERSION})")
+            }
+            FrameError::UnknownType { got } => write!(f, "unknown frame type {got}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Checksum { expected, actual } => {
+                write!(f, "frame checksum mismatch: header says {expected:08x}, got {actual:08x}")
+            }
+            FrameError::Truncated { section } => write!(f, "stream ended mid-frame ({section})"),
+            FrameError::Malformed { what } => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wire error codes: the protocol-level classification a client can act on
+/// without parsing the human-readable message. `Overloaded` is the only code
+/// a client may retry on its own — everything else is either a permanent
+/// request property or ambiguous about whether the request executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request itself is invalid (bad series id, bad range, geometry).
+    /// Retrying the identical request can never succeed.
+    Invalid = 1,
+    /// The range touches time the server's retention ring already evicted.
+    Evicted = 2,
+    /// Admission control shed the request (full pending queue or connection
+    /// cap). The request was **not** executed; retry after the carried
+    /// `retry_after_ms` hint.
+    Overloaded = 3,
+    /// The server-side deadline elapsed before the request's batch replied.
+    /// The evaluation may still complete in the background, so a retry is
+    /// not known-safe; the typed code lets the caller decide.
+    DeadlineExceeded = 4,
+    /// The request's micro-batch panicked in the executor (caught; the
+    /// server keeps serving).
+    Panicked = 5,
+    /// The server is draining: the request was answered with the typed
+    /// shutdown reply instead of silence. Reconnect after `retry_after_ms`.
+    Shutdown = 6,
+    /// The executor's reply channel disconnected without an answer — a
+    /// crash-shaped loss, distinct from the deliberate [`ErrorCode::Shutdown`]
+    /// drain reply.
+    Disconnected = 7,
+    /// Server-side internal error (snapshot corruption and other faults that
+    /// are not a property of this request).
+    Internal = 8,
+    /// The server could not decode what this connection sent (bad magic,
+    /// checksum mismatch, oversized length, …). Sent best-effort before the
+    /// server closes the connection, since frame alignment is lost.
+    BadFrame = 9,
+}
+
+impl ErrorCode {
+    /// Decodes the wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ErrorCode::Invalid),
+            2 => Some(ErrorCode::Evicted),
+            3 => Some(ErrorCode::Overloaded),
+            4 => Some(ErrorCode::DeadlineExceeded),
+            5 => Some(ErrorCode::Panicked),
+            6 => Some(ErrorCode::Shutdown),
+            7 => Some(ErrorCode::Disconnected),
+            8 => Some(ErrorCode::Internal),
+            9 => Some(ErrorCode::BadFrame),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may retry the identical request on this code alone.
+    /// Only [`ErrorCode::Overloaded`] qualifies: the server states the
+    /// request was shed *before* execution, so a retry is idempotent-safe.
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded)
+    }
+
+    /// The stable lowercase name used in messages and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Invalid => "invalid",
+            ErrorCode::Evicted => "evicted",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Panicked => "panicked",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Disconnected => "disconnected",
+            ErrorCode::Internal => "internal",
+            ErrorCode::BadFrame => "bad-frame",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed error reply frame: code + optional retry-after hint + message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Protocol-level classification.
+    pub code: ErrorCode,
+    /// Backoff hint in milliseconds (`0` = no hint). Carried by shed/drain
+    /// replies so clients back off by the server's clock, not a guess.
+    pub retry_after_ms: u32,
+    /// Human-readable detail (the server-side error's Display text).
+    pub message: String,
+}
+
+impl WireError {
+    /// Maps a serving-layer error onto its wire code. `retry_after_ms` is the
+    /// server's backoff hint, attached to the codes where a retry is
+    /// meaningful (`Overloaded`, `Shutdown`).
+    pub fn from_serve(err: &ServeError, retry_after_ms: u32) -> Self {
+        let (code, hint) = match err {
+            ServeError::Overloaded { .. } => (ErrorCode::Overloaded, retry_after_ms),
+            ServeError::DeadlineExceeded => (ErrorCode::DeadlineExceeded, 0),
+            ServeError::Shutdown => (ErrorCode::Shutdown, retry_after_ms),
+            ServeError::Disconnected => (ErrorCode::Disconnected, 0),
+            ServeError::Panicked => (ErrorCode::Panicked, 0),
+            ServeError::Evicted { .. } => (ErrorCode::Evicted, 0),
+            ServeError::Geometry(_)
+            | ServeError::NonFiniteInput { .. }
+            | ServeError::Series { .. }
+            | ServeError::Range { .. }
+            | ServeError::NonFiniteWeights { .. } => (ErrorCode::Invalid, 0),
+            ServeError::Corrupt { .. } | ServeError::Snapshot(_) => (ErrorCode::Internal, 0),
+        };
+        Self { code, retry_after_ms: hint, message: err.to_string() }
+    }
+}
+
+/// The serving health surface as one binary frame: the engine's
+/// [`HealthReport`](mvi_serve::HealthReport) counters plus the front door's
+/// own state (queue depth, connection count, drain flag).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthFrame {
+    /// Values quarantined by the engine's `ValueGuard`.
+    pub quarantined: u64,
+    /// Mutations rejected for carrying NaN/±inf.
+    pub nonfinite_input_rejections: u64,
+    /// Windows that degraded to the mean-baseline fallback (monotonic).
+    pub degraded_events: u64,
+    /// Windows currently serving the fallback.
+    pub degraded_windows: u64,
+    /// State-lock poison recoveries.
+    pub poison_recoveries: u64,
+    /// Panics the micro-batcher's supervisor has caught.
+    pub panics_caught: u64,
+    /// Requests currently queued (or being submitted) at the batcher.
+    pub queue_depth: u32,
+    /// The batcher's bounded queue capacity.
+    pub queue_cap: u32,
+    /// Connections currently served.
+    pub active_connections: u32,
+    /// Whether the server is draining (shutting down gracefully).
+    pub draining: bool,
+}
+
+const HEALTH_LEN: usize = 6 * 8 + 3 * 4 + 1;
+
+/// One decoded protocol frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server: impute series `s` over `[start, end)`.
+    Query {
+        /// Flat series id.
+        s: u32,
+        /// Range start (inclusive).
+        start: u32,
+        /// Range end (exclusive).
+        end: u32,
+    },
+    /// Server → client: the fully-imputed values of the requested range.
+    Values(Vec<f64>),
+    /// Server → client: a typed error reply.
+    Error(WireError),
+    /// Client → server: report serving health.
+    HealthReq,
+    /// Server → client: the health counters.
+    Health(HealthFrame),
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Query { .. } => T_QUERY,
+            Frame::Values(_) => T_VALUES,
+            Frame::Error(_) => T_ERROR,
+            Frame::HealthReq => T_HEALTH_REQ,
+            Frame::Health(_) => T_HEALTH,
+        }
+    }
+}
+
+/// Encodes one frame into its complete byte representation (header +
+/// payload), ready to write to a stream.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Query { s, start, end } => {
+            payload.extend_from_slice(&s.to_le_bytes());
+            payload.extend_from_slice(&start.to_le_bytes());
+            payload.extend_from_slice(&end.to_le_bytes());
+        }
+        Frame::Values(values) => {
+            payload.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Frame::Error(e) => {
+            let msg = e.message.as_bytes();
+            let msg = &msg[..msg.len().min(u16::MAX as usize)];
+            payload.push(e.code as u8);
+            payload.extend_from_slice(&e.retry_after_ms.to_le_bytes());
+            payload.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+            payload.extend_from_slice(msg);
+        }
+        Frame::HealthReq => {}
+        Frame::Health(h) => {
+            for v in [
+                h.quarantined,
+                h.nonfinite_input_rejections,
+                h.degraded_events,
+                h.degraded_windows,
+                h.poison_recoveries,
+                h.panics_caught,
+            ] {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            for v in [h.queue_depth, h.queue_cap, h.active_connections] {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            payload.push(h.draining as u8);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.type_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(VERSION, frame.type_byte(), &payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The frame checksum: CRC-32 over version, type, payload length and the
+/// payload bytes (the magic is excluded — it is a constant).
+fn frame_crc(version: u8, ftype: u8, payload: &[u8]) -> u32 {
+    let mut input = Vec::with_capacity(6 + payload.len());
+    input.push(version);
+    input.push(ftype);
+    input.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    input.extend_from_slice(payload);
+    crc32(&input)
+}
+
+/// A validated header: frame type, payload length, expected CRC.
+#[derive(Clone, Copy, Debug)]
+pub struct Header {
+    /// The frame-type byte (already validated as known).
+    pub ftype: u8,
+    /// Declared payload length (already validated against the cap).
+    pub len: u32,
+    /// The checksum the payload must match.
+    pub crc: u32,
+}
+
+/// Validates the fixed-size header: magic, version, known type, capped
+/// length. Cheap enough to run before committing to read any payload.
+pub fn decode_header(header: &[u8; HEADER_LEN], max_frame: u32) -> Result<Header, FrameError> {
+    if header[0..4] != MAGIC {
+        let mut got = [0u8; 4];
+        got.copy_from_slice(&header[0..4]);
+        return Err(FrameError::BadMagic { got });
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::BadVersion { got: header[4] });
+    }
+    let ftype = header[5];
+    if !(T_QUERY..=T_HEALTH).contains(&ftype) {
+        return Err(FrameError::UnknownType { got: ftype });
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > max_frame {
+        return Err(FrameError::Oversized { len, max: max_frame });
+    }
+    let crc = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    Ok(Header { ftype, len, crc })
+}
+
+/// Decodes a payload against its validated header (checksum first, then the
+/// per-type layout).
+pub fn decode_payload(header: Header, payload: &[u8]) -> Result<Frame, FrameError> {
+    let actual = frame_crc(VERSION, header.ftype, payload);
+    if actual != header.crc {
+        return Err(FrameError::Checksum { expected: header.crc, actual });
+    }
+    match header.ftype {
+        T_QUERY => {
+            let [s, start, end] = read_u32s::<3>(payload, "query payload must be 12 bytes")?;
+            Ok(Frame::Query { s, start, end })
+        }
+        T_VALUES => {
+            if payload.len() < 4 {
+                return Err(malformed("values payload shorter than its count field"));
+            }
+            let count =
+                u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+            let body = &payload[4..];
+            if body.len() != count * 8 {
+                return Err(malformed(format!(
+                    "values payload declares {count} points but carries {} bytes",
+                    body.len()
+                )));
+            }
+            let mut values = Vec::with_capacity(count);
+            for chunk in body.chunks_exact(8) {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(chunk);
+                values.push(f64::from_le_bytes(arr));
+            }
+            Ok(Frame::Values(values))
+        }
+        T_ERROR => {
+            if payload.len() < 7 {
+                return Err(malformed("error payload shorter than its fixed fields"));
+            }
+            let Some(code) = ErrorCode::from_u8(payload[0]) else {
+                return Err(malformed(format!("unknown error code {}", payload[0])));
+            };
+            let retry_after_ms =
+                u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+            let msg_len = u16::from_le_bytes([payload[5], payload[6]]) as usize;
+            let Some(msg) = payload.get(7..7 + msg_len) else {
+                return Err(malformed("error message runs past the payload"));
+            };
+            if payload.len() != 7 + msg_len {
+                return Err(malformed("error payload longer than its declared message"));
+            }
+            let Ok(message) = String::from_utf8(msg.to_vec()) else {
+                return Err(malformed("error message is not UTF-8"));
+            };
+            Ok(Frame::Error(WireError { code, retry_after_ms, message }))
+        }
+        T_HEALTH_REQ => {
+            if !payload.is_empty() {
+                return Err(malformed("health request carries a payload"));
+            }
+            Ok(Frame::HealthReq)
+        }
+        T_HEALTH => {
+            if payload.len() != HEALTH_LEN {
+                return Err(malformed(format!(
+                    "health payload must be {HEALTH_LEN} bytes, got {}",
+                    payload.len()
+                )));
+            }
+            let u64_at = |i: usize| {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(&payload[i..i + 8]);
+                u64::from_le_bytes(arr)
+            };
+            let u32_at = |i: usize| {
+                let mut arr = [0u8; 4];
+                arr.copy_from_slice(&payload[i..i + 4]);
+                u32::from_le_bytes(arr)
+            };
+            Ok(Frame::Health(HealthFrame {
+                quarantined: u64_at(0),
+                nonfinite_input_rejections: u64_at(8),
+                degraded_events: u64_at(16),
+                degraded_windows: u64_at(24),
+                poison_recoveries: u64_at(32),
+                panics_caught: u64_at(40),
+                queue_depth: u32_at(48),
+                queue_cap: u32_at(52),
+                active_connections: u32_at(56),
+                draining: payload[60] != 0,
+            }))
+        }
+        // decode_header only admits known types; keep the decoder total anyway.
+        other => Err(FrameError::UnknownType { got: other }),
+    }
+}
+
+fn malformed(what: impl Into<String>) -> FrameError {
+    FrameError::Malformed { what: what.into() }
+}
+
+/// Reads `N` consecutive u32 fields spanning the whole payload.
+fn read_u32s<const N: usize>(payload: &[u8], why: &str) -> Result<[u32; N], FrameError> {
+    if payload.len() != N * 4 {
+        return Err(malformed(why));
+    }
+    let mut out = [0u32; N];
+    for (k, chunk) in payload.chunks_exact(4).enumerate() {
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(chunk);
+        out[k] = u32::from_le_bytes(arr);
+    }
+    Ok(out)
+}
+
+/// Decodes one frame from the front of `buf`, returning the frame and how
+/// many bytes it consumed. Total: every input maps to `Ok` or a typed error.
+pub fn decode(buf: &[u8], max_frame: u32) -> Result<(Frame, usize), FrameError> {
+    let Some(header_bytes) = buf.get(..HEADER_LEN) else {
+        return Err(FrameError::Truncated { section: "header" });
+    };
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(header_bytes);
+    let h = decode_header(&header, max_frame)?;
+    let Some(payload) = buf.get(HEADER_LEN..HEADER_LEN + h.len as usize) else {
+        return Err(FrameError::Truncated { section: "payload" });
+    };
+    let frame = decode_payload(h, payload)?;
+    Ok((frame, HEADER_LEN + h.len as usize))
+}
+
+/// How receiving one frame from a stream can end.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+    /// An I/O failure (including read timeouts surfacing as
+    /// [`io::ErrorKind::WouldBlock`] / [`io::ErrorKind::TimedOut`]).
+    Io(io::Error),
+    /// The bytes received do not form a valid frame.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => f.write_str("peer closed the connection"),
+            RecvError::Io(e) => write!(f, "i/o error receiving frame: {e}"),
+            RecvError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Reads exactly one frame from `r` (blocking; the stream's own read timeout
+/// governs how long it may take). A clean EOF before any byte of the frame is
+/// [`RecvError::Closed`]; EOF mid-frame is a typed truncation error.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, RecvError> {
+    let mut header = [0u8; HEADER_LEN];
+    fill(r, &mut header, true)?;
+    let h = decode_header(&header, max_frame).map_err(RecvError::Frame)?;
+    let mut payload = vec![0u8; h.len as usize];
+    fill(r, &mut payload, false)?;
+    decode_payload(h, &payload).map_err(RecvError::Frame)
+}
+
+/// Fills `buf` completely. `clean_eof_ok` marks whether a clean EOF before
+/// the first byte means "peer hung up between frames" rather than truncation.
+fn fill(r: &mut impl Read, buf: &mut [u8], clean_eof_ok: bool) -> Result<(), RecvError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if clean_eof_ok && filled == 0 {
+                    RecvError::Closed
+                } else {
+                    RecvError::Frame(FrameError::Truncated {
+                        section: if filled < HEADER_LEN && clean_eof_ok {
+                            "header"
+                        } else {
+                            "payload"
+                        },
+                    })
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one frame to `w` (blocking; the stream's write timeout governs how
+/// long a non-reading peer may stall this).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode(&frame);
+        let (decoded, used) = decode(&bytes, DEFAULT_MAX_FRAME).expect("roundtrip decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips() {
+        roundtrip(Frame::Query { s: 3, start: 10, end: 90 });
+        roundtrip(Frame::Values(vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE]));
+        roundtrip(Frame::Values(Vec::new()));
+        roundtrip(Frame::Error(WireError {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: 75,
+            message: "serving queue full (64 pending requests); retry with backoff".into(),
+        }));
+        roundtrip(Frame::HealthReq);
+        roundtrip(Frame::Health(HealthFrame {
+            quarantined: 7,
+            nonfinite_input_rejections: 1,
+            degraded_events: 2,
+            degraded_windows: 1,
+            poison_recoveries: 0,
+            panics_caught: 3,
+            queue_depth: 12,
+            queue_cap: 1024,
+            active_connections: 9,
+            draining: true,
+        }));
+    }
+
+    #[test]
+    fn bad_magic_version_and_type_are_typed() {
+        let mut bytes = encode(&Frame::HealthReq);
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(&bytes, DEFAULT_MAX_FRAME),
+            Err(FrameError::BadMagic { got }) if got[0] == b'X'
+        ));
+        let mut bytes = encode(&Frame::HealthReq);
+        bytes[4] = 9;
+        assert_eq!(decode(&bytes, DEFAULT_MAX_FRAME), Err(FrameError::BadVersion { got: 9 }));
+        let mut bytes = encode(&Frame::HealthReq);
+        bytes[5] = 77;
+        assert_eq!(decode(&bytes, DEFAULT_MAX_FRAME), Err(FrameError::UnknownType { got: 77 }));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_payload() {
+        let mut bytes = encode(&Frame::HealthReq);
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode(&bytes, DEFAULT_MAX_FRAME),
+            Err(FrameError::Oversized { len: u32::MAX, max: DEFAULT_MAX_FRAME })
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected_or_changes_nothing_semantic() {
+        // A flip in magic/version/type/len fails structurally; a flip in CRC
+        // or payload fails the checksum. No flip decodes to a *different*
+        // valid frame.
+        let frame = Frame::Query { s: 1, start: 2, end: 3 };
+        let clean = encode(&frame);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[byte] ^= 1 << bit;
+                match decode(&bytes, DEFAULT_MAX_FRAME) {
+                    Err(_) => {}
+                    Ok((decoded, _)) => {
+                        assert_eq!(decoded, frame, "bit flip at {byte}:{bit} changed the frame")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = encode(&Frame::Values(vec![1.0, 2.0, 3.0]));
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    decode(&bytes[..cut], DEFAULT_MAX_FRAME),
+                    Err(FrameError::Truncated { .. })
+                ),
+                "cut at {cut} must be a typed truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn values_count_must_match_payload() {
+        let mut bytes = encode(&Frame::Values(vec![1.0, 2.0]));
+        // Claim 3 points while carrying 2: count is inside the CRC, so fix
+        // the CRC up to isolate the malformed-payload check.
+        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&3u32.to_le_bytes());
+        let crc = frame_crc(VERSION, bytes[5], &bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&bytes, DEFAULT_MAX_FRAME), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn serve_error_mapping_hits_the_distinct_codes() {
+        let overloaded = WireError::from_serve(&ServeError::Overloaded { capacity: 8 }, 40);
+        assert_eq!(overloaded.code, ErrorCode::Overloaded);
+        assert_eq!(overloaded.retry_after_ms, 40);
+        assert!(overloaded.code.retryable());
+
+        let deadline = WireError::from_serve(&ServeError::DeadlineExceeded, 40);
+        assert_eq!(deadline.code, ErrorCode::DeadlineExceeded);
+        assert_eq!(deadline.retry_after_ms, 0, "a deadline reply carries no retry hint");
+        assert!(!deadline.code.retryable());
+
+        let shutdown = WireError::from_serve(&ServeError::Shutdown, 40);
+        assert_eq!(shutdown.code, ErrorCode::Shutdown);
+        assert_eq!(shutdown.retry_after_ms, 40);
+        assert!(!shutdown.code.retryable());
+
+        let disconnected = WireError::from_serve(&ServeError::Disconnected, 40);
+        assert_eq!(disconnected.code, ErrorCode::Disconnected);
+
+        let invalid = WireError::from_serve(&ServeError::Series { s: 9, n_series: 3 }, 40);
+        assert_eq!(invalid.code, ErrorCode::Invalid);
+        assert!(invalid.message.contains('9'), "display text rides along: {invalid:?}");
+    }
+}

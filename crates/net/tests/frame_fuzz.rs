@@ -1,0 +1,132 @@
+//! Property fuzzing for the wire codec: decoding must be **total**. Every
+//! byte sequence — random garbage, truncations of valid frames, single bit
+//! flips, hostile length prefixes — maps to either a decoded frame or a
+//! typed [`FrameError`]; nothing may panic, hang, or allocate according to
+//! an unvalidated length.
+
+use mvi_net::frame::{decode, read_frame, RecvError};
+use mvi_net::{ErrorCode, Frame, FrameError, WireError, DEFAULT_MAX_FRAME};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// A representative frame to mutate, picked by index so every property
+/// exercises all payload layouts.
+fn sample_frame(which: usize, knob: u32) -> Frame {
+    match which % 4 {
+        0 => Frame::Query { s: knob, start: knob.wrapping_mul(3), end: knob.wrapping_mul(7) },
+        1 => Frame::Values((0..(knob % 17) as usize).map(|i| i as f64 * 0.5 - 3.0).collect()),
+        2 => Frame::Error(WireError {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: knob,
+            message: "q".repeat((knob % 40) as usize),
+        }),
+        _ => Frame::HealthReq,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Pure garbage: `decode` returns `Ok` or a typed error for every input —
+    /// by construction of the test it cannot panic, and the streaming
+    /// `read_frame` path must agree (modulo `Closed` for an empty stream).
+    #[test]
+    fn arbitrary_bytes_decode_totally(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        // Both entry points must survive the same hostile input.
+        let _ = decode(&bytes, DEFAULT_MAX_FRAME);
+        match read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME) {
+            Ok(_) | Err(RecvError::Closed) | Err(RecvError::Frame(_)) => {}
+            Err(RecvError::Io(e)) => prop_assert!(false, "in-memory read cannot fail i/o: {e}"),
+        }
+    }
+
+    /// Every strict truncation of a valid frame is a typed error — never a
+    /// decode of wrong data, never a panic.
+    #[test]
+    fn truncations_fail_typed(which in 0usize..4, knob in 0u32..1000, cut in 0usize..100) {
+        let bytes = mvi_net::frame::encode(&sample_frame(which, knob));
+        let keep = cut % bytes.len(); // strictly shorter than the full frame
+        match decode(&bytes[..keep], DEFAULT_MAX_FRAME) {
+            Err(FrameError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "cut at {keep}: unexpected error {other}"),
+            Ok(_) => prop_assert!(false, "cut at {keep} must not decode"),
+        }
+        // The stream path: EOF before any byte is a clean close; EOF
+        // mid-frame is typed truncation.
+        match read_frame(&mut Cursor::new(&bytes[..keep]), DEFAULT_MAX_FRAME) {
+            Err(RecvError::Closed) => prop_assert!(keep == 0, "Closed only before byte 0"),
+            Err(RecvError::Frame(FrameError::Truncated { .. })) => prop_assert!(keep > 0),
+            other => prop_assert!(false, "cut at {keep}: unexpected outcome {other:?}"),
+        }
+    }
+
+    /// A single flipped bit anywhere in a valid frame — magic, version,
+    /// type, length, checksum, or payload — is always caught as a typed
+    /// error. The CRC covers everything after the magic, including the
+    /// length field, so no flip can smuggle wrong data through.
+    #[test]
+    fn single_bit_flips_fail_typed(
+        which in 0usize..4, knob in 0u32..1000, pos in 0usize..10_000, bit in 0u8..8,
+    ) {
+        let mut bytes = mvi_net::frame::encode(&sample_frame(which, knob));
+        let i = pos % bytes.len();
+        bytes[i] ^= 1 << bit;
+        match decode(&bytes, DEFAULT_MAX_FRAME) {
+            Err(_) => {}
+            Ok((frame, _)) => {
+                prop_assert!(false, "flip at byte {i} bit {bit} decoded silently: {frame:?}")
+            }
+        }
+    }
+
+    /// Hostile length prefixes beyond the cap are rejected from the header
+    /// alone — before any payload-sized buffer exists. A 4 GiB length costs
+    /// the attacker 14 bytes and the server a typed `Oversized` error.
+    #[test]
+    fn oversized_lengths_rejected_before_allocation(
+        over in 1u32..0x7fff_0000, fill in any::<u8>(),
+    ) {
+        let max = 4096u32;
+        let len = max.saturating_add(over);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"MVIF");
+        bytes.push(1); // version
+        bytes.push(1); // T_QUERY
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&[fill; 4]); // whatever checksum
+        match decode(&bytes, max) {
+            Err(FrameError::Oversized { len: got, max: m }) => {
+                prop_assert!(got == len && m == max);
+            }
+            other => prop_assert!(false, "declared len {len}: unexpected {other:?}"),
+        }
+    }
+
+    /// Random query and values frames roundtrip bit-exactly (values compared
+    /// by bits so the property holds for every f64, NaN included).
+    #[test]
+    fn random_frames_roundtrip(
+        s in any::<u32>(), start in any::<u32>(), end in any::<u32>(),
+        value_bits in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let query = Frame::Query { s, start, end };
+        let (decoded, used) = decode(&mvi_net::frame::encode(&query), DEFAULT_MAX_FRAME)
+            .map_err(|e| TestCaseError::fail(format!("query roundtrip: {e}")))?;
+        prop_assert!(decoded == query && used == mvi_net::frame::encode(&query).len());
+
+        let values: Vec<f64> = value_bits.iter().map(|b| f64::from_bits(*b)).collect();
+        let encoded = mvi_net::frame::encode(&Frame::Values(values.clone()));
+        let (decoded, used) = decode(&encoded, DEFAULT_MAX_FRAME)
+            .map_err(|e| TestCaseError::fail(format!("values roundtrip: {e}")))?;
+        prop_assert!(used == encoded.len());
+        match decoded {
+            Frame::Values(out) => {
+                prop_assert!(out.len() == values.len());
+                for (a, b) in out.iter().zip(&values) {
+                    prop_assert!(a.to_bits() == b.to_bits());
+                }
+            }
+            other => prop_assert!(false, "values decoded as {other:?}"),
+        }
+    }
+}

@@ -29,12 +29,16 @@
 //!   pass on it.
 //! * **Clean shutdown** — dropping the [`MicroBatcher`] stops the worker and
 //!   drains every still-queued request with a [`ServeError::Shutdown`] reply,
-//!   so no caller is left hanging; a disconnected or poisoned reply channel
-//!   maps to `Shutdown` uniformly on the client side.
+//!   so no caller is left hanging. A reply channel that disconnects
+//!   *without* a typed answer is reported as the distinct
+//!   [`ServeError::Disconnected`]: deliberate drains always answer, so a
+//!   silent disconnect means the reply was lost (a crash, or a submission
+//!   racing the final drain) and the caller must not assume whether the
+//!   evaluation ran.
 
 use crate::engine::{ImputationEngine, ImputeRequest, ServeError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -88,6 +92,7 @@ pub struct MicroBatcher {
     config: BatcherConfig,
     stop: Arc<AtomicBool>,
     panics: Arc<AtomicU64>,
+    depth: Arc<AtomicUsize>,
 }
 
 /// A cloneable handle clients use to submit blocking queries.
@@ -96,6 +101,7 @@ pub struct BatchClient {
     tx: mpsc::SyncSender<Job>,
     queue_cap: usize,
     deadline: Option<Duration>,
+    depth: Arc<AtomicUsize>,
 }
 
 impl MicroBatcher {
@@ -118,14 +124,22 @@ impl MicroBatcher {
         let exec = Arc::clone(&engine);
         let stop = Arc::new(AtomicBool::new(false));
         let panics = Arc::new(AtomicU64::new(0));
+        let depth = Arc::new(AtomicUsize::new(0));
         let (worker_stop, worker_panics) = (Arc::clone(&stop), Arc::clone(&panics));
+        let worker_depth = Arc::clone(&depth);
         let max_batch = config.max_batch;
         let worker = std::thread::spawn(move || {
+            // Queue-depth accounting: clients increment before submitting, the
+            // worker decrements as it pops each query job off the channel.
+            let pop = |n: usize| {
+                worker_depth.fetch_sub(n, Ordering::Relaxed);
+            };
             while let Ok(first) = rx.recv() {
                 if worker_stop.load(Ordering::Acquire) {
                     // Shutting down: this job and everything behind it gets a
                     // typed reply instead of silence.
                     if let Job::Query(q) = first {
+                        pop(1);
                         let _ = q.reply.send(Err(ServeError::Shutdown));
                     }
                     break;
@@ -145,6 +159,7 @@ impl MicroBatcher {
                         Err(_) => break,
                     }
                 }
+                pop(jobs.len());
                 // A job whose client already gave up is answered (the client
                 // is gone — the send is a no-op) but not evaluated.
                 let now = Instant::now();
@@ -164,11 +179,12 @@ impl MicroBatcher {
             // reply instead of being dropped on the floor.
             while let Ok(job) = rx.try_recv() {
                 if let Job::Query(q) = job {
+                    pop(1);
                     let _ = q.reply.send(Err(ServeError::Shutdown));
                 }
             }
         });
-        Self { tx: Some(tx), worker: Some(worker), engine, config, stop, panics }
+        Self { tx: Some(tx), worker: Some(worker), engine, config, stop, panics, depth }
     }
 
     /// Runs one batch under the supervisor: the coalesced fast path first,
@@ -210,6 +226,7 @@ impl MicroBatcher {
             tx: self.tx.as_ref().expect("batcher alive").clone(),
             queue_cap: self.config.queue_cap,
             deadline: self.config.deadline,
+            depth: Arc::clone(&self.depth),
         }
     }
 
@@ -222,6 +239,14 @@ impl MicroBatcher {
     /// retries both count). Stable at `0` in a healthy deployment.
     pub fn panics_caught(&self) -> u64 {
         self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently pending: queued in the bounded channel or mid
+    /// submission. A load-pressure signal for health surfaces — compare
+    /// against [`BatcherConfig::queue_cap`] to see how close the door is to
+    /// shedding.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 }
 
@@ -251,10 +276,13 @@ impl BatchClient {
     /// (retry with backoff); [`ServeError::DeadlineExceeded`] when a
     /// configured deadline elapsed first; [`ServeError::Panicked`] when this
     /// request's evaluation panicked in the executor;
-    /// [`ServeError::Shutdown`] — uniformly, whether the submit failed, the
-    /// reply channel disconnected, or the batcher drained the queue on drop —
-    /// if the batcher shut down before the request was answered (transient:
-    /// the request itself may be valid).
+    /// [`ServeError::Shutdown`] when the batcher shut down before the request
+    /// was answered — either the submit found the door already closed, or the
+    /// drain answered this queued request with the typed reply;
+    /// [`ServeError::Disconnected`] when the reply channel disconnected
+    /// *without* a typed answer — the reply was lost (worker crash, or a
+    /// submission racing the final shutdown drain), so whether the
+    /// evaluation ran is unknown.
     pub fn query(&self, s: usize, start: usize, end: usize) -> Result<Vec<f64>, ServeError> {
         let deadline = self.deadline.map(|d| Instant::now() + d);
         let (reply_tx, reply_rx) = mpsc::channel();
@@ -263,21 +291,40 @@ impl BatchClient {
             reply: reply_tx,
             deadline,
         }));
+        // Count the submission before it can be popped, so the worker's
+        // decrement never races the increment below zero.
+        self.depth.fetch_add(1, Ordering::Relaxed);
         match self.tx.try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
-                return Err(ServeError::Overloaded { capacity: self.queue_cap })
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded { capacity: self.queue_cap });
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Shutdown),
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                return Err(ServeError::Shutdown);
+            }
         }
         match deadline {
-            None => reply_rx.recv().unwrap_or(Err(ServeError::Shutdown)),
+            None => reply_rx.recv().unwrap_or(Err(ServeError::Disconnected)),
             Some(d) => match reply_rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
                 Ok(result) => result,
                 Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
-                Err(RecvTimeoutError::Disconnected) => Err(ServeError::Shutdown),
+                Err(RecvTimeoutError::Disconnected) => Err(ServeError::Disconnected),
             },
         }
+    }
+
+    /// Same pending-request gauge as [`MicroBatcher::queue_depth`], readable
+    /// from the client half (the batcher may already be gone while handles
+    /// live on — e.g. during a server drain).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The bounded queue capacity this handle submits against.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
     }
 }
 
@@ -355,6 +402,11 @@ mod tests {
                 match h.join().unwrap() {
                     Ok(vals) => assert_eq!(vals.len(), t),
                     Err(ServeError::Shutdown) => {}
+                    // A submission can slip into the channel after the drain
+                    // loop's final sweep but before the receiver drops; its
+                    // reply is lost, which is exactly what `Disconnected`
+                    // (as opposed to the answered `Shutdown`) reports.
+                    Err(ServeError::Disconnected) => {}
                     Err(other) => panic!("unexpected racing-shutdown error: {other}"),
                 }
             }

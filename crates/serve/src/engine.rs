@@ -203,8 +203,16 @@ pub enum ServeError {
     /// Snapshot parse/restore failure.
     Snapshot(String),
     /// The serving executor shut down before answering (transient: the
-    /// request itself may be perfectly valid).
+    /// request itself may be perfectly valid). This is the **deliberate**
+    /// outcome: the batcher drained its queue and answered every pending
+    /// request with this typed reply.
     Shutdown,
+    /// The executor's reply channel disconnected **without** a typed answer —
+    /// the crash-shaped counterpart of [`ServeError::Shutdown`]: the worker
+    /// vanished (or the submission raced the final shutdown drain) and this
+    /// request's reply was lost rather than answered. Whether the evaluation
+    /// ran is unknown, so callers must not assume either way.
+    Disconnected,
 }
 
 impl std::fmt::Display for ServeError {
@@ -248,6 +256,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             ServeError::Shutdown => write!(f, "serving executor shut down before answering"),
+            ServeError::Disconnected => {
+                write!(f, "serving executor disconnected without answering (reply lost)")
+            }
         }
     }
 }

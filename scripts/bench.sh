@@ -7,11 +7,13 @@
 #   BENCH_4.json  tape-free inference (value-only evaluator vs the tape path),
 #   BENCH_5.json  retention ring (bounded-memory long stream + warm restart),
 #   BENCH_6.json  fault-tolerance layer (guarded-vs-unguarded serving + drill),
-#   BENCH_7.json  sharded read path (warm-query scaling + blocked-time probe).
+#   BENCH_7.json  sharded read path (warm-query scaling + blocked-time probe),
+#   BENCH_8.json  network front door (loopback framed-TCP serving + drills).
 #
 #   THREADS=4 OUT=BENCH_1.json SERVE_OUT=BENCH_2.json GROWTH_OUT=BENCH_3.json \
 #       INFER_OUT=BENCH_4.json RETENTION_OUT=BENCH_5.json \
-#       FAULTS_OUT=BENCH_6.json SHARDED_OUT=BENCH_7.json scripts/bench.sh
+#       FAULTS_OUT=BENCH_6.json SHARDED_OUT=BENCH_7.json \
+#       NET_OUT=BENCH_8.json scripts/bench.sh
 #
 # The BENCH_<n>.json schemas and the host-comparability rules are documented
 # in PERFORMANCE.md ("The BENCH_<n>.json artifacts").
@@ -34,6 +36,7 @@ INFER_OUT="${INFER_OUT:-BENCH_4.json}"
 RETENTION_OUT="${RETENTION_OUT:-BENCH_5.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_6.json}"
 SHARDED_OUT="${SHARDED_OUT:-BENCH_7.json}"
+NET_OUT="${NET_OUT:-BENCH_8.json}"
 
 echo "== phase 1: baseline-codegen build (seed's original configuration) =="
 RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
@@ -73,4 +76,13 @@ echo "== phase 7: sharded read path (warm-query scaling + blocked-time probe) ==
 ./target/release/serve_bench \
     --threads="$THREADS" --only=sharded --sharded-out="$SHARDED_OUT"
 
-echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT $FAULTS_OUT $SHARDED_OUT"
+echo "== phase 8: network front door (loopback framed-TCP serving + drills) =="
+# Replays the serving trace through framed TCP on loopback (sustained req/s
+# + p99 vs the in-process baseline) and asserts the wire-level fault drills
+# in-harness: floods shed with the typed Overloaded code and a retrying
+# client gets through; a graceful drain answers every accepted request with
+# a reply frame — zero lost replies.
+./target/release/serve_bench \
+    --threads="$THREADS" --only=net --net-out="$NET_OUT"
+
+echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT $FAULTS_OUT $SHARDED_OUT $NET_OUT"

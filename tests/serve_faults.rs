@@ -545,6 +545,7 @@ fn serve_error_display_is_exhaustive_and_humane() {
         ServeError::NonFiniteWeights { param: "temporal.w_q".into() },
         ServeError::Snapshot("parse failed".into()),
         ServeError::Shutdown,
+        ServeError::Disconnected,
     ];
     for err in &all {
         // Exhaustiveness guard: adding a variant breaks this match.
@@ -560,7 +561,8 @@ fn serve_error_display_is_exhaustive_and_humane() {
             | ServeError::Evicted { .. }
             | ServeError::NonFiniteWeights { .. }
             | ServeError::Snapshot(_)
-            | ServeError::Shutdown => {}
+            | ServeError::Shutdown
+            | ServeError::Disconnected => {}
         }
         let rendered = err.to_string();
         assert!(!rendered.is_empty(), "{err:?} renders empty");
@@ -581,4 +583,10 @@ fn serve_error_display_is_exhaustive_and_humane() {
     assert!(ServeError::Evicted { start: 0, end: 10, retained_start: 40 }
         .to_string()
         .contains("40"));
+    // The deliberate drain and the crash-shaped loss must read differently:
+    // one was answered, the other lost its reply.
+    let (shutdown, disconnected) =
+        (ServeError::Shutdown.to_string(), ServeError::Disconnected.to_string());
+    assert_ne!(shutdown, disconnected);
+    assert!(disconnected.contains("lost") || disconnected.contains("disconnected"));
 }
