@@ -1,0 +1,40 @@
+//! Known-bad fixture for the `panic` pass over the tenancy registry hot
+//! path: the shapes a naive multi-model router would use, each of which
+//! turns a missing tenant, a poisoned map or a full registry into a dead
+//! serving thread instead of a typed error.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+fn resolve(tenants: &Mutex<HashMap<String, usize>>, tenant: &str) -> usize {
+    // VIOLATION: lock().unwrap() — one panicking registrant poisons the map
+    // and every later request for every tenant dies here.
+    let map = tenants.lock().unwrap();
+    // VIOLATION: unwrap on a lookup the client controls — an unknown tenant
+    // id kills the connection thread instead of answering UnknownTenant.
+    *map.get(tenant).unwrap()
+}
+
+fn admit(resident: usize, capacity: usize) {
+    if resident >= capacity {
+        // VIOLATION: explicit panic where RegistryFull should cross the wire.
+        panic!("registry full: {resident}/{capacity}");
+    }
+}
+
+fn spill_name(tenant: &str) -> String {
+    // VIOLATION: expect on derived state — a tenant id that sanitizes to
+    // nothing panics the eviction path mid-request.
+    let head = tenant.chars().next().expect("non-empty tenant id");
+    format!("{head}.mvisnap")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let map: std::collections::HashMap<String, usize> =
+            [("a".to_string(), 1)].into_iter().collect();
+        assert_eq!(*map.get("a").unwrap(), 1);
+    }
+}

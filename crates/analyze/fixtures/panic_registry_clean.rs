@@ -1,0 +1,49 @@
+//! Clean twin of `panic_registry_bad.rs`: the registry idioms the serving
+//! crate actually uses — poison-tolerant map access, typed errors for
+//! unknown/full, and total handling of derived state — none of which can
+//! panic a serving thread.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+#[derive(Debug)]
+enum RouteError {
+    UnknownTenant(String),
+    RegistryFull(usize),
+}
+
+/// Poison-tolerant lock: the map is plain bookkeeping, always valid.
+fn guard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn resolve(tenants: &Mutex<HashMap<String, usize>>, tenant: &str) -> Result<usize, RouteError> {
+    let map = guard(tenants);
+    map.get(tenant).copied().ok_or_else(|| RouteError::UnknownTenant(tenant.to_string()))
+}
+
+fn admit(resident: usize, capacity: usize) -> Result<(), RouteError> {
+    if resident >= capacity {
+        return Err(RouteError::RegistryFull(capacity));
+    }
+    Ok(())
+}
+
+fn spill_name(tenant: &str) -> String {
+    // Total on empty ids: a fallback stem instead of an expect.
+    let head = tenant.chars().next().unwrap_or('_');
+    format!("{head}.mvisnap")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_is_typed() {
+        let tenants = Mutex::new(HashMap::new());
+        assert!(matches!(resolve(&tenants, "ghost"), Err(RouteError::UnknownTenant(_))));
+        assert!(admit(1, 1).is_err());
+        assert_eq!(spill_name(""), "_.mvisnap");
+    }
+}

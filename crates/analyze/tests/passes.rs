@@ -128,11 +128,32 @@ fn panic_surface_quiet_on_total_decoding_and_poison_tolerant_locks() {
 }
 
 #[test]
+fn panic_surface_flags_naive_registry_shapes() {
+    let report = run("panic_registry_bad.rs", only(Lint::Panic));
+    assert_eq!(report.findings.len(), 4, "findings: {:#?}", report.findings);
+    let rendered = format!("{:?}", report.findings);
+    // The naive-router shapes: lock().unwrap() on the tenant map, unwrap on a
+    // client-controlled lookup, an explicit full-registry panic, and expect
+    // on derived eviction state.
+    for shape in [".unwrap()", ".expect(…)", "panic!"] {
+        assert!(rendered.contains(shape), "missing {shape} in {rendered}");
+    }
+}
+
+#[test]
+fn panic_surface_quiet_on_typed_tenancy_errors() {
+    let report = run("panic_registry_clean.rs", only(Lint::Panic));
+    assert!(report.findings.is_empty(), "findings: {:#?}", report.findings);
+    assert!(report.suppressed.is_empty(), "suppressed: {:#?}", report.suppressed);
+}
+
+#[test]
 fn workspace_scoping_pins_panic_pass_to_serve_and_net_hot_paths() {
     for rel in [
         "crates/serve/src/engine.rs",
         "crates/serve/src/shard.rs",
         "crates/serve/src/batch.rs",
+        "crates/serve/src/registry.rs",
         "crates/net/src/frame.rs",
         "crates/net/src/server.rs",
         "crates/net/src/client.rs",
@@ -156,6 +177,7 @@ fn clean_fixtures_pass_all_passes_at_once() {
         "atomic_clean.rs",
         "panic_clean.rs",
         "panic_net_clean.rs",
+        "panic_registry_clean.rs",
     ] {
         let report = run(name, PassSet::all());
         assert!(report.findings.is_empty(), "{name} findings: {:#?}", report.findings);
@@ -164,9 +186,14 @@ fn clean_fixtures_pass_all_passes_at_once() {
 
 #[test]
 fn bad_fixtures_deny_under_all_passes() {
-    for name in
-        ["lock_order_bad.rs", "safety_bad.rs", "atomic_bad.rs", "panic_bad.rs", "panic_net_bad.rs"]
-    {
+    for name in [
+        "lock_order_bad.rs",
+        "safety_bad.rs",
+        "atomic_bad.rs",
+        "panic_bad.rs",
+        "panic_net_bad.rs",
+        "panic_registry_bad.rs",
+    ] {
         let report = run(name, PassSet::all());
         assert!(!report.findings.is_empty(), "{name} must produce findings");
     }

@@ -69,6 +69,18 @@
 //! request with a reply frame — real values or the typed `Shutdown` code,
 //! zero transport-level losses. Reported as `BENCH_8.json`.
 //!
+//! An eighth scenario (`--only=tenancy`, phase 9 of `scripts/bench.sh`)
+//! prices **multi-model tenancy** (PR 10): the shared trace replayed through
+//! one front door backed by a [`mvi_serve::ModelRegistry`] holding 1, 4 and
+//! 16 tenants (req/s and p50/p99 per arm — the per-tenant micro-batcher
+//! routing cost), a **cold-load** arm where a capacity-1 registry alternates
+//! two tenants so every request pays a full evict→snapshot→reload cycle, and
+//! two drills *asserted in-harness*: a hostile tenant armed to panic its own
+//! model and flooding it must leave a victim tenant's replies bitwise
+//! identical with a bounded p99, and an unknown tenant must be answered with
+//! the typed `UnknownTenant` code on a connection that stays open. Reported
+//! as `BENCH_9.json`.
+//!
 //! All `BENCH_<n>.json` schemas and host-comparability rules are documented
 //! in `PERFORMANCE.md`.
 //!
@@ -76,8 +88,8 @@
 //! cargo run -p mvi-bench --release --bin serve_bench -- \
 //!     [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
 //!     [--growth-out=PATH] [--retention-out=PATH] [--faults-out=PATH] \
-//!     [--sharded-out=PATH] [--net-out=PATH] \
-//!     [--only=retention|faults|sharded|net] [--quick]
+//!     [--sharded-out=PATH] [--net-out=PATH] [--tenancy-out=PATH] \
+//!     [--only=retention|faults|sharded|net|tenancy] [--quick]
 //! ```
 
 use deepmvi::{DeepMviConfig, DeepMviModel};
@@ -165,6 +177,7 @@ fn main() {
     let mut faults_out_path = String::from("BENCH_6.json");
     let mut sharded_out_path = String::from("BENCH_7.json");
     let mut net_out_path = String::from("BENCH_8.json");
+    let mut tenancy_out_path = String::from("BENCH_9.json");
     let mut only: Option<String> = None;
     let mut quick = false;
     let mut clients = 4usize;
@@ -206,12 +219,17 @@ fn main() {
             sharded_out_path = v.to_string();
         } else if let Some(v) = arg.strip_prefix("--net-out=") {
             net_out_path = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--tenancy-out=") {
+            tenancy_out_path = v.to_string();
         } else if let Some(v) = arg.strip_prefix("--only=") {
             match v {
-                "retention" | "faults" | "sharded" | "net" => only = Some(v.to_string()),
+                "retention" | "faults" | "sharded" | "net" | "tenancy" => {
+                    only = Some(v.to_string())
+                }
                 _ => {
                     eprintln!(
-                        "--only accepts `retention`, `faults`, `sharded` or `net`, got `{v}`"
+                        "--only accepts `retention`, `faults`, `sharded`, `net` or `tenancy`, \
+                         got `{v}`"
                     );
                     std::process::exit(2);
                 }
@@ -222,8 +240,8 @@ fn main() {
             eprintln!(
                 "usage: serve_bench [--threads=N] [--clients=N] [--requests=N] [--out=PATH] \
                  [--growth-out=PATH] [--retention-out=PATH] [--faults-out=PATH] \
-                 [--sharded-out=PATH] [--net-out=PATH] [--only=retention|faults|sharded|net] \
-                 [--quick]"
+                 [--sharded-out=PATH] [--net-out=PATH] [--tenancy-out=PATH] \
+                 [--only=retention|faults|sharded|net|tenancy] [--quick]"
             );
             std::process::exit(2);
         }
@@ -277,6 +295,10 @@ fn main() {
         }
         Some("net") => {
             run_net_scenario(&model, &obs, &trace, clients, quick, threads, &net_out_path);
+            return;
+        }
+        Some("tenancy") => {
+            run_tenancy_scenario(&model, &obs, &trace, clients, quick, threads, &tenancy_out_path);
             return;
         }
         _ => {}
@@ -1407,6 +1429,249 @@ fn run_net_scenario(
     );
     json.push_str("}\n");
     std::fs::write(out_path, &json).expect("write net bench json");
+    eprintln!("wrote {out_path}");
+}
+
+/// Scenario 8 (`BENCH_9.json`): the price and the proof of multi-model
+/// tenancy.
+///
+/// **Price** — the shared trace replayed through one front door backed by a
+/// registry of 1, 4 and 16 tenants (clients round-robin their requests over
+/// the tenant ids; every tenant serves the same trained model so the arms
+/// differ only in routing and per-tenant batcher count), plus a **cold-load**
+/// arm: a capacity-1 registry alternating two tenants, so every request pays
+/// a full evict→snapshot→reload cycle on the serving path.
+///
+/// **Proof** — asserted in-harness, not just reported:
+///
+/// * **isolation**: a hostile tenant whose model is armed to panic every
+///   forward pass, flooded by its own clients, must leave a victim tenant's
+///   replies bitwise identical to its pre-storm baseline with p99 bounded by
+///   `max(50 ms, 25 × baseline p99)` — and the drill only counts once the
+///   panics have demonstrably landed;
+/// * **unknown tenant**: answered with the typed `UnknownTenant` code on a
+///   connection that stays open for the next request.
+fn run_tenancy_scenario(
+    model: &DeepMviModel,
+    obs: &mvi_data::dataset::ObservedDataset,
+    trace: &[(usize, usize, usize)],
+    clients: usize,
+    quick: bool,
+    threads: usize,
+    out_path: &str,
+) {
+    use mvi_net::{ErrorCode, NetClient, NetServer, ServerConfig};
+    use mvi_serve::{ModelRegistry, RegistryConfig};
+
+    let snapshot = ServeSnapshot::capture(model, obs);
+    let build_engine = |warm: bool| {
+        let frozen = snapshot.restore(obs).expect("restore");
+        let engine = Arc::new(ImputationEngine::new(frozen, obs.clone()).expect("engine"));
+        if warm {
+            engine.warm_up();
+        }
+        engine
+    };
+    let spill_root = std::env::temp_dir().join(format!("mvi-bench-tenancy-{}", std::process::id()));
+
+    // ---- Throughput arms: 1 / 4 / 16 tenants behind one door. ----
+    let mut arms: Vec<ArmResult> = Vec::new();
+    for (n_tenants, arm_name) in [(1usize, "tenants_1"), (4, "tenants_4"), (16, "tenants_16")] {
+        let reg =
+            Arc::new(ModelRegistry::new(RegistryConfig::new(n_tenants, spill_root.join(arm_name))));
+        let names: Vec<String> = (0..n_tenants).map(|i| format!("tenant-{i}")).collect();
+        for name in &names {
+            reg.register(name, build_engine(true)).expect("register tenant");
+        }
+        let server = NetServer::bind_registry("127.0.0.1:0", reg, ServerConfig::default())
+            .expect("bind tenancy server");
+        let addr = server.local_addr();
+        let per_client = trace.len().div_ceil(clients);
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let part: Vec<(usize, usize, usize)> =
+                trace.iter().skip(c * per_client).take(per_client).copied().collect();
+            let names = names.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut client = NetClient::new(addr, no_retry_config());
+                let mut lat = Vec::with_capacity(part.len());
+                for (i, (s, lo, hi)) in part.into_iter().enumerate() {
+                    // Round-robin over tenants: every request re-routes.
+                    client.set_tenant(names[(c + i) % names.len()].as_str());
+                    let t = Instant::now();
+                    client.query(s as u32, lo as u32, hi as u32).expect("tenant query");
+                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                lat
+            }));
+        }
+        let mut lat = Vec::with_capacity(trace.len());
+        for h in handles {
+            lat.extend(h.join().expect("tenant client thread"));
+        }
+        let arm = summarize(arm_name, t0.elapsed().as_secs_f64(), lat);
+        assert_eq!(server.panics_caught(), Some(0), "the trace must not panic any tenant");
+        assert_eq!(server.stats().requests, trace.len() as u64);
+        server.shutdown();
+        arms.push(arm);
+    }
+
+    // ---- Cold-load arm: every request is an evict→snapshot→reload. ----
+    let reg = Arc::new(ModelRegistry::new(RegistryConfig::new(1, spill_root.join("cold"))));
+    reg.register("cold-a", build_engine(true)).expect("register cold-a");
+    reg.register("cold-b", build_engine(true)).expect("register cold-b");
+    let server = NetServer::bind_registry("127.0.0.1:0", Arc::clone(&reg), ServerConfig::default())
+        .expect("bind cold server");
+    let cold_n = if quick { 6 } else { 24 };
+    let mut client = NetClient::new(server.local_addr(), no_retry_config());
+    let mut lat = Vec::with_capacity(cold_n);
+    let t0 = Instant::now();
+    for i in 0..cold_n {
+        // Alternating tenants on a capacity-1 registry: each request must
+        // evict the other tenant and reload its own snapshot from disk.
+        client.set_tenant(if i % 2 == 0 { "cold-a" } else { "cold-b" });
+        let (s, lo, hi) = trace[i % trace.len()];
+        let t = Instant::now();
+        client.query(s as u32, lo as u32, hi as u32).expect("cold query");
+        lat.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let cold = summarize("cold_load", t0.elapsed().as_secs_f64(), lat);
+    let reg_stats = reg.stats();
+    assert!(
+        reg_stats.loads >= cold_n as u64 - 1,
+        "the cold arm must actually churn: {reg_stats:?}"
+    );
+    server.shutdown();
+    arms.push(cold);
+
+    // ---- Drill 1: hostile-tenant isolation, progress-gated. ----
+    let reg = Arc::new(ModelRegistry::new(RegistryConfig::new(4, spill_root.join("hostile"))));
+    let victim_oracle = build_engine(true);
+    reg.register("victim", build_engine(true)).expect("register victim");
+    let mal = build_engine(false);
+    mal.set_eval_hook(Some(Box::new(|_results| panic!("armed hostile model"))));
+    reg.register("mallory", mal).expect("register mallory");
+    let server = NetServer::bind_registry("127.0.0.1:0", Arc::clone(&reg), ServerConfig::default())
+        .expect("bind hostile server");
+    let addr = server.local_addr();
+
+    let probe_n = if quick { 12 } else { 60 };
+    let mut victim = NetClient::with_tenant(addr, "victim", no_retry_config());
+    let mut base_lat = Vec::with_capacity(probe_n);
+    let t0 = Instant::now();
+    for i in 0..probe_n {
+        let (s, lo, hi) = trace[i % trace.len()];
+        let t = Instant::now();
+        victim.query(s as u32, lo as u32, hi as u32).expect("baseline victim query");
+        base_lat.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let baseline = summarize("victim_base", t0.elapsed().as_secs_f64(), base_lat);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hostiles: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = NetClient::with_tenant(addr, "mallory", no_retry_config());
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let _ = client.query(0, 0, T as u32);
+                }
+            })
+        })
+        .collect();
+    // Progress gate: the isolation claim is empty until panics actually land.
+    let gate_start = Instant::now();
+    while server.panics_caught().unwrap_or(0) < 3 {
+        assert!(
+            gate_start.elapsed() < Duration::from_secs(30),
+            "the armed tenant never panicked; the drill proves nothing"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut storm_lat = Vec::with_capacity(probe_n);
+    let mut bitwise_identical = true;
+    let t0 = Instant::now();
+    for i in 0..probe_n {
+        let (s, lo, hi) = trace[i % trace.len()];
+        let t = Instant::now();
+        let got = victim.query(s as u32, lo as u32, hi as u32).expect("mid-storm victim query");
+        storm_lat.push(t.elapsed().as_secs_f64() * 1e3);
+        let want = victim_oracle.query(s, lo, hi).expect("oracle query");
+        bitwise_identical &= want.iter().zip(&got).all(|(x, y)| x.to_bits() == y.to_bits());
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    for h in hostiles {
+        h.join().expect("hostile client thread");
+    }
+    let storm = summarize("victim_storm", t0.elapsed().as_secs_f64(), storm_lat);
+    let panics = server.panics_caught().unwrap_or(0);
+    let p99_bound = (25.0 * baseline.p99_ms).max(50.0);
+    assert!(bitwise_identical, "the hostile neighbor perturbed the victim's values");
+    assert!(
+        storm.p99_ms <= p99_bound,
+        "victim p99 {:.3} ms exceeds the isolation bound {:.3} ms (baseline {:.3} ms)",
+        storm.p99_ms,
+        p99_bound,
+        baseline.p99_ms
+    );
+    eprintln!(
+        "isolation drill: victim p99 {:.3} ms under storm (baseline {:.3} ms, bound {:.3} ms), \
+         {panics} hostile panics caught, values bitwise identical",
+        storm.p99_ms, baseline.p99_ms, p99_bound
+    );
+
+    // ---- Drill 2: unknown tenant, typed on a live connection. ----
+    let mut stranger = NetClient::with_tenant(addr, "nobody", no_retry_config());
+    let err = stranger.query(0, 0, 10).expect_err("unknown tenant must be refused");
+    assert_eq!(err.code(), Some(ErrorCode::UnknownTenant), "must be typed: {err}");
+    stranger.set_tenant("victim");
+    assert!(
+        stranger.query(0, 0, 10).is_ok(),
+        "the connection must survive an unknown-tenant reply"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spill_root);
+
+    // ---- Artifact. ----
+    let mut json = String::from("{\n  \"bench\": 9,\n  \"scenario\": \"multi_model_tenancy\",\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"series\": {SERIES}, \"t_len\": {T}}},\n  \"threads_used\": \
+         {threads},\n  \"client_threads\": {clients},"
+    );
+    json.push_str("  \"arms\": [\n");
+    let tenant_counts = [1usize, 4, 16, 2];
+    for (i, (arm, tenants)) in arms.iter().zip(tenant_counts).enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"tenants\": {tenants}, \"requests\": {}, \"wall_secs\": \
+             {:.6}, \"rps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            arm.name,
+            arm.requests,
+            arm.wall_secs,
+            arm.rps(),
+            arm.p50_ms,
+            arm.p99_ms
+        );
+        json.push_str(if i + 1 == arms.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"cold_load\": {{\"cycles\": {cold_n}, \"registry_loads\": {}, \
+         \"registry_evictions\": {}}},",
+        reg_stats.loads, reg_stats.evictions
+    );
+    let _ = writeln!(
+        json,
+        "  \"isolation_drill\": {{\"baseline_p99_ms\": {:.4}, \"storm_p99_ms\": {:.4}, \
+         \"bound_factor\": 25.0, \"floor_ms\": 50.0, \"hostile_panics_caught\": {panics}, \
+         \"bitwise_identical\": true, \"asserted\": true}},",
+        baseline.p99_ms, storm.p99_ms
+    );
+    json.push_str("  \"unknown_tenant\": {\"typed\": true, \"connection_survived\": true}\n}\n");
+    std::fs::write(out_path, &json).expect("write tenancy bench json");
     eprintln!("wrote {out_path}");
 }
 

@@ -10,15 +10,26 @@
 //!   restart): nothing was ever sent, so retrying cannot double-execute;
 //! * **typed [`ErrorCode::Overloaded`] replies**: the server states the
 //!   request was shed *before* execution, and carries a `retry_after_ms`
-//!   backoff hint the client honors.
+//!   backoff hint the client honors;
+//! * **typed [`ErrorCode::TenantLoading`] replies**: the tenant's snapshot
+//!   is mid-load server-side; the request was likewise shed before
+//!   execution, and the hint covers the expected load time.
 //!
 //! Everything else is **never retried automatically**. In particular, once
 //! the request frame has started onto the wire, any I/O failure is treated
 //! as *ambiguous in flight* — the server may or may not have executed the
 //! request — and is returned to the caller as a typed [`NetError::Io`]. The
 //! caller, who knows whether its request is idempotent, decides. Typed
-//! server errors other than `Overloaded` (deadline, shutdown, invalid, …)
-//! are likewise surfaced as [`NetError::Server`] for the caller to act on.
+//! server errors other than the two above (deadline, shutdown, invalid,
+//! unknown-tenant, registry-full, …) are likewise surfaced as
+//! [`NetError::Server`] for the caller to act on.
+//!
+//! ## Tenancy
+//!
+//! A client built with [`NetClient::with_tenant`] stamps every request with
+//! its tenant id (frame v2), routing it to that tenant's model behind the
+//! server's registry. [`NetClient::new`] leaves the tenant empty — the
+//! server's default tenant — which is also what a v1 peer gets.
 //!
 //! Backoff is exponential with multiplicative jitter drawn from a seeded
 //! xorshift generator, so a given [`RetryPolicy`] produces the *same* delay
@@ -27,7 +38,7 @@
 
 use crate::frame::{
     read_frame, write_frame, ErrorCode, Frame, FrameError, HealthFrame, RecvError, WireError,
-    DEFAULT_MAX_FRAME,
+    DEFAULT_MAX_FRAME, MAX_TENANT_LEN,
 };
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -259,14 +270,55 @@ impl std::error::Error for NetError {}
 pub struct NetClient {
     addr: SocketAddr,
     config: ClientConfig,
+    tenant: String,
     conn: Option<TcpStream>,
 }
 
 impl NetClient {
-    /// A client for the server at `addr`. No I/O happens until the first
-    /// call — connecting is lazy and re-established on demand.
+    /// A client for the server at `addr`, addressing the default tenant. No
+    /// I/O happens until the first call — connecting is lazy and
+    /// re-established on demand.
     pub fn new(addr: SocketAddr, config: ClientConfig) -> Self {
-        Self { addr, config, conn: None }
+        Self { addr, config, tenant: String::new(), conn: None }
+    }
+
+    /// A client whose every request routes to `tenant`'s model on the
+    /// server's registry.
+    pub fn with_tenant(addr: SocketAddr, tenant: impl Into<String>, config: ClientConfig) -> Self {
+        Self { addr, config, tenant: tenant.into(), conn: None }
+    }
+
+    /// Re-points this client at a different tenant (the connection is kept —
+    /// tenancy is per-request on the wire, not per-connection).
+    pub fn set_tenant(&mut self, tenant: impl Into<String>) {
+        self.tenant = tenant.into();
+    }
+
+    /// The tenant id requests are stamped with (empty = default tenant).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Rejects a tenant id that cannot ride the wire before any I/O happens,
+    /// so an oversized id fails loudly instead of being silently truncated
+    /// into some *other* tenant's name.
+    fn check_tenant(&self) -> Result<(), NetError> {
+        if self.tenant.len() > MAX_TENANT_LEN {
+            return Err(NetError::Protocol("tenant id exceeds the 64-byte wire cap"));
+        }
+        Ok(())
+    }
+
+    /// Verifies a reply's tenant echo. An empty echo is a wildcard (v1-era
+    /// peers cannot carry one); a non-empty echo naming a *different* tenant
+    /// means the server cross-wired replies — drop the connection rather
+    /// than trust its alignment.
+    fn check_echo(&mut self, reply_tenant: &str) -> Result<(), NetError> {
+        if !reply_tenant.is_empty() && reply_tenant != self.tenant {
+            self.conn = None;
+            return Err(NetError::Protocol("reply names a different tenant than the request"));
+        }
+        Ok(())
     }
 
     /// Points the client at a different server (drops any live connection).
@@ -290,9 +342,14 @@ impl NetClient {
     /// Any [`NetError`]; only connect failures and typed `Overloaded` replies
     /// are retried before surfacing.
     pub fn query(&mut self, s: u32, start: u32, end: u32) -> Result<Vec<f64>, NetError> {
-        let reply = self.call_with_retry(&Frame::Query { s, start, end })?;
+        self.check_tenant()?;
+        let request = Frame::Query { tenant: self.tenant.clone(), s, start, end };
+        let reply = self.call_with_retry(&request)?;
         match reply {
-            Frame::Values(values) => Ok(values),
+            Frame::Values { tenant, values } => {
+                self.check_echo(&tenant)?;
+                Ok(values)
+            }
             Frame::Error(e) => Err(NetError::Server(e)),
             _ => {
                 self.conn = None;
@@ -307,9 +364,14 @@ impl NetClient {
     /// # Errors
     /// Any [`NetError`], as for [`NetClient::query`].
     pub fn health(&mut self) -> Result<HealthFrame, NetError> {
-        let reply = self.call_with_retry(&Frame::HealthReq)?;
+        self.check_tenant()?;
+        let request = Frame::HealthReq { tenant: self.tenant.clone() };
+        let reply = self.call_with_retry(&request)?;
         match reply {
-            Frame::Health(h) => Ok(h),
+            Frame::Health { tenant, health } => {
+                self.check_echo(&tenant)?;
+                Ok(health)
+            }
             Frame::Error(e) => Err(NetError::Server(e)),
             _ => {
                 self.conn = None;
@@ -376,7 +438,12 @@ impl NetClient {
                 // instead of writing into a dead socket. A queue-shed
                 // `Overloaded` keeps its connection, but reconnecting is
                 // cheap and always correct — the protocol is stateless
-                // between frames.
+                // between frames. The tenancy codes (`TenantLoading`,
+                // `RegistryFull`, `UnknownTenant`) are deliberately *not* in
+                // this set: they are request-level errors on a connection
+                // whose framing is intact, and the server keeps it open —
+                // same contract as `Invalid` (the loopback hygiene test pins
+                // both sides of this).
                 if let Frame::Error(e) = &frame {
                     if matches!(e.code, ErrorCode::Overloaded | ErrorCode::Shutdown) {
                         self.conn = None;
@@ -450,7 +517,7 @@ mod tests {
     }
 
     #[test]
-    fn retryability_is_exactly_connect_and_overloaded() {
+    fn retryability_is_exactly_connect_overloaded_and_tenant_loading() {
         let overloaded = NetError::Server(WireError {
             code: ErrorCode::Overloaded,
             retry_after_ms: 30,
@@ -458,6 +525,14 @@ mod tests {
         });
         assert!(overloaded.retryable());
         assert_eq!(overloaded.retry_after(), Some(Duration::from_millis(30)));
+
+        let loading = NetError::Server(WireError {
+            code: ErrorCode::TenantLoading,
+            retry_after_ms: 50,
+            message: "loading".into(),
+        });
+        assert!(loading.retryable(), "a mid-load shed happened before execution");
+        assert_eq!(loading.retry_after(), Some(Duration::from_millis(50)));
 
         let connect = NetError::Connect {
             addr: "127.0.0.1:1".parse().unwrap(),
@@ -475,6 +550,8 @@ mod tests {
             ErrorCode::Disconnected,
             ErrorCode::Internal,
             ErrorCode::BadFrame,
+            ErrorCode::UnknownTenant,
+            ErrorCode::RegistryFull,
         ] {
             let err =
                 NetError::Server(WireError { code, retry_after_ms: 0, message: String::new() });
@@ -483,5 +560,21 @@ mod tests {
         let ambiguous =
             NetError::Io { during: "read", kind: io::ErrorKind::UnexpectedEof, msg: "gone".into() };
         assert!(!ambiguous.retryable(), "in-flight i/o failures are ambiguous, never retried");
+    }
+
+    #[test]
+    fn oversized_tenant_is_refused_before_any_io() {
+        // 65 ASCII bytes — one past the wire cap. The target address is a
+        // black hole; if the client tried to connect, this test would hang
+        // on the timeout instead of failing fast.
+        let mut client = NetClient::with_tenant(
+            "127.0.0.1:1".parse().unwrap(),
+            "x".repeat(MAX_TENANT_LEN + 1),
+            ClientConfig { retry: RetryPolicy::none(), ..ClientConfig::default() },
+        );
+        let err = client.query(0, 0, 10).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "must fail typed pre-I/O: {err}");
+        let err = client.health().unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)));
     }
 }

@@ -5,14 +5,32 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"MVIF"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (1 or 2)
 //! 5       1     frame type
 //! 6       4     payload length, u32 LE (capped by the receiver's max frame)
 //! 10      4     CRC-32 (IEEE) over bytes 4..10 plus the payload
 //! 14      len   payload
 //! ```
 //!
-//! so a receiver can always decide, with bounded memory, whether the bytes in
+//! **Version 2** (current) prefixes every payload except `Error` with a
+//! tenant id that routes the request through the server's model registry:
+//!
+//! ```text
+//! offset  size        field
+//! 0       1           tenant id length in bytes (0..=64)
+//! 1       tenant_len  tenant id, UTF-8
+//! 1+len   …           the frame type's v1 body, unchanged
+//! ```
+//!
+//! An empty tenant id means "the default tenant". **Version 1** frames have
+//! no tenant prefix and are still decoded — a v1 peer routes to the default
+//! tenant, and a server answers each request in the version it arrived in.
+//! The tenant id is capped at [`MAX_TENANT_LEN`] bytes so its length always
+//! fits the single prefix byte; a longer or non-UTF-8 id on the wire is
+//! [`FrameError::Malformed`], never a desync (the outer length prefix bounds
+//! the payload regardless of what the tenant field claims).
+//!
+//! A receiver can always decide, with bounded memory, whether the bytes in
 //! front of it are a well-formed frame *before* acting on them:
 //!
 //! * a wrong magic or version is rejected immediately ([`FrameError::BadMagic`]
@@ -37,10 +55,18 @@ use std::io::{self, Read, Write};
 
 /// Leading magic bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"MVIF";
-/// The protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version 1: no tenant routing; every request hits the default
+/// tenant. Still decoded for back-compat.
+pub const V1: u8 = 1;
+/// Protocol version 2: payloads (except `Error`) carry a tenant-id prefix.
+pub const V2: u8 = 2;
+/// The protocol version this build speaks by default.
+pub const VERSION: u8 = V2;
 /// Fixed header size (magic + version + type + length + CRC).
 pub const HEADER_LEN: usize = 14;
+/// Cap on a tenant id's UTF-8 byte length on the wire. Encoding truncates at
+/// a character boundary; decoding rejects longer claims as malformed.
+pub const MAX_TENANT_LEN: usize = 64;
 /// Default cap on one frame's payload (1 MiB). A `Values` reply of this size
 /// carries ~128k points — far above any sane request — while bounding what a
 /// hostile length prefix can make either side allocate.
@@ -95,7 +121,8 @@ pub enum FrameError {
         section: &'static str,
     },
     /// The payload length or contents do not match what the frame type
-    /// requires (wrong size, bad UTF-8, unknown error code, …).
+    /// requires (wrong size, bad UTF-8, oversized tenant id, unknown error
+    /// code, …).
     Malformed {
         /// What exactly was malformed.
         what: String,
@@ -109,7 +136,7 @@ impl std::fmt::Display for FrameError {
                 write!(f, "bad frame magic {got:02x?} (expected `MVIF`)")
             }
             FrameError::BadVersion { got } => {
-                write!(f, "unsupported protocol version {got} (this build speaks {VERSION})")
+                write!(f, "unsupported protocol version {got} (this build speaks {V1} and {V2})")
             }
             FrameError::UnknownType { got } => write!(f, "unknown frame type {got}"),
             FrameError::Oversized { len, max } => {
@@ -127,9 +154,10 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 /// Wire error codes: the protocol-level classification a client can act on
-/// without parsing the human-readable message. `Overloaded` is the only code
-/// a client may retry on its own — everything else is either a permanent
-/// request property or ambiguous about whether the request executed.
+/// without parsing the human-readable message. `Overloaded` and
+/// `TenantLoading` are the only codes a client may retry — both guarantee the
+/// request was shed *before* execution — everything else is either a
+/// permanent request property or ambiguous about whether the request ran.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
 pub enum ErrorCode {
@@ -163,6 +191,18 @@ pub enum ErrorCode {
     /// checksum mismatch, oversized length, …). Sent best-effort before the
     /// server closes the connection, since frame alignment is lost.
     BadFrame = 9,
+    /// The tenant id names no registered model. Retrying the identical
+    /// request can never succeed until someone registers the tenant.
+    UnknownTenant = 10,
+    /// The tenant's snapshot is being loaded from disk right now. The
+    /// request was **not** executed; retry after the carried
+    /// `retry_after_ms` hint — by then the load has usually finished.
+    TenantLoading = 11,
+    /// The model registry has no evictable slot for this tenant (every
+    /// resident slot pinned by an in-flight load, or zero capacity). Not
+    /// flagged retryable: it does not resolve on a backoff timescale without
+    /// other traffic finishing.
+    RegistryFull = 12,
 }
 
 impl ErrorCode {
@@ -178,15 +218,19 @@ impl ErrorCode {
             7 => Some(ErrorCode::Disconnected),
             8 => Some(ErrorCode::Internal),
             9 => Some(ErrorCode::BadFrame),
+            10 => Some(ErrorCode::UnknownTenant),
+            11 => Some(ErrorCode::TenantLoading),
+            12 => Some(ErrorCode::RegistryFull),
             _ => None,
         }
     }
 
     /// Whether a client may retry the identical request on this code alone.
-    /// Only [`ErrorCode::Overloaded`] qualifies: the server states the
-    /// request was shed *before* execution, so a retry is idempotent-safe.
+    /// Only [`ErrorCode::Overloaded`] and [`ErrorCode::TenantLoading`]
+    /// qualify: both state the request was shed *before* execution, so a
+    /// retry is idempotent-safe.
     pub fn retryable(self) -> bool {
-        matches!(self, ErrorCode::Overloaded)
+        matches!(self, ErrorCode::Overloaded | ErrorCode::TenantLoading)
     }
 
     /// The stable lowercase name used in messages and logs.
@@ -201,6 +245,9 @@ impl ErrorCode {
             ErrorCode::Disconnected => "disconnected",
             ErrorCode::Internal => "internal",
             ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::UnknownTenant => "unknown-tenant",
+            ErrorCode::TenantLoading => "tenant-loading",
+            ErrorCode::RegistryFull => "registry-full",
         }
     }
 }
@@ -226,7 +273,7 @@ pub struct WireError {
 impl WireError {
     /// Maps a serving-layer error onto its wire code. `retry_after_ms` is the
     /// server's backoff hint, attached to the codes where a retry is
-    /// meaningful (`Overloaded`, `Shutdown`).
+    /// meaningful (`Overloaded`, `Shutdown`, `TenantLoading`).
     pub fn from_serve(err: &ServeError, retry_after_ms: u32) -> Self {
         let (code, hint) = match err {
             ServeError::Overloaded { .. } => (ErrorCode::Overloaded, retry_after_ms),
@@ -235,6 +282,9 @@ impl WireError {
             ServeError::Disconnected => (ErrorCode::Disconnected, 0),
             ServeError::Panicked => (ErrorCode::Panicked, 0),
             ServeError::Evicted { .. } => (ErrorCode::Evicted, 0),
+            ServeError::UnknownTenant { .. } => (ErrorCode::UnknownTenant, 0),
+            ServeError::TenantLoading { .. } => (ErrorCode::TenantLoading, retry_after_ms),
+            ServeError::RegistryFull { .. } => (ErrorCode::RegistryFull, 0),
             ServeError::Geometry(_)
             | ServeError::NonFiniteInput { .. }
             | ServeError::Series { .. }
@@ -261,11 +311,11 @@ pub struct HealthFrame {
     pub degraded_windows: u64,
     /// State-lock poison recoveries.
     pub poison_recoveries: u64,
-    /// Panics the micro-batcher's supervisor has caught.
+    /// Panics the micro-batcher supervisors have caught.
     pub panics_caught: u64,
-    /// Requests currently queued (or being submitted) at the batcher.
+    /// Requests currently queued (or being submitted) at the batchers.
     pub queue_depth: u32,
-    /// The batcher's bounded queue capacity.
+    /// The per-tenant bounded queue capacity.
     pub queue_cap: u32,
     /// Connections currently served.
     pub active_connections: u32,
@@ -275,11 +325,16 @@ pub struct HealthFrame {
 
 const HEALTH_LEN: usize = 6 * 8 + 3 * 4 + 1;
 
-/// One decoded protocol frame.
+/// One decoded protocol frame. The `tenant` fields route through the
+/// server's model registry; an empty tenant means "the default tenant", and
+/// v1 frames always decode with an empty tenant.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
-    /// Client → server: impute series `s` over `[start, end)`.
+    /// Client → server: impute series `s` over `[start, end)` on `tenant`'s
+    /// model.
     Query {
+        /// Tenant id (empty = default tenant).
+        tenant: String,
         /// Flat series id.
         s: u32,
         /// Range start (inclusive).
@@ -287,39 +342,84 @@ pub enum Frame {
         /// Range end (exclusive).
         end: u32,
     },
-    /// Server → client: the fully-imputed values of the requested range.
-    Values(Vec<f64>),
-    /// Server → client: a typed error reply.
+    /// Server → client: the fully-imputed values of the requested range,
+    /// echoing the tenant that served them.
+    Values {
+        /// The tenant whose model produced the values.
+        tenant: String,
+        /// The imputed values.
+        values: Vec<f64>,
+    },
+    /// Server → client: a typed error reply (never carries a tenant — errors
+    /// must be expressible even when the tenant field itself is the problem).
     Error(WireError),
-    /// Client → server: report serving health.
-    HealthReq,
-    /// Server → client: the health counters.
-    Health(HealthFrame),
+    /// Client → server: report serving health — for one tenant, or the
+    /// aggregate across all tenants when the tenant is empty.
+    HealthReq {
+        /// Tenant id (empty = aggregate over the whole registry).
+        tenant: String,
+    },
+    /// Server → client: the health counters, echoing the scope requested.
+    Health {
+        /// The tenant scope the counters describe (empty = aggregate).
+        tenant: String,
+        /// The counters.
+        health: HealthFrame,
+    },
 }
 
 impl Frame {
     fn type_byte(&self) -> u8 {
         match self {
             Frame::Query { .. } => T_QUERY,
-            Frame::Values(_) => T_VALUES,
+            Frame::Values { .. } => T_VALUES,
             Frame::Error(_) => T_ERROR,
-            Frame::HealthReq => T_HEALTH_REQ,
-            Frame::Health(_) => T_HEALTH,
+            Frame::HealthReq { .. } => T_HEALTH_REQ,
+            Frame::Health { .. } => T_HEALTH,
+        }
+    }
+
+    /// The tenant id this frame routes by, if its type carries one.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Frame::Query { tenant, .. }
+            | Frame::Values { tenant, .. }
+            | Frame::HealthReq { tenant }
+            | Frame::Health { tenant, .. } => Some(tenant),
+            Frame::Error(_) => None,
         }
     }
 }
 
-/// Encodes one frame into its complete byte representation (header +
-/// payload), ready to write to a stream.
+/// Encodes one frame in the current protocol version ([`VERSION`]).
 pub fn encode(frame: &Frame) -> Vec<u8> {
+    encode_versioned(frame, VERSION)
+}
+
+/// Encodes one frame into its complete byte representation (header +
+/// payload) in the given protocol version. [`V1`] drops the tenant field
+/// (for talking to v1 peers); any other value encodes the v2 layout with
+/// that version byte. Tenant ids longer than [`MAX_TENANT_LEN`] bytes are
+/// truncated at a character boundary, mirroring the error-message cap.
+pub fn encode_versioned(frame: &Frame, version: u8) -> Vec<u8> {
     let mut payload = Vec::new();
+    if version != V1 {
+        if let Some(tenant) = frame.tenant() {
+            let mut cut = tenant.len().min(MAX_TENANT_LEN);
+            while !tenant.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            payload.push(cut as u8);
+            payload.extend_from_slice(&tenant.as_bytes()[..cut]);
+        }
+    }
     match frame {
-        Frame::Query { s, start, end } => {
+        Frame::Query { s, start, end, .. } => {
             payload.extend_from_slice(&s.to_le_bytes());
             payload.extend_from_slice(&start.to_le_bytes());
             payload.extend_from_slice(&end.to_le_bytes());
         }
-        Frame::Values(values) => {
+        Frame::Values { values, .. } => {
             payload.extend_from_slice(&(values.len() as u32).to_le_bytes());
             for v in values {
                 payload.extend_from_slice(&v.to_le_bytes());
@@ -333,8 +433,8 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             payload.extend_from_slice(&(msg.len() as u16).to_le_bytes());
             payload.extend_from_slice(msg);
         }
-        Frame::HealthReq => {}
-        Frame::Health(h) => {
+        Frame::HealthReq { .. } => {}
+        Frame::Health { health: h, .. } => {
             for v in [
                 h.quarantined,
                 h.nonfinite_input_rejections,
@@ -353,10 +453,10 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(frame.type_byte());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&frame_crc(VERSION, frame.type_byte(), &payload).to_le_bytes());
+    out.extend_from_slice(&frame_crc(version, frame.type_byte(), &payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
 }
@@ -372,9 +472,13 @@ fn frame_crc(version: u8, ftype: u8, payload: &[u8]) -> u32 {
     crc32(&input)
 }
 
-/// A validated header: frame type, payload length, expected CRC.
+/// A validated header: protocol version, frame type, payload length,
+/// expected CRC.
 #[derive(Clone, Copy, Debug)]
 pub struct Header {
+    /// The protocol version byte (already validated as [`V1`] or [`V2`]);
+    /// selects the payload layout and feeds the checksum.
+    pub version: u8,
     /// The frame-type byte (already validated as known).
     pub ftype: u8,
     /// Declared payload length (already validated against the cap).
@@ -391,8 +495,9 @@ pub fn decode_header(header: &[u8; HEADER_LEN], max_frame: u32) -> Result<Header
         got.copy_from_slice(&header[0..4]);
         return Err(FrameError::BadMagic { got });
     }
-    if header[4] != VERSION {
-        return Err(FrameError::BadVersion { got: header[4] });
+    let version = header[4];
+    if version != V1 && version != V2 {
+        return Err(FrameError::BadVersion { got: version });
     }
     let ftype = header[5];
     if !(T_QUERY..=T_HEALTH).contains(&ftype) {
@@ -403,56 +508,79 @@ pub fn decode_header(header: &[u8; HEADER_LEN], max_frame: u32) -> Result<Header
         return Err(FrameError::Oversized { len, max: max_frame });
     }
     let crc = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
-    Ok(Header { ftype, len, crc })
+    Ok(Header { version, ftype, len, crc })
+}
+
+/// Splits a v2 payload into its tenant id and the remaining v1-shaped body.
+fn decode_tenant(payload: &[u8]) -> Result<(String, &[u8]), FrameError> {
+    let Some(&len) = payload.first() else {
+        return Err(malformed("v2 payload missing its tenant length byte"));
+    };
+    let len = len as usize;
+    if len > MAX_TENANT_LEN {
+        return Err(malformed(format!(
+            "tenant id of {len} bytes exceeds the {MAX_TENANT_LEN}-byte cap"
+        )));
+    }
+    let Some(bytes) = payload.get(1..1 + len) else {
+        return Err(malformed("tenant id runs past the payload"));
+    };
+    let Ok(tenant) = std::str::from_utf8(bytes) else {
+        return Err(malformed("tenant id is not UTF-8"));
+    };
+    Ok((tenant.to_string(), &payload[1 + len..]))
 }
 
 /// Decodes a payload against its validated header (checksum first, then the
-/// per-type layout).
+/// version's tenant prefix, then the per-type layout).
 pub fn decode_payload(header: Header, payload: &[u8]) -> Result<Frame, FrameError> {
-    let actual = frame_crc(VERSION, header.ftype, payload);
+    let actual = frame_crc(header.version, header.ftype, payload);
     if actual != header.crc {
         return Err(FrameError::Checksum { expected: header.crc, actual });
     }
+    let (tenant, body) = if header.version != V1 && header.ftype != T_ERROR {
+        decode_tenant(payload)?
+    } else {
+        (String::new(), payload)
+    };
     match header.ftype {
         T_QUERY => {
-            let [s, start, end] = read_u32s::<3>(payload, "query payload must be 12 bytes")?;
-            Ok(Frame::Query { s, start, end })
+            let [s, start, end] = read_u32s::<3>(body, "query body must be 12 bytes")?;
+            Ok(Frame::Query { tenant, s, start, end })
         }
         T_VALUES => {
-            if payload.len() < 4 {
-                return Err(malformed("values payload shorter than its count field"));
+            if body.len() < 4 {
+                return Err(malformed("values body shorter than its count field"));
             }
-            let count =
-                u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
-            let body = &payload[4..];
-            if body.len() != count * 8 {
+            let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+            let rest = &body[4..];
+            if rest.len() != count * 8 {
                 return Err(malformed(format!(
-                    "values payload declares {count} points but carries {} bytes",
-                    body.len()
+                    "values body declares {count} points but carries {} bytes",
+                    rest.len()
                 )));
             }
             let mut values = Vec::with_capacity(count);
-            for chunk in body.chunks_exact(8) {
+            for chunk in rest.chunks_exact(8) {
                 let mut arr = [0u8; 8];
                 arr.copy_from_slice(chunk);
                 values.push(f64::from_le_bytes(arr));
             }
-            Ok(Frame::Values(values))
+            Ok(Frame::Values { tenant, values })
         }
         T_ERROR => {
-            if payload.len() < 7 {
+            if body.len() < 7 {
                 return Err(malformed("error payload shorter than its fixed fields"));
             }
-            let Some(code) = ErrorCode::from_u8(payload[0]) else {
-                return Err(malformed(format!("unknown error code {}", payload[0])));
+            let Some(code) = ErrorCode::from_u8(body[0]) else {
+                return Err(malformed(format!("unknown error code {}", body[0])));
             };
-            let retry_after_ms =
-                u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
-            let msg_len = u16::from_le_bytes([payload[5], payload[6]]) as usize;
-            let Some(msg) = payload.get(7..7 + msg_len) else {
+            let retry_after_ms = u32::from_le_bytes([body[1], body[2], body[3], body[4]]);
+            let msg_len = u16::from_le_bytes([body[5], body[6]]) as usize;
+            let Some(msg) = body.get(7..7 + msg_len) else {
                 return Err(malformed("error message runs past the payload"));
             };
-            if payload.len() != 7 + msg_len {
+            if body.len() != 7 + msg_len {
                 return Err(malformed("error payload longer than its declared message"));
             }
             let Ok(message) = String::from_utf8(msg.to_vec()) else {
@@ -461,40 +589,43 @@ pub fn decode_payload(header: Header, payload: &[u8]) -> Result<Frame, FrameErro
             Ok(Frame::Error(WireError { code, retry_after_ms, message }))
         }
         T_HEALTH_REQ => {
-            if !payload.is_empty() {
-                return Err(malformed("health request carries a payload"));
+            if !body.is_empty() {
+                return Err(malformed("health request carries a body"));
             }
-            Ok(Frame::HealthReq)
+            Ok(Frame::HealthReq { tenant })
         }
         T_HEALTH => {
-            if payload.len() != HEALTH_LEN {
+            if body.len() != HEALTH_LEN {
                 return Err(malformed(format!(
-                    "health payload must be {HEALTH_LEN} bytes, got {}",
-                    payload.len()
+                    "health body must be {HEALTH_LEN} bytes, got {}",
+                    body.len()
                 )));
             }
             let u64_at = |i: usize| {
                 let mut arr = [0u8; 8];
-                arr.copy_from_slice(&payload[i..i + 8]);
+                arr.copy_from_slice(&body[i..i + 8]);
                 u64::from_le_bytes(arr)
             };
             let u32_at = |i: usize| {
                 let mut arr = [0u8; 4];
-                arr.copy_from_slice(&payload[i..i + 4]);
+                arr.copy_from_slice(&body[i..i + 4]);
                 u32::from_le_bytes(arr)
             };
-            Ok(Frame::Health(HealthFrame {
-                quarantined: u64_at(0),
-                nonfinite_input_rejections: u64_at(8),
-                degraded_events: u64_at(16),
-                degraded_windows: u64_at(24),
-                poison_recoveries: u64_at(32),
-                panics_caught: u64_at(40),
-                queue_depth: u32_at(48),
-                queue_cap: u32_at(52),
-                active_connections: u32_at(56),
-                draining: payload[60] != 0,
-            }))
+            Ok(Frame::Health {
+                tenant,
+                health: HealthFrame {
+                    quarantined: u64_at(0),
+                    nonfinite_input_rejections: u64_at(8),
+                    degraded_events: u64_at(16),
+                    degraded_windows: u64_at(24),
+                    poison_recoveries: u64_at(32),
+                    panics_caught: u64_at(40),
+                    queue_depth: u32_at(48),
+                    queue_cap: u32_at(52),
+                    active_connections: u32_at(56),
+                    draining: body[60] != 0,
+                },
+            })
         }
         // decode_header only admits known types; keep the decoder total anyway.
         other => Err(FrameError::UnknownType { got: other }),
@@ -505,7 +636,7 @@ fn malformed(what: impl Into<String>) -> FrameError {
     FrameError::Malformed { what: what.into() }
 }
 
-/// Reads `N` consecutive u32 fields spanning the whole payload.
+/// Reads `N` consecutive u32 fields spanning the whole body.
 fn read_u32s<const N: usize>(payload: &[u8], why: &str) -> Result<[u32; N], FrameError> {
     if payload.len() != N * 4 {
         return Err(malformed(why));
@@ -563,12 +694,19 @@ impl std::error::Error for RecvError {}
 /// governs how long it may take). A clean EOF before any byte of the frame is
 /// [`RecvError::Closed`]; EOF mid-frame is a typed truncation error.
 pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, RecvError> {
+    read_frame_versioned(r, max_frame).map(|(frame, _)| frame)
+}
+
+/// Like [`read_frame`] but also reports which protocol version the frame
+/// arrived in, so a server can answer each request in kind.
+pub fn read_frame_versioned(r: &mut impl Read, max_frame: u32) -> Result<(Frame, u8), RecvError> {
     let mut header = [0u8; HEADER_LEN];
     fill(r, &mut header, true)?;
     let h = decode_header(&header, max_frame).map_err(RecvError::Frame)?;
     let mut payload = vec![0u8; h.len as usize];
     fill(r, &mut payload, false)?;
-    decode_payload(h, &payload).map_err(RecvError::Frame)
+    let frame = decode_payload(h, &payload).map_err(RecvError::Frame)?;
+    Ok((frame, h.version))
 }
 
 /// Fills `buf` completely. `clean_eof_ok` marks whether a clean EOF before
@@ -598,10 +736,17 @@ fn fill(r: &mut impl Read, buf: &mut [u8], clean_eof_ok: bool) -> Result<(), Rec
     Ok(())
 }
 
-/// Writes one frame to `w` (blocking; the stream's write timeout governs how
-/// long a non-reading peer may stall this).
+/// Writes one frame to `w` in the current protocol version (blocking; the
+/// stream's write timeout governs how long a non-reading peer may stall
+/// this).
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&encode(frame))
+}
+
+/// Writes one frame in the given protocol version — the server's reply path,
+/// which answers each request in the version it arrived in.
+pub fn write_frame_versioned(w: &mut impl Write, frame: &Frame, version: u8) -> io::Result<()> {
+    w.write_all(&encode_versioned(frame, version))
 }
 
 #[cfg(test)]
@@ -617,48 +762,115 @@ mod tests {
 
     #[test]
     fn every_frame_type_roundtrips() {
-        roundtrip(Frame::Query { s: 3, start: 10, end: 90 });
-        roundtrip(Frame::Values(vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE]));
-        roundtrip(Frame::Values(Vec::new()));
+        roundtrip(Frame::Query { tenant: "acme".into(), s: 3, start: 10, end: 90 });
+        roundtrip(Frame::Query { tenant: String::new(), s: 3, start: 10, end: 90 });
+        roundtrip(Frame::Values {
+            tenant: "tenant-βeta".into(),
+            values: vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE],
+        });
+        roundtrip(Frame::Values { tenant: String::new(), values: Vec::new() });
         roundtrip(Frame::Error(WireError {
             code: ErrorCode::Overloaded,
             retry_after_ms: 75,
             message: "serving queue full (64 pending requests); retry with backoff".into(),
         }));
-        roundtrip(Frame::HealthReq);
-        roundtrip(Frame::Health(HealthFrame {
-            quarantined: 7,
-            nonfinite_input_rejections: 1,
-            degraded_events: 2,
-            degraded_windows: 1,
-            poison_recoveries: 0,
-            panics_caught: 3,
-            queue_depth: 12,
-            queue_cap: 1024,
-            active_connections: 9,
-            draining: true,
-        }));
+        roundtrip(Frame::HealthReq { tenant: "acme".into() });
+        roundtrip(Frame::Health {
+            tenant: "acme".into(),
+            health: HealthFrame {
+                quarantined: 7,
+                nonfinite_input_rejections: 1,
+                degraded_events: 2,
+                degraded_windows: 1,
+                poison_recoveries: 0,
+                panics_caught: 3,
+                queue_depth: 12,
+                queue_cap: 1024,
+                active_connections: 9,
+                draining: true,
+            },
+        })
+    }
+
+    #[test]
+    fn v1_encoding_drops_the_tenant_and_still_decodes() {
+        let frame = Frame::Query { tenant: "acme".into(), s: 1, start: 2, end: 3 };
+        let bytes = encode_versioned(&frame, V1);
+        assert_eq!(bytes[4], V1);
+        let (decoded, used) = decode(&bytes, DEFAULT_MAX_FRAME).expect("v1 decodes");
+        assert_eq!(used, bytes.len());
+        // The tenant cannot ride a v1 frame: it decodes as the default.
+        assert_eq!(decoded, Frame::Query { tenant: String::new(), s: 1, start: 2, end: 3 });
+        // And the payload is byte-identical to what a v1 build produced:
+        // 12 bytes of query body, no tenant prefix.
+        assert_eq!(bytes.len(), HEADER_LEN + 12);
+    }
+
+    #[test]
+    fn oversized_tenant_ids_are_truncated_at_a_char_boundary_on_encode() {
+        // 32 two-byte characters = 64 bytes, then one more pushes past the
+        // cap mid-character; the encoder must cut on a boundary below it.
+        let tenant: String = "ß".repeat(33);
+        let bytes = encode(&Frame::HealthReq { tenant });
+        let (decoded, _) = decode(&bytes, DEFAULT_MAX_FRAME).expect("truncated tenant decodes");
+        let Frame::HealthReq { tenant } = decoded else { panic!("wrong frame type") };
+        assert_eq!(tenant.len(), 64, "must fill the cap exactly when boundaries allow");
+        assert_eq!(tenant.chars().count(), 32);
+    }
+
+    #[test]
+    fn wire_tenant_longer_than_the_cap_is_malformed_not_a_desync() {
+        // Hand-build a v2 health-req whose tenant length byte claims 200.
+        let mut payload = vec![200u8];
+        payload.extend_from_slice(&[b'x'; 200]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(V2);
+        bytes.push(4); // T_HEALTH_REQ
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&frame_crc(V2, 4, &payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        match decode(&bytes, DEFAULT_MAX_FRAME) {
+            Err(FrameError::Malformed { what }) => {
+                assert!(what.contains("64-byte cap"), "unexpected detail: {what}")
+            }
+            other => panic!("oversized tenant must be malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_tenant_is_malformed() {
+        let mut payload = vec![2u8, 0xff, 0xfe];
+        payload.extend_from_slice(&[0; 12]); // query body
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(V2);
+        bytes.push(1); // T_QUERY
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&frame_crc(V2, 1, &payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(decode(&bytes, DEFAULT_MAX_FRAME), Err(FrameError::Malformed { .. })));
     }
 
     #[test]
     fn bad_magic_version_and_type_are_typed() {
-        let mut bytes = encode(&Frame::HealthReq);
+        let mut bytes = encode(&Frame::HealthReq { tenant: String::new() });
         bytes[0] = b'X';
         assert!(matches!(
             decode(&bytes, DEFAULT_MAX_FRAME),
             Err(FrameError::BadMagic { got }) if got[0] == b'X'
         ));
-        let mut bytes = encode(&Frame::HealthReq);
+        let mut bytes = encode(&Frame::HealthReq { tenant: String::new() });
         bytes[4] = 9;
         assert_eq!(decode(&bytes, DEFAULT_MAX_FRAME), Err(FrameError::BadVersion { got: 9 }));
-        let mut bytes = encode(&Frame::HealthReq);
+        let mut bytes = encode(&Frame::HealthReq { tenant: String::new() });
         bytes[5] = 77;
         assert_eq!(decode(&bytes, DEFAULT_MAX_FRAME), Err(FrameError::UnknownType { got: 77 }));
     }
 
     #[test]
     fn oversized_length_prefix_is_rejected_before_payload() {
-        let mut bytes = encode(&Frame::HealthReq);
+        let mut bytes = encode(&Frame::HealthReq { tenant: String::new() });
         bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(
             decode(&bytes, DEFAULT_MAX_FRAME),
@@ -671,7 +883,7 @@ mod tests {
         // A flip in magic/version/type/len fails structurally; a flip in CRC
         // or payload fails the checksum. No flip decodes to a *different*
         // valid frame.
-        let frame = Frame::Query { s: 1, start: 2, end: 3 };
+        let frame = Frame::Query { tenant: "acme".into(), s: 1, start: 2, end: 3 };
         let clean = encode(&frame);
         for byte in 0..clean.len() {
             for bit in 0..8 {
@@ -689,7 +901,7 @@ mod tests {
 
     #[test]
     fn truncation_is_typed_at_every_length() {
-        let bytes = encode(&Frame::Values(vec![1.0, 2.0, 3.0]));
+        let bytes = encode(&Frame::Values { tenant: "t".into(), values: vec![1.0, 2.0, 3.0] });
         for cut in 0..bytes.len() {
             assert!(
                 matches!(
@@ -703,10 +915,12 @@ mod tests {
 
     #[test]
     fn values_count_must_match_payload() {
-        let mut bytes = encode(&Frame::Values(vec![1.0, 2.0]));
-        // Claim 3 points while carrying 2: count is inside the CRC, so fix
-        // the CRC up to isolate the malformed-payload check.
-        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&3u32.to_le_bytes());
+        let mut bytes = encode(&Frame::Values { tenant: String::new(), values: vec![1.0, 2.0] });
+        // Claim 3 points while carrying 2. The v2 payload opens with the
+        // 1-byte empty tenant prefix, so the count sits one past the header;
+        // count is inside the CRC, so fix the CRC up to isolate the
+        // malformed-payload check.
+        bytes[HEADER_LEN + 1..HEADER_LEN + 5].copy_from_slice(&3u32.to_le_bytes());
         let crc = frame_crc(VERSION, bytes[5], &bytes[HEADER_LEN..]);
         bytes[10..14].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(decode(&bytes, DEFAULT_MAX_FRAME), Err(FrameError::Malformed { .. })));
@@ -735,5 +949,22 @@ mod tests {
         let invalid = WireError::from_serve(&ServeError::Series { s: 9, n_series: 3 }, 40);
         assert_eq!(invalid.code, ErrorCode::Invalid);
         assert!(invalid.message.contains('9'), "display text rides along: {invalid:?}");
+
+        let unknown =
+            WireError::from_serve(&ServeError::UnknownTenant { tenant: "ghost".into() }, 40);
+        assert_eq!(unknown.code, ErrorCode::UnknownTenant);
+        assert_eq!(unknown.retry_after_ms, 0, "an unknown tenant never resolves by waiting");
+        assert!(!unknown.code.retryable());
+
+        let loading =
+            WireError::from_serve(&ServeError::TenantLoading { tenant: "acme".into() }, 40);
+        assert_eq!(loading.code, ErrorCode::TenantLoading);
+        assert_eq!(loading.retry_after_ms, 40, "a loading reply carries the backoff hint");
+        assert!(loading.code.retryable(), "the request was shed before execution");
+
+        let full = WireError::from_serve(&ServeError::RegistryFull { capacity: 4 }, 40);
+        assert_eq!(full.code, ErrorCode::RegistryFull);
+        assert_eq!(full.retry_after_ms, 0);
+        assert!(!full.code.retryable());
     }
 }

@@ -6,19 +6,27 @@
 //! front of [`mvi_serve`]'s in-process serving stack:
 //!
 //! * [`frame`] — the wire codec. Length-prefixed, CRC-32-checked frames
-//!   with a version byte and a hard size cap. Decoding is *total*: every
+//!   with a version byte and a hard size cap. Frame **v2** carries a tenant
+//!   id on every request/reply (empty = default tenant); v1 frames still
+//!   decode and route to the default tenant, and the server answers each
+//!   request in the version it arrived in. Decoding is *total*: every
 //!   byte sequence maps to either a frame or a typed [`frame::FrameError`]
 //!   — malformed, truncated, bit-flipped or oversized input can never
 //!   panic the peer, hang it, or make it allocate unboundedly.
-//! * [`server`] — [`NetServer`]: a thread-per-connection acceptor with a
-//!   hard connection cap (admission control), idle-connection reaping,
-//!   per-request deadlines through the supervised
-//!   [`mvi_serve::MicroBatcher`], and a graceful drain that answers every
-//!   accepted request with a typed reply before closing.
+//! * [`server`] — [`NetServer`]: a thread-per-connection acceptor routing
+//!   by tenant id through a [`mvi_serve::ModelRegistry`]
+//!   ([`NetServer::bind_registry`]; [`NetServer::bind`] is the one-model
+//!   special case), with a hard connection cap (admission control),
+//!   idle-connection reaping, per-request deadlines through one supervised
+//!   [`mvi_serve::MicroBatcher`] **per tenant** — the cross-tenant
+//!   isolation boundary — and a graceful drain that answers every accepted
+//!   request with a typed reply before closing.
 //! * [`client`] — [`NetClient`]: a blocking client with connect/read/write
-//!   timeouts and a seeded, deterministic retry/backoff loop that retries
-//!   **only** errors typed as safe to retry (load shedding, connect
-//!   refused mid-restart) and never an ambiguous in-flight write.
+//!   timeouts, an optional tenant handle ([`NetClient::with_tenant`]), and
+//!   a seeded, deterministic retry/backoff loop that retries **only**
+//!   errors typed as safe to retry (load shedding, a tenant snapshot
+//!   mid-load, connect refused mid-restart) and never an ambiguous
+//!   in-flight write.
 //!
 //! Every error the server can produce crosses the wire as a typed
 //! [`frame::ErrorCode`], so clients make retry decisions on contracts, not
@@ -57,5 +65,7 @@ pub mod frame;
 pub mod server;
 
 pub use client::{ClientConfig, NetClient, NetError, RetryPolicy};
-pub use frame::{ErrorCode, Frame, FrameError, HealthFrame, WireError, DEFAULT_MAX_FRAME};
-pub use server::{NetServer, NetStats, ServerConfig};
+pub use frame::{
+    ErrorCode, Frame, FrameError, HealthFrame, WireError, DEFAULT_MAX_FRAME, MAX_TENANT_LEN,
+};
+pub use server::{NetServer, NetStats, ServerConfig, DEFAULT_TENANT};

@@ -1,5 +1,19 @@
-//! The framed-TCP server: a thread-per-connection acceptor fronting the
-//! serving engine's [`MicroBatcher`] door, built fault-first.
+//! The framed-TCP server: a thread-per-connection acceptor routing requests
+//! through a [`ModelRegistry`] of tenants, each behind its own supervised
+//! [`MicroBatcher`] door, built fault-first.
+//!
+//! ## Tenancy
+//!
+//! Every request names a tenant (frame v2; v1 frames and empty tenant ids
+//! route to [`DEFAULT_TENANT`]). The server resolves the tenant through the
+//! registry — which may load its snapshot on demand or answer with the typed
+//! `UnknownTenant` / `TenantLoading` / `RegistryFull` codes — and submits the
+//! query to that tenant's **own** micro-batcher. Per-tenant batchers are the
+//! isolation boundary: one tenant's panic storm, quarantine flood, or
+//! deadline stall saturates only its own bounded queue and supervisor;
+//! other tenants' queues, threads and latency are untouched. Replies are
+//! written in the protocol version the request arrived in, so v1 peers keep
+//! speaking v1.
 //!
 //! ## Failure posture
 //!
@@ -31,16 +45,24 @@
 //! tick without any async runtime (the container is `std`-only by design).
 
 use crate::frame::{
-    decode_header, decode_payload, write_frame, ErrorCode, Frame, FrameError, Header, HealthFrame,
-    WireError, DEFAULT_MAX_FRAME, HEADER_LEN,
+    decode_header, decode_payload, write_frame_versioned, ErrorCode, Frame, FrameError, Header,
+    HealthFrame, WireError, DEFAULT_MAX_FRAME, HEADER_LEN, V1,
 };
-use mvi_serve::{BatchClient, BatcherConfig, ImputationEngine, MicroBatcher, ServeError};
+use mvi_serve::{
+    BatchClient, BatcherConfig, ImputationEngine, MicroBatcher, ModelRegistry, RegistryConfig,
+    ServeError,
+};
+use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The tenant that v1 frames — and v2 frames with an empty tenant id — route
+/// to. [`NetServer::bind`] registers its single engine under this id.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Tuning for [`NetServer::bind`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,12 +122,22 @@ pub struct NetStats {
     pub requests: u64,
 }
 
+/// One tenant's serving door: its resolved engine plus the micro-batcher
+/// supervising it. The engine handle detects staleness — after an evict +
+/// reload the registry hands out a *new* engine, and the door is rebuilt so
+/// requests never reach a dropped engine through an old batcher.
+struct TenantDoor {
+    engine: Arc<ImputationEngine>,
+    batcher: MicroBatcher,
+}
+
 struct Shared {
     config: ServerConfig,
-    engine: Arc<ImputationEngine>,
-    /// Taken (and dropped, triggering the queue drain) during shutdown;
-    /// health requests arriving mid-drain see `None` and report draining.
-    batcher: Mutex<Option<MicroBatcher>>,
+    registry: Arc<ModelRegistry>,
+    /// Per-tenant doors, built lazily on first traffic. Taken (and dropped,
+    /// triggering every queue's drain) during shutdown; requests arriving
+    /// mid-drain see `None` and answer the typed `Shutdown` reply.
+    doors: Mutex<Option<HashMap<String, TenantDoor>>>,
     draining: AtomicBool,
     conns: AtomicUsize,
     accepted: AtomicU64,
@@ -132,8 +164,11 @@ pub struct NetServer {
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port; see
-    /// [`NetServer::local_addr`]) and starts serving `engine` through a
-    /// supervised micro-batcher built from `config.batcher`.
+    /// [`NetServer::local_addr`]) and serves a single `engine`, registered as
+    /// [`DEFAULT_TENANT`] in a capacity-1 registry — the one-model deployment
+    /// as a special case of [`NetServer::bind_registry`]. The sole tenant can
+    /// never be evicted, so the wrapper registry's spill directory is never
+    /// written.
     ///
     /// # Errors
     /// Propagates the bind failure.
@@ -142,14 +177,33 @@ impl NetServer {
         engine: Arc<ImputationEngine>,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(
+            1,
+            std::env::temp_dir().join("mvi-net-default-spill"),
+        )));
+        registry
+            .register(DEFAULT_TENANT, engine)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        Self::bind_registry(addr, registry, config)
+    }
+
+    /// Binds `addr` and serves every tenant in `registry`, each behind its
+    /// own lazily-spawned micro-batcher built from `config.batcher`.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let batcher = MicroBatcher::spawn_with(Arc::clone(&engine), config.batcher);
         let shared = Arc::new(Shared {
             config,
-            engine,
-            batcher: Mutex::new(Some(batcher)),
+            registry,
+            doors: Mutex::new(Some(HashMap::new())),
             draining: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
@@ -179,15 +233,18 @@ impl NetServer {
         }
     }
 
-    /// Panics the batcher's supervisor has caught (`0` while healthy;
-    /// `None` once the batcher has been torn down by a drain).
+    /// Panics the per-tenant batcher supervisors have caught, summed over
+    /// every door (`0` while healthy; `None` once the doors have been torn
+    /// down by a drain).
     pub fn panics_caught(&self) -> Option<u64> {
-        lock(&self.shared.batcher).as_ref().map(|b| b.panics_caught())
+        lock(&self.shared.doors)
+            .as_ref()
+            .map(|doors| doors.values().map(|d| d.batcher.panics_caught()).sum())
     }
 
-    /// The engine being served.
-    pub fn engine(&self) -> &Arc<ImputationEngine> {
-        &self.shared.engine
+    /// The model registry being served.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
     }
 
     /// Graceful drain: stop accepting, finish every in-flight request,
@@ -220,10 +277,11 @@ impl NetServer {
                 let _ = stream.shutdown(SockShutdown::Both);
             }
         }
-        // Phase 2: drop the batcher. Its Drop finishes the batch in flight
-        // (real answers), then drains the queue with typed Shutdown replies —
-        // connection threads blocked in `query` wake with an answer to write.
-        drop(lock(&self.shared.batcher).take());
+        // Phase 2: drop every tenant door. Each batcher's Drop finishes the
+        // batch in flight (real answers), then drains its queue with typed
+        // Shutdown replies — connection threads blocked in `query` wake with
+        // an answer to write.
+        drop(lock(&self.shared.doors).take());
         // Phase 3: join everything. Connection threads exit within a tick of
         // writing their final reply (they see the drain flag between frames).
         if let Some(acceptor) = self.acceptor.take() {
@@ -269,14 +327,6 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
                     refuse(stream, &shared, "connection cap reached; retry after backoff");
                     continue;
                 }
-                let client = match lock(&shared.batcher).as_ref() {
-                    Some(batcher) => batcher.client(),
-                    // Racing a drain: the door is closed.
-                    None => {
-                        shared.conns.fetch_sub(1, Ordering::Relaxed);
-                        break;
-                    }
-                };
                 let id = next_id;
                 next_id += 1;
                 if let Ok(clone) = stream.try_clone() {
@@ -284,7 +334,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
                 }
                 let conn_shared = Arc::clone(&shared);
                 handles.push(std::thread::spawn(move || {
-                    serve_conn(&conn_shared, stream, client);
+                    serve_conn(&conn_shared, stream);
                     lock(&conn_shared.streams).retain(|(sid, _)| *sid != id);
                     conn_shared.conns.fetch_sub(1, Ordering::Relaxed);
                 }));
@@ -302,21 +352,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
 }
 
 /// Best-effort typed refusal for a connection that was never admitted.
+/// Encoded as v1 — error frames lay out identically in both versions, and
+/// every peer (v1 or v2) decodes v1.
 fn refuse(mut stream: TcpStream, shared: &Shared, why: &str) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let _ = write_frame(
+    let _ = write_frame_versioned(
         &mut stream,
         &Frame::Error(WireError {
             code: ErrorCode::Overloaded,
             retry_after_ms: shared.config.retry_after_ms,
             message: why.to_string(),
         }),
+        V1,
     );
 }
 
 /// What one ticked frame read produced.
 enum ConnEvent {
-    Frame(Frame),
+    /// A decoded frame plus the protocol version it arrived in, so the reply
+    /// can be written in kind.
+    Frame(Frame, u8),
     /// The bytes could not form a frame; alignment is lost.
     Bad(FrameError),
     /// Peer closed cleanly between frames.
@@ -329,38 +384,45 @@ enum ConnEvent {
     Io,
 }
 
-/// One connection's serve loop: read a frame, answer it, repeat until the
-/// peer closes, misbehaves, idles out, or the server drains.
-fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream, client: BatchClient) {
+/// One connection's serve loop: read a frame, resolve its tenant, answer it,
+/// repeat until the peer closes, misbehaves, idles out, or the server
+/// drains. Tenant-resolution failures (unknown / loading / registry-full)
+/// are request-level errors: the reply is typed and the connection stays
+/// open, exactly like an invalid range.
+fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let _ = stream.set_read_timeout(Some(shared.config.tick));
     loop {
         match read_frame_ticked(&mut stream, shared) {
-            ConnEvent::Frame(Frame::Query { s, start, end }) => {
+            ConnEvent::Frame(Frame::Query { tenant, s, start, end }, version) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let reply = if shared.draining.load(Ordering::Acquire) {
                     // The door is closing; answer with the typed drain reply
                     // instead of racing a submission against the teardown.
                     Err(ServeError::Shutdown)
                 } else {
-                    client.query(s as usize, start as usize, end as usize)
+                    resolve_client(shared, &tenant)
+                        .and_then(|client| client.query(s as usize, start as usize, end as usize))
                 };
                 let frame = match reply {
-                    Ok(values) => Frame::Values(values),
+                    Ok(values) => Frame::Values { tenant, values },
                     Err(e) => Frame::Error(WireError::from_serve(&e, shared.config.retry_after_ms)),
                 };
-                if write_frame(&mut stream, &frame).is_err() {
+                if write_frame_versioned(&mut stream, &frame, version).is_err() {
                     break;
                 }
             }
-            ConnEvent::Frame(Frame::HealthReq) => {
-                let frame = Frame::Health(health_frame(shared, &client));
-                if write_frame(&mut stream, &frame).is_err() {
+            ConnEvent::Frame(Frame::HealthReq { tenant }, version) => {
+                let frame = match health_frame(shared, &tenant) {
+                    Ok(health) => Frame::Health { tenant, health },
+                    Err(e) => Frame::Error(WireError::from_serve(&e, shared.config.retry_after_ms)),
+                };
+                if write_frame_versioned(&mut stream, &frame, version).is_err() {
                     break;
                 }
             }
-            ConnEvent::Frame(_) => {
+            ConnEvent::Frame(_, version) => {
                 // A response-type frame from a client is a protocol error,
                 // but framing is still aligned: answer typed and continue.
                 let frame = Frame::Error(WireError {
@@ -368,20 +430,22 @@ fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream, client: BatchClient) 
                     retry_after_ms: 0,
                     message: "clients send query/health frames only".to_string(),
                 });
-                if write_frame(&mut stream, &frame).is_err() {
+                if write_frame_versioned(&mut stream, &frame, version).is_err() {
                     break;
                 }
             }
             ConnEvent::Bad(e) => {
                 shared.bad_frames.fetch_add(1, Ordering::Relaxed);
-                // Frame alignment is lost: one typed reply, then close.
-                let _ = write_frame(
+                // Frame alignment is lost: one typed reply (v1 — decodable by
+                // any peer), then close.
+                let _ = write_frame_versioned(
                     &mut stream,
                     &Frame::Error(WireError {
                         code: ErrorCode::BadFrame,
                         retry_after_ms: 0,
                         message: e.to_string(),
                     }),
+                    V1,
                 );
                 break;
             }
@@ -393,6 +457,33 @@ fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream, client: BatchClient) 
         }
     }
     let _ = stream.shutdown(SockShutdown::Both);
+}
+
+/// Resolves a request's tenant to a [`BatchClient`] on that tenant's own
+/// micro-batcher, building (or rebuilding) the door as needed. The registry
+/// lookup happens *before* taking the doors lock, so an on-demand snapshot
+/// load never blocks other tenants' door lookups.
+fn resolve_client(shared: &Shared, tenant: &str) -> Result<BatchClient, ServeError> {
+    let key = if tenant.is_empty() { DEFAULT_TENANT } else { tenant };
+    let engine = shared.registry.get(key)?;
+    let mut doors = lock(&shared.doors);
+    let Some(doors) = doors.as_mut() else {
+        // Racing a drain: the doors are gone; the caller answers Shutdown.
+        return Err(ServeError::Shutdown);
+    };
+    if let Some(door) = doors.get(key) {
+        if Arc::ptr_eq(&door.engine, &engine) {
+            return Ok(door.batcher.client());
+        }
+        // The registry evicted and reloaded this tenant since the door was
+        // built: the old engine is gone, so rebuild the door. Replacing the
+        // entry drops the stale batcher, which drains its (rare) stragglers
+        // with typed Shutdown replies.
+    }
+    let batcher = MicroBatcher::spawn_with(Arc::clone(&engine), shared.config.batcher);
+    let client = batcher.client();
+    doors.insert(key.to_string(), TenantDoor { engine, batcher });
+    Ok(client)
 }
 
 /// Reads one frame with tick-granularity timeouts. Between frames (no byte
@@ -448,7 +539,7 @@ fn read_frame_ticked(stream: &mut TcpStream, shared: &Shared) -> ConnEvent {
         }
     }
     match decode_payload(h, &payload) {
-        Ok(frame) => ConnEvent::Frame(frame),
+        Ok(frame) => ConnEvent::Frame(frame, h.version),
         Err(e) => ConnEvent::Bad(e),
     }
 }
@@ -458,19 +549,46 @@ fn timed_out(e: &io::Error) -> bool {
 }
 
 /// Assembles the health frame: engine fault counters + front-door state.
-fn health_frame(shared: &Shared, client: &BatchClient) -> HealthFrame {
-    let report = shared.engine.health();
-    let panics = lock(&shared.batcher).as_ref().map(|b| b.panics_caught()).unwrap_or(0);
-    HealthFrame {
+/// An empty tenant reports the aggregate — every tenant's carried counters
+/// plus every resident engine's live ones, with panics and queue depth
+/// summed over all doors. A named tenant reports its own counters (carried +
+/// live; never forces a snapshot load) and its own door's supervisor state.
+///
+/// # Errors
+/// [`ServeError::UnknownTenant`] when the named tenant is not registered.
+fn health_frame(shared: &Shared, tenant: &str) -> Result<HealthFrame, ServeError> {
+    let (report, panics, depth) = if tenant.is_empty() {
+        let report = shared.registry.aggregate_health();
+        let doors = lock(&shared.doors);
+        let (panics, depth) = doors
+            .as_ref()
+            .map(|doors| {
+                doors.values().fold((0u64, 0usize), |(p, d), door| {
+                    (p + door.batcher.panics_caught(), d + door.batcher.queue_depth())
+                })
+            })
+            .unwrap_or((0, 0));
+        (report, panics, depth)
+    } else {
+        let report = shared.registry.tenant_health(tenant)?;
+        let doors = lock(&shared.doors);
+        let (panics, depth) = doors
+            .as_ref()
+            .and_then(|doors| doors.get(tenant))
+            .map(|door| (door.batcher.panics_caught(), door.batcher.queue_depth()))
+            .unwrap_or((0, 0));
+        (report, panics, depth)
+    };
+    Ok(HealthFrame {
         quarantined: report.quarantined,
         nonfinite_input_rejections: report.nonfinite_input_rejections,
         degraded_events: report.degraded_events,
         degraded_windows: report.degraded_windows,
         poison_recoveries: report.poison_recoveries,
         panics_caught: panics,
-        queue_depth: client.queue_depth().min(u32::MAX as usize) as u32,
-        queue_cap: client.queue_cap().min(u32::MAX as usize) as u32,
+        queue_depth: depth.min(u32::MAX as usize) as u32,
+        queue_cap: shared.config.batcher.queue_cap.min(u32::MAX as usize) as u32,
         active_connections: shared.conns.load(Ordering::Relaxed).min(u32::MAX as usize) as u32,
         draining: shared.draining.load(Ordering::Acquire),
-    }
+    })
 }

@@ -1,26 +1,67 @@
 //! Property fuzzing for the wire codec: decoding must be **total**. Every
 //! byte sequence — random garbage, truncations of valid frames, single bit
-//! flips, hostile length prefixes — maps to either a decoded frame or a
-//! typed [`FrameError`]; nothing may panic, hang, or allocate according to
-//! an unvalidated length.
+//! flips, hostile length prefixes, arbitrary-UTF-8 tenant ids — maps to
+//! either a decoded frame or a typed [`FrameError`]; nothing may panic,
+//! hang, or allocate according to an unvalidated length. The tenancy
+//! properties additionally pin the v1↔v2 interop contract: every frame
+//! encodes in both versions, v1 always decodes to the default (empty)
+//! tenant, and an oversized tenant-id claim on the wire is malformed — it
+//! can never desync the stream, because the outer length prefix bounds the
+//! payload no matter what the tenant field says.
 
-use mvi_net::frame::{decode, read_frame, RecvError};
-use mvi_net::{ErrorCode, Frame, FrameError, WireError, DEFAULT_MAX_FRAME};
+use mvi_net::frame::{decode, encode, encode_versioned, read_frame, RecvError, V1, V2};
+use mvi_net::{ErrorCode, Frame, FrameError, WireError, DEFAULT_MAX_FRAME, MAX_TENANT_LEN};
 use proptest::prelude::*;
 use std::io::Cursor;
 
 /// A representative frame to mutate, picked by index so every property
-/// exercises all payload layouts.
+/// exercises all payload layouts (with and without a tenant id riding along).
 fn sample_frame(which: usize, knob: u32) -> Frame {
+    let tenant = match which % 3 {
+        0 => String::new(),
+        1 => "acme".to_string(),
+        _ => "tenant-βeta".repeat((knob % 4) as usize + 1),
+    };
     match which % 4 {
-        0 => Frame::Query { s: knob, start: knob.wrapping_mul(3), end: knob.wrapping_mul(7) },
-        1 => Frame::Values((0..(knob % 17) as usize).map(|i| i as f64 * 0.5 - 3.0).collect()),
+        0 => {
+            Frame::Query { tenant, s: knob, start: knob.wrapping_mul(3), end: knob.wrapping_mul(7) }
+        }
+        1 => Frame::Values {
+            tenant,
+            values: (0..(knob % 17) as usize).map(|i| i as f64 * 0.5 - 3.0).collect(),
+        },
         2 => Frame::Error(WireError {
             code: ErrorCode::Overloaded,
             retry_after_ms: knob,
             message: "q".repeat((knob % 40) as usize),
         }),
-        _ => Frame::HealthReq,
+        _ => Frame::HealthReq { tenant },
+    }
+}
+
+/// Short ASCII tenant ids (the vendored proptest has no regex strategies).
+fn tenant_ascii() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..36, 0..24)
+        .prop_map(|v| v.into_iter().map(|d| char::from_digit(d, 36).unwrap_or('x')).collect())
+}
+
+/// Arbitrary Unicode tenant ids: code points sampled across the whole
+/// scalar-value space (surrogates filtered), lengths well past the wire cap
+/// once multi-byte encodings are counted.
+fn tenant_unicode() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u32>(), 0..40)
+        .prop_map(|v| v.into_iter().map(|b| b % 0x11_0000).filter_map(char::from_u32).collect())
+}
+
+/// The same frame with its tenant replaced by the default (what a v1
+/// encoding must decode back to).
+fn without_tenant(frame: &Frame) -> Frame {
+    match frame.clone() {
+        Frame::Query { s, start, end, .. } => Frame::Query { tenant: String::new(), s, start, end },
+        Frame::Values { values, .. } => Frame::Values { tenant: String::new(), values },
+        Frame::HealthReq { .. } => Frame::HealthReq { tenant: String::new() },
+        Frame::Health { health, .. } => Frame::Health { tenant: String::new(), health },
+        err @ Frame::Error(_) => err,
     }
 }
 
@@ -43,8 +84,8 @@ proptest! {
     /// Every strict truncation of a valid frame is a typed error — never a
     /// decode of wrong data, never a panic.
     #[test]
-    fn truncations_fail_typed(which in 0usize..4, knob in 0u32..1000, cut in 0usize..100) {
-        let bytes = mvi_net::frame::encode(&sample_frame(which, knob));
+    fn truncations_fail_typed(which in 0usize..12, knob in 0u32..1000, cut in 0usize..100) {
+        let bytes = encode(&sample_frame(which, knob));
         let keep = cut % bytes.len(); // strictly shorter than the full frame
         match decode(&bytes[..keep], DEFAULT_MAX_FRAME) {
             Err(FrameError::Truncated { .. }) => {}
@@ -61,14 +102,15 @@ proptest! {
     }
 
     /// A single flipped bit anywhere in a valid frame — magic, version,
-    /// type, length, checksum, or payload — is always caught as a typed
-    /// error. The CRC covers everything after the magic, including the
-    /// length field, so no flip can smuggle wrong data through.
+    /// type, length, checksum, tenant field, or payload — is always caught
+    /// as a typed error. The CRC covers everything after the magic,
+    /// including the length field and the tenant prefix, so no flip can
+    /// smuggle wrong data (or another tenant's id) through.
     #[test]
     fn single_bit_flips_fail_typed(
-        which in 0usize..4, knob in 0u32..1000, pos in 0usize..10_000, bit in 0u8..8,
+        which in 0usize..12, knob in 0u32..1000, pos in 0usize..10_000, bit in 0u8..8,
     ) {
-        let mut bytes = mvi_net::frame::encode(&sample_frame(which, knob));
+        let mut bytes = encode(&sample_frame(which, knob));
         let i = pos % bytes.len();
         bytes[i] ^= 1 << bit;
         match decode(&bytes, DEFAULT_MAX_FRAME) {
@@ -84,13 +126,14 @@ proptest! {
     /// the attacker 14 bytes and the server a typed `Oversized` error.
     #[test]
     fn oversized_lengths_rejected_before_allocation(
-        over in 1u32..0x7fff_0000, fill in any::<u8>(),
+        over in 1u32..0x7fff_0000, fill in any::<u8>(), vsel in 0u32..2,
     ) {
+        let version = if vsel == 0 { V1 } else { V2 };
         let max = 4096u32;
         let len = max.saturating_add(over);
         let mut bytes = Vec::new();
         bytes.extend_from_slice(b"MVIF");
-        bytes.push(1); // version
+        bytes.push(version);
         bytes.push(1); // T_QUERY
         bytes.extend_from_slice(&len.to_le_bytes());
         bytes.extend_from_slice(&[fill; 4]); // whatever checksum
@@ -106,21 +149,22 @@ proptest! {
     /// by bits so the property holds for every f64, NaN included).
     #[test]
     fn random_frames_roundtrip(
+        tenant in tenant_ascii(),
         s in any::<u32>(), start in any::<u32>(), end in any::<u32>(),
         value_bits in proptest::collection::vec(any::<u64>(), 0..24),
     ) {
-        let query = Frame::Query { s, start, end };
-        let (decoded, used) = decode(&mvi_net::frame::encode(&query), DEFAULT_MAX_FRAME)
+        let query = Frame::Query { tenant: tenant.clone(), s, start, end };
+        let (decoded, used) = decode(&encode(&query), DEFAULT_MAX_FRAME)
             .map_err(|e| TestCaseError::fail(format!("query roundtrip: {e}")))?;
-        prop_assert!(decoded == query && used == mvi_net::frame::encode(&query).len());
+        prop_assert!(decoded == query && used == encode(&query).len());
 
         let values: Vec<f64> = value_bits.iter().map(|b| f64::from_bits(*b)).collect();
-        let encoded = mvi_net::frame::encode(&Frame::Values(values.clone()));
+        let encoded = encode(&Frame::Values { tenant, values: values.clone() });
         let (decoded, used) = decode(&encoded, DEFAULT_MAX_FRAME)
             .map_err(|e| TestCaseError::fail(format!("values roundtrip: {e}")))?;
         prop_assert!(used == encoded.len());
         match decoded {
-            Frame::Values(out) => {
+            Frame::Values { values: out, .. } => {
                 prop_assert!(out.len() == values.len());
                 for (a, b) in out.iter().zip(&values) {
                     prop_assert!(a.to_bits() == b.to_bits());
@@ -128,5 +172,99 @@ proptest! {
             }
             other => prop_assert!(false, "values decoded as {other:?}"),
         }
+    }
+
+    /// Arbitrary UTF-8 tenant ids of arbitrary lengths: encoding always
+    /// produces a decodable frame whose tenant is a ≤64-byte prefix of the
+    /// original, cut at a character boundary — total, no panic, no desync
+    /// (the remainder of the payload still parses).
+    #[test]
+    fn arbitrary_utf8_tenants_encode_totally(
+        tenant in tenant_unicode(), which in 0usize..12, knob in 0u32..1000,
+    ) {
+        let frame = match sample_frame(which, knob) {
+            Frame::Query { s, start, end, .. } => {
+                Frame::Query { tenant: tenant.clone(), s, start, end }
+            }
+            Frame::Values { values, .. } => Frame::Values { tenant: tenant.clone(), values },
+            Frame::Health { health, .. } => Frame::Health { tenant: tenant.clone(), health },
+            _ => Frame::HealthReq { tenant: tenant.clone() },
+        };
+        let bytes = encode(&frame);
+        let (decoded, used) = decode(&bytes, DEFAULT_MAX_FRAME)
+            .map_err(|e| TestCaseError::fail(format!("tenant `{tenant:?}`: {e}")))?;
+        prop_assert!(used == bytes.len());
+        let echoed = decoded.tenant().map(str::to_owned).unwrap_or_default();
+        prop_assert!(echoed.len() <= MAX_TENANT_LEN);
+        prop_assert!(
+            tenant.starts_with(&echoed),
+            "decoded tenant {echoed:?} is not a prefix of {tenant:?}"
+        );
+        if tenant.len() <= MAX_TENANT_LEN {
+            prop_assert!(echoed == tenant, "an in-cap tenant must survive unmodified");
+        }
+    }
+
+    /// A tenant-length byte claiming more than the cap is malformed — and
+    /// because the outer header bounds the payload, the bytes after the bad
+    /// frame still decode: no desync.
+    #[test]
+    fn oversized_tenant_claims_are_malformed_never_desync(
+        claim in (MAX_TENANT_LEN as u8 + 1)..=u8::MAX, body_len in 0usize..40,
+    ) {
+        // Hand-build a v2 health-req with a hostile tenant length byte,
+        // CRC'd correctly so only the tenant check can reject it.
+        let mut payload = vec![claim];
+        payload.extend(std::iter::repeat_n(b'x', body_len));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"MVIF");
+        bytes.push(V2);
+        bytes.push(4); // T_HEALTH_REQ
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut crc_input = vec![V2, 4];
+        crc_input.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        crc_input.extend_from_slice(&payload);
+        bytes.extend_from_slice(&mvi_serve::durable::crc32(&crc_input).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        // The hostile frame itself: typed malformed.
+        match decode(&bytes, DEFAULT_MAX_FRAME) {
+            Err(FrameError::Malformed { .. }) => {}
+            other => prop_assert!(false, "claim {claim}: unexpected {other:?}"),
+        }
+        // No desync: a clean frame appended after it decodes from the byte
+        // right past the hostile frame's declared end.
+        let clean = encode(&Frame::HealthReq { tenant: "ok".into() });
+        let offset = bytes.len();
+        bytes.extend_from_slice(&clean);
+        let (frame, used) = decode(&bytes[offset..], DEFAULT_MAX_FRAME)
+            .map_err(|e| TestCaseError::fail(format!("resync failed: {e}")))?;
+        prop_assert!(used == clean.len());
+        prop_assert!(frame == Frame::HealthReq { tenant: "ok".into() });
+    }
+
+    /// v1↔v2 interop: every frame also encodes as v1 (tenant dropped), both
+    /// versions decode, and the v1 decoding equals the frame with its tenant
+    /// defaulted. For tenant-less frames the two payloads are byte-identical
+    /// after the version byte's effect on the CRC.
+    #[test]
+    fn v1_and_v2_interop(which in 0usize..12, knob in 0u32..1000) {
+        let frame = sample_frame(which, knob);
+        let v2_bytes = encode_versioned(&frame, V2);
+        let v1_bytes = encode_versioned(&frame, V1);
+        prop_assert!(v2_bytes[4] == V2 && v1_bytes[4] == V1);
+
+        let (from_v2, _) = decode(&v2_bytes, DEFAULT_MAX_FRAME)
+            .map_err(|e| TestCaseError::fail(format!("v2 decode: {e}")))?;
+        let truncated_tenant = frame.tenant().map_or(0, |t| t.len()) <= MAX_TENANT_LEN;
+        if truncated_tenant {
+            prop_assert!(from_v2 == frame, "v2 must roundtrip in-cap frames exactly");
+        }
+
+        let (from_v1, _) = decode(&v1_bytes, DEFAULT_MAX_FRAME)
+            .map_err(|e| TestCaseError::fail(format!("v1 decode: {e}")))?;
+        prop_assert!(
+            from_v1 == without_tenant(&frame),
+            "v1 must decode to the tenant-defaulted frame: {from_v1:?}"
+        );
     }
 }

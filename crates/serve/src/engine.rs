@@ -213,6 +213,29 @@ pub enum ServeError {
     /// request's reply was lost rather than answered. Whether the evaluation
     /// ran is unknown, so callers must not assume either way.
     Disconnected,
+    /// The tenant id is not registered in the [`crate::registry::ModelRegistry`]
+    /// — neither resident nor spilled to disk. Retrying the identical request
+    /// can never succeed until someone registers the tenant.
+    UnknownTenant {
+        /// The tenant id the request named.
+        tenant: String,
+    },
+    /// Another caller is loading this tenant's snapshot from disk right now.
+    /// The request was **not** executed, so it is safe to retry after a
+    /// short backoff — by then the load has usually finished.
+    TenantLoading {
+        /// The tenant id whose snapshot is mid-load.
+        tenant: String,
+    },
+    /// The registry cannot make room for this tenant: every resident slot is
+    /// pinned by an in-flight load (or the capacity is zero), so nothing can
+    /// be evicted. Unlike [`ServeError::TenantLoading`] this does not resolve
+    /// on a retry timescale without other traffic finishing, so it is not
+    /// flagged retry-safe on the wire.
+    RegistryFull {
+        /// The configured resident capacity that was exhausted.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -258,6 +281,15 @@ impl std::fmt::Display for ServeError {
             ServeError::Shutdown => write!(f, "serving executor shut down before answering"),
             ServeError::Disconnected => {
                 write!(f, "serving executor disconnected without answering (reply lost)")
+            }
+            ServeError::UnknownTenant { tenant } => {
+                write!(f, "tenant `{tenant}` is not registered")
+            }
+            ServeError::TenantLoading { tenant } => {
+                write!(f, "tenant `{tenant}` is loading its snapshot; retry shortly")
+            }
+            ServeError::RegistryFull { capacity } => {
+                write!(f, "model registry is full ({capacity} resident slots, none evictable)")
             }
         }
     }

@@ -44,6 +44,14 @@
 //!   recompute, and [`ImputationEngine::health`] exposes the counters. With
 //!   guards installed and not firing, served values are bitwise identical to
 //!   the unguarded engine.
+//! * [`ModelRegistry`] — multi-model tenancy: many engines registered under
+//!   string tenant ids, a capacity-bounded LRU of resident engines with
+//!   lossless snapshot-to-disk eviction and on-demand reload through the
+//!   [`durable`] path, per-tenant health/stats carried across evictions, and
+//!   typed errors ([`engine::ServeError::UnknownTenant`],
+//!   [`engine::ServeError::TenantLoading`],
+//!   [`engine::ServeError::RegistryFull`]) instead of blocking or dropping
+//!   requests.
 //! * **Sharded, lock-free warm reads** — engine state is split along the
 //!   read/write axis: mutations stay sequenced on the core lock (DeepMVI's
 //!   forward pass couples every series), while health counters shard per
@@ -112,6 +120,7 @@
 pub mod batch;
 pub mod durable;
 pub mod engine;
+pub mod registry;
 pub(crate) mod shard;
 pub mod snapshot;
 
@@ -120,4 +129,5 @@ pub use engine::{
     AppendReport, EngineOptions, EngineStats, EvalHook, HealthReport, ImputationEngine,
     ImputeRequest, ImputeResponse, ServeError, ValueGuard,
 };
+pub use registry::{LoadHook, ModelRegistry, RegistryConfig, RegistryStats};
 pub use snapshot::ServeSnapshot;

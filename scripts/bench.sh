@@ -8,12 +8,13 @@
 #   BENCH_5.json  retention ring (bounded-memory long stream + warm restart),
 #   BENCH_6.json  fault-tolerance layer (guarded-vs-unguarded serving + drill),
 #   BENCH_7.json  sharded read path (warm-query scaling + blocked-time probe),
-#   BENCH_8.json  network front door (loopback framed-TCP serving + drills).
+#   BENCH_8.json  network front door (loopback framed-TCP serving + drills),
+#   BENCH_9.json  multi-model tenancy (registry routing, cold loads, isolation).
 #
 #   THREADS=4 OUT=BENCH_1.json SERVE_OUT=BENCH_2.json GROWTH_OUT=BENCH_3.json \
 #       INFER_OUT=BENCH_4.json RETENTION_OUT=BENCH_5.json \
 #       FAULTS_OUT=BENCH_6.json SHARDED_OUT=BENCH_7.json \
-#       NET_OUT=BENCH_8.json scripts/bench.sh
+#       NET_OUT=BENCH_8.json TENANCY_OUT=BENCH_9.json scripts/bench.sh
 #
 # The BENCH_<n>.json schemas and the host-comparability rules are documented
 # in PERFORMANCE.md ("The BENCH_<n>.json artifacts").
@@ -37,6 +38,7 @@ RETENTION_OUT="${RETENTION_OUT:-BENCH_5.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_6.json}"
 SHARDED_OUT="${SHARDED_OUT:-BENCH_7.json}"
 NET_OUT="${NET_OUT:-BENCH_8.json}"
+TENANCY_OUT="${TENANCY_OUT:-BENCH_9.json}"
 
 echo "== phase 1: baseline-codegen build (seed's original configuration) =="
 RUSTFLAGS="" CARGO_TARGET_DIR=target/baseline \
@@ -85,4 +87,13 @@ echo "== phase 8: network front door (loopback framed-TCP serving + drills) =="
 ./target/release/serve_bench \
     --threads="$THREADS" --only=net --net-out="$NET_OUT"
 
-echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT $FAULTS_OUT $SHARDED_OUT $NET_OUT"
+echo "== phase 9: multi-model tenancy (registry routing + cold loads + isolation) =="
+# Replays the serving trace through one front door over 1/4/16 tenants and a
+# capacity-1 cold-load arm (every request pays an evict->reload), then
+# asserts in-harness that a hostile tenant armed to panic its own model
+# leaves a victim's replies bitwise identical with a bounded p99, and that
+# unknown tenants get the typed code on a connection that stays open.
+./target/release/serve_bench \
+    --threads="$THREADS" --only=tenancy --tenancy-out="$TENANCY_OUT"
+
+echo "bench artifacts: $OUT $SERVE_OUT $GROWTH_OUT $INFER_OUT $RETENTION_OUT $FAULTS_OUT $SHARDED_OUT $NET_OUT $TENANCY_OUT"

@@ -297,7 +297,12 @@ fn fuzzed_garbage_never_panics_the_server_and_leaves_it_serving() {
         rng ^= rng << 17;
         rng
     };
-    let valid = mvi_net::frame::encode(&mvi_net::Frame::Query { s: 0, start: 0, end: 60 });
+    let valid = mvi_net::frame::encode(&mvi_net::Frame::Query {
+        tenant: String::new(),
+        s: 0,
+        start: 0,
+        end: 60,
+    });
     for round in 0..40 {
         let mut bytes = match round % 4 {
             // Pure garbage.

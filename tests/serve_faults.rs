@@ -546,6 +546,9 @@ fn serve_error_display_is_exhaustive_and_humane() {
         ServeError::Snapshot("parse failed".into()),
         ServeError::Shutdown,
         ServeError::Disconnected,
+        ServeError::UnknownTenant { tenant: "acme".into() },
+        ServeError::TenantLoading { tenant: "acme".into() },
+        ServeError::RegistryFull { capacity: 2 },
     ];
     for err in &all {
         // Exhaustiveness guard: adding a variant breaks this match.
@@ -562,7 +565,10 @@ fn serve_error_display_is_exhaustive_and_humane() {
             | ServeError::NonFiniteWeights { .. }
             | ServeError::Snapshot(_)
             | ServeError::Shutdown
-            | ServeError::Disconnected => {}
+            | ServeError::Disconnected
+            | ServeError::UnknownTenant { .. }
+            | ServeError::TenantLoading { .. }
+            | ServeError::RegistryFull { .. } => {}
         }
         let rendered = err.to_string();
         assert!(!rendered.is_empty(), "{err:?} renders empty");
@@ -583,6 +589,9 @@ fn serve_error_display_is_exhaustive_and_humane() {
     assert!(ServeError::Evicted { start: 0, end: 10, retained_start: 40 }
         .to_string()
         .contains("40"));
+    assert!(ServeError::UnknownTenant { tenant: "acme".into() }.to_string().contains("acme"));
+    assert!(ServeError::TenantLoading { tenant: "acme".into() }.to_string().contains("acme"));
+    assert!(ServeError::RegistryFull { capacity: 2 }.to_string().contains('2'));
     // The deliberate drain and the crash-shaped loss must read differently:
     // one was answered, the other lost its reply.
     let (shutdown, disconnected) =
